@@ -1,0 +1,180 @@
+// Benchmarks, one per paper table/figure (regenerating each artifact in
+// quick mode) plus end-to-end hot paths of the framework. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The figure benches measure how long regenerating an experiment takes;
+// the framework benches measure packets/second through the full coding
+// service on the emulator.
+package jqos_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"jqos"
+	"jqos/internal/dataset"
+	"jqos/internal/experiments"
+	"jqos/internal/netem"
+	"jqos/internal/overlay"
+)
+
+// benchExperiment regenerates one experiment per iteration (quick mode).
+func benchExperiment(b *testing.B, id string) {
+	e, err := experiments.Find(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(experiments.Options{Seed: int64(i + 1), Quick: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7aFeasibility(b *testing.B)   { benchExperiment(b, "7a") }
+func BenchmarkFig7bRecoveryDelay(b *testing.B) { benchExperiment(b, "7b") }
+func BenchmarkFig7cDeltaCDF(b *testing.B)      { benchExperiment(b, "7c") }
+func BenchmarkFig7dEras(b *testing.B)          { benchExperiment(b, "7d") }
+func BenchmarkFig8aCRWAN(b *testing.B)         { benchExperiment(b, "8a") }
+func BenchmarkFig8bEpisodes(b *testing.B)      { benchExperiment(b, "8b") }
+func BenchmarkFig8cFECCompare(b *testing.B)    { benchExperiment(b, "8c") }
+func BenchmarkFig8dRecoveryTime(b *testing.B)  { benchExperiment(b, "8d") }
+func BenchmarkFig8eStragglers(b *testing.B)    { benchExperiment(b, "8e") }
+func BenchmarkFig9aVideo(b *testing.B)         { benchExperiment(b, "9a") }
+func BenchmarkFig9bTCP(b *testing.B)           { benchExperiment(b, "9b") }
+func BenchmarkK20Overhead(b *testing.B)        { benchExperiment(b, "k20") }
+func BenchmarkMobileFeasibility(b *testing.B)  { benchExperiment(b, "mobile") }
+
+// BenchmarkFig10EncoderScaling is the real-throughput figure: it exists as
+// an experiment too, but here each worker count is its own sub-benchmark
+// so `-bench Fig10` prints the scaling series directly.
+func BenchmarkFig10EncoderScaling(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("threads-%d", workers), func(b *testing.B) {
+			benchPipeline(b, workers)
+		})
+	}
+}
+
+func benchPipeline(b *testing.B, workers int) {
+	// Reuse the coding pipeline through the public deployment surface is
+	// not possible (DC1 pipelines are an offline-scaling tool), so this
+	// calls the experiment's underlying machinery via the figure run.
+	// Measuring Submit throughput directly:
+	payload := make([]byte, 512)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(payload)))
+	kpps := experiments.MeasurePipeline(workers, b.N, payload)
+	b.ReportMetric(kpps, "Kpps")
+}
+
+// BenchmarkCostModel prices a deployment per iteration (§6.6 table).
+func BenchmarkCostModel(b *testing.B) {
+	m := overlay.DefaultCostModel
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fwd, cod := m.DeploymentCost(150, 1.0/16)
+		if fwd < cod {
+			b.Fatal("cost inversion")
+		}
+	}
+}
+
+// buildBenchWorld wires a 2-DC deployment with four coding flows.
+func buildBenchWorld(b *testing.B, seed int64) (*jqos.Deployment, []*jqos.Flow) {
+	b.Helper()
+	cfg := jqos.DefaultConfig()
+	cfg.UpgradeInterval = 0
+	d := jqos.NewDeploymentWithConfig(seed, cfg)
+	dc1 := d.AddDC("a", dataset.RegionUSEast)
+	dc2 := d.AddDC("b", dataset.RegionEU)
+	d.ConnectDCs(dc1, dc2, 40*time.Millisecond)
+	var flows []*jqos.Flow
+	for i := 0; i < 4; i++ {
+		src := d.AddHost(dc1, 5*time.Millisecond)
+		dst := d.AddHost(dc2, 8*time.Millisecond)
+		d.SetDirectPath(src, dst, netem.FixedDelay(50*time.Millisecond), netem.Bernoulli{P: 0.01})
+		f, err := d.Register(src, dst, time.Hour, jqos.WithService(jqos.ServiceCoding))
+		if err != nil {
+			b.Fatal(err)
+		}
+		flows = append(flows, f)
+	}
+	return d, flows
+}
+
+// BenchmarkEndToEndCodingService measures full-stack emulated throughput:
+// send → duplicate → encode → (1% loss) → NACK → cooperative recovery →
+// deliver, in packets per op.
+func BenchmarkEndToEndCodingService(b *testing.B) {
+	d, flows := buildBenchWorld(b, 1)
+	payload := make([]byte, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := d.Now() + time.Duration(i%5)*time.Millisecond
+		f := flows[i%len(flows)]
+		d.Sim().At(at, func() { f.Send(payload) })
+		if i%256 == 255 {
+			d.Run(300 * time.Millisecond)
+		}
+	}
+	d.Run(5 * time.Second)
+}
+
+// BenchmarkMarkovTimer compares receiver NACK load under the two-state
+// model vs the single-timeout ablation (§6.4's "5× fewer NACKs").
+func BenchmarkMarkovTimer(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		single bool
+	}{{"two-state", false}, {"single-timeout", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := jqos.DefaultConfig()
+			cfg.SingleTimer = mode.single
+			cfg.UpgradeInterval = 0
+			d := jqos.NewDeploymentWithConfig(9, cfg)
+			dc1 := d.AddDC("a", dataset.RegionUSEast)
+			dc2 := d.AddDC("b", dataset.RegionEU)
+			d.ConnectDCs(dc1, dc2, 40*time.Millisecond)
+			src := d.AddHost(dc1, 5*time.Millisecond)
+			dst := d.AddHost(dc2, 8*time.Millisecond)
+			d.SetDirectPath(src, dst, netem.FixedDelay(50*time.Millisecond), nil)
+			f, err := d.Register(src, dst, time.Hour, jqos.WithService(jqos.ServiceCoding))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			// Bursty app: 5-packet bursts with 2 s gaps.
+			for i := 0; i < b.N; i++ {
+				at := d.Now() + time.Duration(i%5)*5*time.Millisecond
+				d.Sim().At(at, func() { f.Send(make([]byte, 200)) })
+				if i%5 == 4 {
+					d.Run(2 * time.Second)
+				}
+			}
+			d.Run(5 * time.Second)
+			st := d.Host(dst).Receiver(f.ID()).Stats()
+			b.ReportMetric(float64(st.NACKsSent())/float64(b.N), "nacks/pkt")
+		})
+	}
+}
+
+// BenchmarkServiceSelection measures the §3.5 selection path.
+func BenchmarkServiceSelection(b *testing.B) {
+	d, _ := buildBenchWorld(b, 3)
+	topo := d.Topology()
+	hosts := topo.Hosts()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, ok := topo.SelectService(hosts[0], hosts[1], 300*time.Millisecond, true)
+		if !ok {
+			b.Fatal("selection failed")
+		}
+	}
+}

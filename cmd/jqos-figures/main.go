@@ -1,0 +1,97 @@
+// Command jqos-figures regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	jqos-figures -fig all                 # every experiment, ASCII to stdout
+//	jqos-figures -fig 8a -out results/    # one figure, CSV into results/
+//	jqos-figures -list                    # list experiment IDs
+//
+// Figures render as ASCII plots with headline notes comparing the paper's
+// reported values against measured ones; -out additionally writes long-form
+// CSV (series,x,y) per figure for external plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"jqos/internal/experiments"
+)
+
+func main() {
+	var (
+		figID = flag.String("fig", "all", "experiment ID to run (see -list), or 'all'")
+		seed  = flag.Int64("seed", 42, "random seed (same seed → identical output)")
+		quick = flag.Bool("quick", false, "smaller workloads (CI-sized, noisier curves)")
+		out   = flag.String("out", "", "directory for CSV output (optional)")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		width = flag.Int("width", 72, "ASCII plot width")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var toRun []experiments.Experiment
+	if *figID == "all" {
+		toRun = experiments.All()
+	} else {
+		for _, id := range strings.Split(*figID, ",") {
+			e, err := experiments.Find(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			toRun = append(toRun, e)
+		}
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	failed := false
+	for _, e := range toRun {
+		start := time.Now()
+		fmt.Printf("== experiment %s: %s\n", e.ID, e.Title)
+		res, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
+			failed = true
+			continue
+		}
+		for _, fig := range res.Figures {
+			fmt.Println(fig.ASCII(*width, 16))
+			if *out != "" {
+				path := filepath.Join(*out, fig.ID+".csv")
+				f, err := os.Create(path)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					failed = true
+					continue
+				}
+				if err := fig.WriteCSV(f); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					failed = true
+				}
+				f.Close()
+				fmt.Printf("  wrote %s\n", path)
+			}
+		}
+		fmt.Printf("  (%.1fs)\n\n", time.Since(start).Seconds())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,102 @@
+// Command jqos-relay runs a J-QoS data-center node on a real UDP socket:
+// the forwarding, caching, and CR-WAN coding services in one process.
+//
+// A minimal two-relay deployment on one machine:
+//
+//	jqos-relay -node 1 -listen 127.0.0.1:9001 \
+//	    -peers "2=127.0.0.1:9002,101=127.0.0.1:9101,201=127.0.0.1:9201" \
+//	    -hosts "101@1,201@2"
+//	jqos-relay -node 2 -listen 127.0.0.1:9002 \
+//	    -peers "1=127.0.0.1:9001,101=127.0.0.1:9101,201=127.0.0.1:9201" \
+//	    -hosts "101@1,201@2"
+//
+// then point jqos-send and jqos-recv at them (see examples/livewire for a
+// single-process version of the same wiring).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"jqos/internal/core"
+	"jqos/internal/transport"
+)
+
+func main() {
+	var (
+		node    = flag.Uint("node", 1, "this relay's overlay node ID")
+		listen  = flag.String("listen", "127.0.0.1:9001", "UDP listen address")
+		peers   = flag.String("peers", "", "static address book: id=host:port,...")
+		hosts   = flag.String("hosts", "", "host bindings: host@dc,...")
+		k       = flag.Int("k", 6, "cross-stream batch size (flows per batch)")
+		r       = flag.Int("r", 2, "cross-stream parity packets per batch")
+		inBlock = flag.Int("s-block", 5, "in-stream block size (0 disables)")
+		ttl     = flag.Duration("cache-ttl", 2*time.Second, "caching service TTL")
+		stats   = flag.Duration("stats", 10*time.Second, "stats print interval (0 = quiet)")
+	)
+	flag.Parse()
+
+	book, err := transport.ParseAddrBook(*peers)
+	if err != nil {
+		fatal(err)
+	}
+	bindings, err := transport.ParseBindings(*hosts)
+	if err != nil {
+		fatal(err)
+	}
+	ep, err := transport.NewEndpoint(core.NodeID(*node), *listen, book)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := transport.DefaultRelayConfig()
+	cfg.Encoder.K = *k
+	cfg.Encoder.CrossParity = *r
+	cfg.Encoder.InBlock = *inBlock
+	cfg.CacheTTL = *ttl
+	relay, err := transport.NewRelay(ep, cfg, bindings)
+	if err != nil {
+		fatal(err)
+	}
+	relay.Start()
+	fmt.Printf("jqos-relay node %d listening on %s (k=%d r=%d s=1/%d)\n",
+		*node, ep.LocalAddr(), *k, *r, *inBlock)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(statsInterval(*stats))
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			enc, rec, cch := relay.Stats()
+			fmt.Printf("\nfinal: encoder %+v\nrecoverer %+v\ncache %+v\n", enc, rec, cch)
+			relay.Close()
+			return
+		case <-ticker.C:
+			if *stats == 0 {
+				continue
+			}
+			enc, rec, cch := relay.Stats()
+			fmt.Printf("[%s] data=%d batches=%d coded=%d | nacks=%d coop=%d/%d | cache hits=%d\n",
+				time.Now().Format("15:04:05"),
+				enc.DataPackets, enc.CrossBatches+enc.InBatches, enc.CrossCoded+enc.InCoded,
+				rec.NACKs, rec.CoopRecovered, rec.CoopStarted, cch.Hits)
+		}
+	}
+}
+
+func statsInterval(d time.Duration) time.Duration {
+	if d <= 0 {
+		return time.Hour
+	}
+	return d
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "jqos-relay:", err)
+	os.Exit(1)
+}

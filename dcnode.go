@@ -1,0 +1,330 @@
+package jqos
+
+import (
+	"jqos/internal/cache"
+	"jqos/internal/coding"
+	"jqos/internal/core"
+	"jqos/internal/forward"
+	"jqos/internal/wire"
+)
+
+// DCNode is one emulated data center running all three J-QoS services:
+// a forwarder, a packet cache, a CR-WAN encoder (DC1 role) and a CR-WAN
+// recoverer (DC2 role). A single DC plays both roles — which one applies
+// depends on whether it is nearest the sender or the receiver of a flow.
+type DCNode struct {
+	d    *Deployment
+	id   core.NodeID
+	fwd  *forward.Forwarder
+	cch  *cache.Store
+	enc  *coding.Encoder
+	rec  *coding.Recoverer
+	arm  uint64 // timer generation counter (stale-timer guard)
+	drop uint64 // undecodable datagrams
+}
+
+func newDCNode(d *Deployment, id core.NodeID) *DCNode {
+	enc, err := coding.NewEncoder(id, d.cfg.Encoder)
+	if err != nil {
+		panic("jqos: " + err.Error())
+	}
+	return &DCNode{
+		d:   d,
+		id:  id,
+		fwd: forward.New(id),
+		cch: cache.NewStore(d.cfg.CacheTTL, d.cfg.CacheBytes),
+		enc: enc,
+		rec: coding.NewRecoverer(id, d.cfg.Recoverer),
+	}
+}
+
+// ID returns the DC's node identity.
+func (n *DCNode) ID() core.NodeID { return n.id }
+
+// Forwarder exposes the forwarding service (route/group installation).
+func (n *DCNode) Forwarder() *forward.Forwarder { return n.fwd }
+
+// Cache exposes the caching service store.
+func (n *DCNode) Cache() *cache.Store { return n.cch }
+
+// Encoder exposes the CR-WAN DC1 engine.
+func (n *DCNode) Encoder() *coding.Encoder { return n.enc }
+
+// Recoverer exposes the CR-WAN DC2 engine.
+func (n *DCNode) Recoverer() *coding.Recoverer { return n.rec }
+
+// Dropped counts datagrams the DC could not parse.
+func (n *DCNode) Dropped() uint64 { return n.drop }
+
+// transmit sends engine emits into the network.
+func (n *DCNode) transmit(emits []core.Emit) {
+	for _, em := range emits {
+		if n.d.net.HasRoute(n.id, em.To) {
+			n.d.net.Send(n.id, em.To, em.Msg)
+			continue
+		}
+		// No direct link: relay via the recipient's nearest DC.
+		if via, ok := n.d.topo.NearestDC(em.To); ok && via != n.id && n.d.net.HasRoute(n.id, via) {
+			n.d.net.Send(n.id, via, em.Msg)
+			continue
+		}
+		n.drop++
+	}
+}
+
+// handle is the DC's network receive entry point.
+func (n *DCNode) handle(from, to core.NodeID, data []byte) {
+	now := n.d.sim.Now()
+	var hdr wire.Header
+	body, err := wire.SplitMessage(&hdr, data)
+	if err != nil {
+		n.drop++
+		return
+	}
+	// Point-to-point service messages addressed elsewhere are relayed
+	// (e.g. a helper's CoopResp transiting its own DC toward DC2).
+	relay := hdr.Dst != n.id
+	switch hdr.Type {
+	case wire.TypeData:
+		n.onData(now, &hdr, body, data)
+	case wire.TypeCoded:
+		n.onCoded(now, &hdr, body, data)
+	case wire.TypeNACK:
+		if relay {
+			n.transmit(n.fwd.Forward(hdr.Dst, data))
+		} else {
+			n.onNACK(now, &hdr)
+		}
+	case wire.TypePull:
+		if relay {
+			n.transmit(n.fwd.Forward(hdr.Dst, data))
+		} else {
+			n.onPull(now, &hdr)
+		}
+	case wire.TypeCoopResp:
+		if relay {
+			n.transmit(n.fwd.Forward(hdr.Dst, data))
+		} else {
+			n.onCoopResp(now, &hdr, body)
+		}
+	case wire.TypeVerifyResp:
+		if relay {
+			n.transmit(n.fwd.Forward(hdr.Dst, data))
+		} else {
+			n.transmit(n.rec.OnVerifyResp(now, &hdr))
+		}
+	default:
+		if relay {
+			n.transmit(n.fwd.Forward(hdr.Dst, data))
+		} else {
+			n.drop++
+		}
+	}
+	n.armTimer()
+}
+
+// onData handles an application data copy.
+//
+//   - forwarding: relay toward the (possibly multicast) destination.
+//   - caching: relay until this DC is the destination's nearest DC (or the
+//     destination is a group homed here), then cache.
+//   - coding: this DC is DC1 for the flow — feed the encoder; parity flows
+//     to the receiver's DC2.
+func (n *DCNode) onData(now core.Time, hdr *wire.Header, payload []byte, raw []byte) {
+	switch hdr.Service {
+	case core.ServiceForwarding:
+		n.forwardData(hdr, raw)
+	case core.ServiceCaching:
+		if n.servesDst(hdr.Dst) {
+			n.cch.Put(now, hdr.ID(), payload)
+			return
+		}
+		n.forwardData(hdr, raw)
+	case core.ServiceCoding:
+		dc2, ok := n.d.topo.NearestDC(hdr.Dst)
+		if !ok {
+			n.drop++
+			return
+		}
+		if dc2 == n.id {
+			// Partial overlay: DC1 and DC2 are the same DC. The
+			// encoder still runs; parity "transits" locally.
+			emits := n.enc.OnData(now, dc2, hdr.Dst, hdr.Flow, hdr.Seq, payload)
+			n.loopback(now, emits)
+			return
+		}
+		n.transmit(n.enc.OnData(now, dc2, hdr.Dst, hdr.Flow, hdr.Seq, payload))
+	default:
+		// Internet-service data should never reach a DC; forward it on
+		// so nothing silently vanishes.
+		n.forwardData(hdr, raw)
+	}
+}
+
+// forwardData relays a data message toward its destination. Multicast
+// groups fan out here with per-member destination rewriting, so downstream
+// DCs route each copy as plain unicast (cloud multicast, Figure 3c).
+func (n *DCNode) forwardData(hdr *wire.Header, raw []byte) {
+	if n.fwd.IsGroup(hdr.Dst) {
+		for _, m := range n.fwd.Group(hdr.Dst) {
+			if m == n.id {
+				continue
+			}
+			msg := append([]byte(nil), raw...)
+			if err := wire.RewriteDst(msg, m); err != nil {
+				n.drop++
+				continue
+			}
+			n.transmit([]core.Emit{{To: m, Msg: msg}})
+		}
+		return
+	}
+	n.transmit(n.fwd.Forward(hdr.Dst, raw))
+}
+
+// servesDst reports whether this DC is the egress DC for dst (its nearest
+// DC, or a multicast group installed here).
+func (n *DCNode) servesDst(dst core.NodeID) bool {
+	if n.fwd.IsGroup(dst) {
+		return true
+	}
+	near, ok := n.d.topo.NearestDC(dst)
+	return ok && near == n.id
+}
+
+// loopback delivers emits addressed to this very node back into the
+// engines without touching the network (partial-overlay coding).
+func (n *DCNode) loopback(now core.Time, emits []core.Emit) {
+	for _, em := range emits {
+		if em.To == n.id {
+			var hdr wire.Header
+			body, err := wire.SplitMessage(&hdr, em.Msg)
+			if err != nil {
+				n.drop++
+				continue
+			}
+			n.onCoded(now, &hdr, body, em.Msg)
+		} else {
+			n.transmit([]core.Emit{em})
+		}
+	}
+}
+
+// onCoded handles a parity packet: if addressed here, store it in the
+// recoverer (DC2 role); otherwise forward it along.
+func (n *DCNode) onCoded(now core.Time, hdr *wire.Header, body []byte, raw []byte) {
+	if hdr.Dst != n.id {
+		n.transmit(n.fwd.Forward(hdr.Dst, raw))
+		return
+	}
+	var meta wire.Coded
+	shard, err := meta.Unmarshal(body)
+	if err != nil {
+		n.drop++
+		return
+	}
+	n.transmit(n.rec.OnCoded(now, hdr, &meta, shard))
+}
+
+// onNACK dispatches a loss report by requested service: the cache answers
+// directly; coding goes through the recoverer.
+func (n *DCNode) onNACK(now core.Time, hdr *wire.Header) {
+	switch hdr.Service {
+	case core.ServiceCaching:
+		if payload, ok := n.cch.Get(now, hdr.ID()); ok {
+			resp := wire.Header{
+				Type:    wire.TypePullResp,
+				Service: core.ServiceCaching,
+				Flow:    hdr.Flow,
+				Seq:     hdr.Seq,
+				TS:      now,
+				Src:     n.id,
+				Dst:     hdr.Src,
+			}
+			n.transmit([]core.Emit{{To: hdr.Src, Msg: wire.AppendMessage(nil, &resp, payload)}})
+		}
+		// Cache miss: fail silently; the receiver's retry or give-up
+		// horizon handles it.
+	default:
+		n.transmit(n.rec.OnNACK(now, hdr.Src, hdr.ID(), hdr.Flags))
+	}
+}
+
+// onPull serves explicit cache pulls, including FlagDrain for the mobility
+// rendezvous case: return every cached packet of the flow after Seq.
+func (n *DCNode) onPull(now core.Time, hdr *wire.Header) {
+	ids := []core.PacketID{hdr.ID()}
+	if hdr.Flags&wire.FlagDrain != 0 {
+		ids = n.cch.DrainFlow(now, hdr.Flow, hdr.Seq)
+	}
+	var emits []core.Emit
+	for _, id := range ids {
+		payload, ok := n.cch.Get(now, id)
+		if !ok {
+			continue
+		}
+		resp := wire.Header{
+			Type:    wire.TypePullResp,
+			Service: core.ServiceCaching,
+			Flow:    id.Flow,
+			Seq:     id.Seq,
+			TS:      now,
+			Src:     n.id,
+			Dst:     hdr.Src,
+		}
+		emits = append(emits, core.Emit{To: hdr.Src, Msg: wire.AppendMessage(nil, &resp, payload)})
+	}
+	n.transmit(emits)
+}
+
+func (n *DCNode) onCoopResp(now core.Time, hdr *wire.Header, body []byte) {
+	var ref wire.CoopRef
+	payload, err := ref.Unmarshal(body)
+	if err != nil {
+		n.drop++
+		return
+	}
+	n.transmit(n.rec.OnCoopResp(now, hdr, &ref, payload))
+}
+
+// armTimer (re)schedules the DC's engine timers. A generation counter
+// invalidates superseded timer events.
+func (n *DCNode) armTimer() {
+	next, ok := n.nextDeadline()
+	if !ok {
+		return
+	}
+	n.arm++
+	gen := n.arm
+	now := n.d.sim.Now()
+	if next < now {
+		next = now
+	}
+	n.d.sim.At(next, func() {
+		if n.arm != gen {
+			return // superseded by a later arm
+		}
+		t := n.d.sim.Now()
+		n.transmit(n.enc.OnTimer(t))
+		n.transmit(n.rec.OnTimer(t))
+		n.armTimer()
+	})
+}
+
+func (n *DCNode) nextDeadline() (core.Time, bool) {
+	d1, ok1 := n.enc.NextDeadline()
+	d2, ok2 := n.rec.NextDeadline()
+	switch {
+	case ok1 && ok2:
+		if d1 < d2 {
+			return d1, true
+		}
+		return d2, true
+	case ok1:
+		return d1, true
+	case ok2:
+		return d2, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,185 @@
+package jqos_test
+
+import (
+	"testing"
+	"time"
+
+	"jqos"
+	"jqos/internal/core"
+	"jqos/internal/dataset"
+	"jqos/internal/netem"
+	"jqos/internal/wire"
+)
+
+// Failure-injection tests: malformed datagrams, truncated messages, and
+// hostile inputs must be dropped and counted, never panic or corrupt state.
+
+func TestDCNodeSurvivesGarbage(t *testing.T) {
+	w := newWorld(t, 50, nil)
+	net := w.d.Network()
+	// Garbage bytes, truncated header, bad magic.
+	for _, payload := range [][]byte{
+		{},
+		{1, 2, 3},
+		make([]byte, wire.HeaderLen-1),
+		func() []byte { b := make([]byte, wire.HeaderLen); b[0] = 0xFF; return b }(),
+	} {
+		net.Send(w.src, w.dc1, payload)
+	}
+	// A valid header with a truncated coded body.
+	hdr := wire.Header{Type: wire.TypeCoded, Service: jqos.ServiceCoding, Src: w.src, Dst: w.dc1}
+	net.Send(w.src, w.dc1, wire.AppendMessage(nil, &hdr, []byte{1, 2}))
+	// A coop response with a truncated reference.
+	hdr.Type = wire.TypeCoopResp
+	net.Send(w.src, w.dc1, wire.AppendMessage(nil, &hdr, []byte{9}))
+	// An unknown message type addressed to the DC itself.
+	hdr.Type = wire.MsgType(210)
+	net.Send(w.src, w.dc1, wire.AppendMessage(nil, &hdr, nil))
+	w.d.Run(time.Second)
+	if drops := w.d.DC(w.dc1).Dropped(); drops < 6 {
+		t.Errorf("DC dropped %d malformed datagrams, want ≥6", drops)
+	}
+	// The DC still works afterwards.
+	f, err := w.d.Register(w.src, w.dst, 300*time.Millisecond, jqos.WithService(jqos.ServiceForwarding))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Send([]byte("still alive"))
+	w.d.Run(time.Second)
+	if f.Metrics().Delivered != 1 {
+		t.Error("DC wedged after garbage input")
+	}
+}
+
+func TestHostSurvivesGarbage(t *testing.T) {
+	w := newWorld(t, 51, nil)
+	net := w.d.Network()
+	net.Send(w.src, w.dst, []byte{0xDE, 0xAD})
+	hdr := wire.Header{Type: wire.TypeCoded, Src: w.dc2, Dst: w.dst}
+	net.Send(w.src, w.dst, wire.AppendMessage(nil, &hdr, []byte{1}))
+	hdr.Type = wire.TypeCoopReq
+	net.Send(w.src, w.dst, wire.AppendMessage(nil, &hdr, []byte{2, 3}))
+	hdr.Type = wire.MsgType(200)
+	net.Send(w.src, w.dst, wire.AppendMessage(nil, &hdr, nil))
+	w.d.Run(time.Second)
+	if drops := w.d.Host(w.dst).Dropped(); drops < 4 {
+		t.Errorf("host dropped %d malformed datagrams, want ≥4", drops)
+	}
+}
+
+func TestForgedRecoveryForUnknownFlow(t *testing.T) {
+	// A TypeRecovered for a flow the host never registered must create
+	// state lazily and deliver exactly once, never panic.
+	w := newWorld(t, 52, nil)
+	hdr := wire.Header{Type: wire.TypeRecovered, Service: jqos.ServiceCoding,
+		Flow: 999, Seq: 5, Src: w.dc2, Dst: w.dst}
+	w.d.Network().Send(w.dc2, w.dst, wire.AppendMessage(nil, &hdr, []byte("forged")))
+	w.d.Network().Send(w.dc2, w.dst, wire.AppendMessage(nil, &hdr, []byte("forged")))
+	w.d.Run(time.Second)
+	if got := len(w.deliveries); got != 1 {
+		t.Errorf("forged recovery delivered %d times", got)
+	}
+}
+
+func TestRecoveryTrafficRelayedAcrossDCs(t *testing.T) {
+	// A cooperative helper attached to a *different* DC than the
+	// recovering DC2: its CoopResp must relay dc1→dc2 through the
+	// forwarders (the transmit fallback path).
+	d := jqos.NewDeployment(53)
+	dc1 := d.AddDC("a", dataset.RegionUSEast)
+	dc2 := d.AddDC("b", dataset.RegionEU)
+	d.ConnectDCs(dc1, dc2, 40*time.Millisecond)
+	// Primary pair: src near dc1, dst near dc2 (lossy).
+	src := d.AddHost(dc1, 5*time.Millisecond)
+	dst := d.AddHost(dc2, 8*time.Millisecond)
+	outage := &netem.OutageSchedule{}
+	outage.AddOutage(200*time.Millisecond, 200*time.Millisecond)
+	d.SetDirectPath(src, dst, netem.FixedDelay(50*time.Millisecond), outage)
+	f, err := d.Register(src, dst, time.Hour, jqos.WithService(jqos.ServiceCoding))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recovered int
+	d.Host(dst).SetDeliveryHandler(func(del core.Delivery) {
+		if del.Recovered {
+			recovered++
+		}
+	})
+	// Helper pairs whose receivers sit near dc1 — so when dc2 runs
+	// cooperative recovery it must reach helpers through dc1.
+	for i := 0; i < 3; i++ {
+		bs := d.AddHost(dc1, 5*time.Millisecond)
+		// Helper receivers attached to dc1, but their flows still
+		// egress at dst's DC2 for coding... their own direct paths:
+		bd := d.AddHost(dc2, 8*time.Millisecond)
+		d.SetDirectPath(bs, bd, netem.FixedDelay(50*time.Millisecond), nil)
+		bg, err := d.Register(bs, bd, time.Hour, jqos.WithService(jqos.ServiceCoding))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 200; k++ {
+			at := time.Duration(i)*3*time.Millisecond + time.Duration(k)*5*time.Millisecond
+			d.Sim().At(at, func() { bg.Send(make([]byte, 200)) })
+		}
+	}
+	for k := 0; k < 200; k++ {
+		at := time.Duration(k) * 5 * time.Millisecond
+		d.Sim().At(at, func() { f.Send(make([]byte, 200)) })
+	}
+	d.Run(10 * time.Second)
+	if recovered < 20 {
+		t.Errorf("cross-DC recovery produced only %d recoveries", recovered)
+	}
+}
+
+func TestAccessDelayOptionShapesUplink(t *testing.T) {
+	d := jqos.NewDeployment(54)
+	dc1 := d.AddDC("a", dataset.RegionUSEast)
+	dc2 := d.AddDC("b", dataset.RegionEU)
+	d.ConnectDCs(dc1, dc2, 40*time.Millisecond)
+	src := d.AddHost(dc1, 5*time.Millisecond)
+	dst := d.AddHost(dc2, 8*time.Millisecond,
+		jqos.WithAccessDelay(netem.FixedDelay(30*time.Millisecond)))
+	d.SetDirectPath(src, dst, netem.FixedDelay(50*time.Millisecond), nil)
+	f, err := d.Register(src, dst, time.Hour, jqos.WithService(jqos.ServiceForwarding), jqos.WithPathSwitch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var at []time.Duration
+	d.Host(dst).SetDeliveryHandler(func(del core.Delivery) { at = append(at, del.At-del.Packet.Sent) })
+	f.Send([]byte("x"))
+	d.Run(time.Second)
+	// Overlay path: 5 + 40(+jitter) + 30 (custom access delay) ≈ 75 ms.
+	if len(at) != 1 || at[0] < 75*time.Millisecond || at[0] > 77*time.Millisecond {
+		t.Errorf("delivery latency = %v, want ~75ms", at)
+	}
+}
+
+func TestSharedFateThroughDeployment(t *testing.T) {
+	// With the entire loss budget on a shared first mile, losses must be
+	// unrecoverable: the cloud copy dies with the direct copy.
+	d := jqos.NewDeployment(55)
+	dc1 := d.AddDC("a", dataset.RegionUSEast)
+	dc2 := d.AddDC("b", dataset.RegionEU)
+	d.ConnectDCs(dc1, dc2, 40*time.Millisecond)
+	shared := netem.NewSharedFate(netem.Bernoulli{P: 0.1})
+	src := d.AddHost(dc1, 5*time.Millisecond, jqos.WithAccessLossModel(shared))
+	dst := d.AddHost(dc2, 8*time.Millisecond)
+	d.SetDirectPath(src, dst, netem.FixedDelay(50*time.Millisecond), shared)
+	f, err := d.Register(src, dst, time.Hour, jqos.WithService(jqos.ServiceCaching))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 500; k++ {
+		at := time.Duration(k) * 5 * time.Millisecond
+		d.Sim().At(at, func() { f.Send(make([]byte, 100)) })
+	}
+	d.Run(10 * time.Second)
+	m := f.Metrics()
+	if m.Recovered > 5 {
+		t.Errorf("recovered %d despite shared-fate loss (cache should never have the copy)", m.Recovered)
+	}
+	if m.LossRate() < 0.05 {
+		t.Errorf("loss rate %.3f — shared fate not applied", m.LossRate())
+	}
+}

@@ -1,0 +1,318 @@
+package jqos
+
+import (
+	"fmt"
+	"time"
+
+	"jqos/internal/core"
+	"jqos/internal/stats"
+	"jqos/internal/wire"
+)
+
+// FlowMetrics aggregates per-flow delivery accounting, maintained by the
+// receiving endpoint and read by experiments and the service-upgrade loop.
+type FlowMetrics struct {
+	Sent      uint64
+	SentBytes uint64
+	Delivered uint64
+	Recovered uint64
+	OnTime    uint64
+	// ByService counts deliveries by the service that produced them.
+	ByService map[core.Service]uint64
+	// Latency samples end-to-end delivery latency in milliseconds.
+	Latency *stats.Sample
+	// DirectLatency samples only unrecovered (direct-path) deliveries.
+	DirectLatency *stats.Sample
+
+	// upgrade-window snapshots
+	winDelivered uint64
+	winOnTime    uint64
+}
+
+func newFlowMetrics() *FlowMetrics {
+	return &FlowMetrics{
+		ByService:     make(map[core.Service]uint64),
+		Latency:       &stats.Sample{},
+		DirectLatency: &stats.Sample{},
+	}
+}
+
+// LossRate returns 1 − delivered/sent (counts packets never surfaced).
+func (m *FlowMetrics) LossRate() float64 {
+	if m.Sent == 0 {
+		return 0
+	}
+	return 1 - float64(m.Delivered)/float64(m.Sent)
+}
+
+// DuplicationPolicy decides which packets get a cloud copy. Returning
+// false keeps the packet Internet-only (selective duplication, §6.4).
+type DuplicationPolicy func(seq core.Seq, payload []byte) bool
+
+// Flow is one registered application stream.
+type Flow struct {
+	id      core.FlowID
+	d       *Deployment
+	src     core.NodeID
+	dsts    []core.NodeID // one element for unicast; members for multicast
+	cloud   core.NodeID   // cloud-copy destination (receiver or group ID)
+	budget  time.Duration
+	service core.Service
+
+	// pathSwitch suppresses the direct-path copy (VIA-style full switch
+	// to the overlay, Figure 2b). Only meaningful with forwarding.
+	pathSwitch bool
+	dupPolicy  DuplicationPolicy
+
+	seq      core.Seq
+	metrics  *FlowMetrics
+	upgrades []core.Service
+}
+
+// ID returns the flow identity.
+func (f *Flow) ID() core.FlowID { return f.id }
+
+// Service returns the currently selected service.
+func (f *Flow) Service() core.Service { return f.service }
+
+// Budget returns the registered latency budget.
+func (f *Flow) Budget() time.Duration { return f.budget }
+
+// Metrics returns the live metrics (owned by the deployment; read-only
+// for callers).
+func (f *Flow) Metrics() *FlowMetrics { return f.metrics }
+
+// Upgrades lists services this flow was upgraded to, in order.
+func (f *Flow) Upgrades() []core.Service { return f.upgrades }
+
+// SetDuplicationPolicy installs selective duplication.
+func (f *Flow) SetDuplicationPolicy(p DuplicationPolicy) { f.dupPolicy = p }
+
+// NextSeq previews the sequence number Send will use next.
+func (f *Flow) NextSeq() core.Seq { return f.seq + 1 }
+
+// Send transmits one application packet: a copy on the direct Internet
+// path to each destination, plus (by service and duplication policy) a
+// copy toward the cloud. Returns the packet's sequence number.
+func (f *Flow) Send(payload []byte) core.Seq {
+	return f.SendFlagged(payload, 0)
+}
+
+// SendFlagged is Send with explicit header flags (e.g. FlagEndOfBurst).
+func (f *Flow) SendFlagged(payload []byte, flags uint16) core.Seq {
+	f.seq++
+	now := f.d.sim.Now()
+	hdr := wire.Header{
+		Type:    wire.TypeData,
+		Flags:   flags,
+		Service: f.service,
+		Flow:    f.id,
+		Seq:     f.seq,
+		TS:      now,
+		Src:     f.src,
+	}
+	f.metrics.Sent++
+	f.metrics.SentBytes += uint64(len(payload)) + wire.HeaderLen
+
+	// Direct path copies.
+	if !(f.service == core.ServiceForwarding && f.pathSwitch) {
+		for _, dst := range f.dsts {
+			hdr.Dst = dst
+			msg := wire.AppendMessage(nil, &hdr, payload)
+			if f.d.net.HasRoute(f.src, dst) {
+				f.d.net.Send(f.src, dst, msg)
+			}
+		}
+	}
+
+	// Cloud copy toward DC1.
+	if f.service != core.ServiceInternet {
+		if f.dupPolicy == nil || f.dupPolicy(f.seq, payload) {
+			hdr.Dst = f.cloud
+			hdr.Flags = flags | wire.FlagDup
+			msg := wire.AppendMessage(nil, &hdr, payload)
+			if dc1, ok := f.d.topo.NearestDC(f.src); ok {
+				f.d.net.Send(f.src, dc1, msg)
+			}
+		}
+	}
+	return f.seq
+}
+
+// recordDelivery updates metrics from the receiving endpoint.
+func (f *Flow) recordDelivery(del core.Delivery) {
+	m := f.metrics
+	m.Delivered++
+	if del.Recovered {
+		m.Recovered++
+	}
+	m.ByService[del.Via]++
+	lat := del.At - del.Packet.Sent
+	if lat < 0 {
+		lat = 0
+	}
+	m.Latency.Add(float64(lat) / float64(time.Millisecond))
+	if !del.Recovered {
+		m.DirectLatency.Add(float64(lat) / float64(time.Millisecond))
+	}
+	if time.Duration(lat) <= f.budget {
+		m.OnTime++
+	}
+}
+
+// upgrade moves the flow to the next more expensive service.
+func (f *Flow) upgrade() {
+	next := f.service
+	switch f.service {
+	case core.ServiceInternet:
+		next = core.ServiceCoding
+	case core.ServiceCoding:
+		next = core.ServiceCaching
+	case core.ServiceCaching:
+		next = core.ServiceForwarding
+	default:
+		return // already at the top
+	}
+	f.service = next
+	f.upgrades = append(f.upgrades, next)
+	for _, dst := range f.dsts {
+		if h, ok := f.d.hosts[dst]; ok {
+			if r := h.Receiver(f.id); r != nil {
+				r.SetService(next)
+			}
+		}
+	}
+}
+
+// upgradeTick evaluates recent delivery quality against the budget and
+// upgrades when it falls short (§3.5's stats-driven upgrade loop). It also
+// refreshes the topology's direct-latency estimate from observations.
+func (f *Flow) upgradeTick() {
+	m := f.metrics
+	if m.DirectLatency.Len() > 0 && len(f.dsts) == 1 {
+		med := m.DirectLatency.Median()
+		f.d.topo.SetDirect(f.src, f.dsts[0], time.Duration(med*float64(time.Millisecond)))
+	}
+	delivered := m.Delivered - m.winDelivered
+	onTime := m.OnTime - m.winOnTime
+	m.winDelivered, m.winOnTime = m.Delivered, m.OnTime
+	if delivered < 20 {
+		return // not enough signal this window
+	}
+	if float64(onTime)/float64(delivered) < f.d.cfg.UpgradeOnTime {
+		f.upgrade()
+	}
+}
+
+// RegisterOption customizes Register.
+type RegisterOption func(*regOpts)
+
+type regOpts struct {
+	forceService core.Service
+	forced       bool
+	allowNet     bool
+	pathSwitch   bool
+	dupPolicy    DuplicationPolicy
+}
+
+// WithService pins the flow to a service, bypassing selection.
+func WithService(s core.Service) RegisterOption {
+	return func(o *regOpts) { o.forceService = s; o.forced = true }
+}
+
+// WithInternetAllowed lets selection pick plain best-effort when it fits
+// the budget (default: J-QoS always provides a recovery service).
+func WithInternetAllowed() RegisterOption {
+	return func(o *regOpts) { o.allowNet = true }
+}
+
+// WithPathSwitch sends only over the overlay (no direct copy) when the
+// forwarding service is selected.
+func WithPathSwitch() RegisterOption {
+	return func(o *regOpts) { o.pathSwitch = true }
+}
+
+// WithDuplication installs a selective duplication policy at registration.
+func WithDuplication(p DuplicationPolicy) RegisterOption {
+	return func(o *regOpts) { o.dupPolicy = p }
+}
+
+// Register creates a flow from src to dst under a latency budget, picking
+// the cheapest service whose predicted delivery latency fits (§3.5).
+func (d *Deployment) Register(src, dst core.NodeID, budget time.Duration, opts ...RegisterOption) (*Flow, error) {
+	return d.register(src, dst, []core.NodeID{dst}, budget, opts...)
+}
+
+// RegisterMulticast creates a flow from src to a member set. The cloud
+// copy is addressed to group (installed with AddGroup); direct copies go
+// to each member.
+func (d *Deployment) RegisterMulticast(src, group core.NodeID, members []core.NodeID, budget time.Duration, opts ...RegisterOption) (*Flow, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("jqos: multicast flow needs members")
+	}
+	return d.register(src, group, members, budget, opts...)
+}
+
+func (d *Deployment) register(src, cloudDst core.NodeID, dsts []core.NodeID, budget time.Duration, opts ...RegisterOption) (*Flow, error) {
+	var o regOpts
+	for _, op := range opts {
+		op(&o)
+	}
+	if _, ok := d.hosts[src]; !ok {
+		return nil, fmt.Errorf("jqos: source %v is not a host", src)
+	}
+	svc := o.forceService
+	if !o.forced {
+		// Select against the first destination (multicast members are
+		// assumed latency-similar, as in the paper's hybrid multicast).
+		s, _, ok := d.topo.SelectService(src, dsts[0], budget, !o.allowNet)
+		if !ok {
+			return nil, fmt.Errorf("jqos: no service can meet budget %v for %v→%v", budget, src, dsts[0])
+		}
+		svc = s
+	}
+	f := &Flow{
+		id:         d.nextFlow,
+		d:          d,
+		src:        src,
+		dsts:       append([]core.NodeID(nil), dsts...),
+		cloud:      cloudDst,
+		budget:     budget,
+		service:    svc,
+		pathSwitch: o.pathSwitch,
+		dupPolicy:  o.dupPolicy,
+		metrics:    newFlowMetrics(),
+	}
+	d.nextFlow++
+	d.flows[f.id] = f
+
+	// Pre-create receiver engines with the right RTT estimate so the
+	// first loss is already covered.
+	for _, dst := range dsts {
+		if h, ok := d.hosts[dst]; ok {
+			rtt := 2 * d.topo.Direct(src, dst)
+			h.ensureReceiver(f.id, rtt, svc)
+		}
+	}
+	// Periodic budget re-evaluation. The loop parks itself once the flow
+	// goes dormant (two idle windows) so the simulator can drain.
+	if d.cfg.UpgradeInterval > 0 {
+		lastSent := uint64(0)
+		idle := 0
+		var tick func()
+		tick = func() {
+			f.upgradeTick()
+			if f.metrics.Sent == lastSent {
+				idle++
+			} else {
+				idle = 0
+			}
+			lastSent = f.metrics.Sent
+			if idle < 2 {
+				d.sim.After(d.cfg.UpgradeInterval, tick)
+			}
+		}
+		d.sim.After(d.cfg.UpgradeInterval, tick)
+	}
+	return f, nil
+}

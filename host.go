@@ -1,0 +1,216 @@
+package jqos
+
+import (
+	"time"
+
+	"jqos/internal/core"
+	"jqos/internal/recovery"
+	"jqos/internal/wire"
+)
+
+// Host is one emulated endpoint. It plays both roles: flows registered
+// from it send packets, and a per-flow recovery engine handles everything
+// that arrives — data, recovered packets, parity for local decode,
+// cooperative-recovery requests, and verification probes.
+type Host struct {
+	d  *Deployment
+	id core.NodeID
+	dc core.NodeID
+
+	receivers map[core.FlowID]*recovery.Receiver
+	onDeliver func(core.Delivery)
+	arm       uint64
+	drop      uint64
+}
+
+func newHost(d *Deployment, id, dc core.NodeID) *Host {
+	return &Host{
+		d:         d,
+		id:        id,
+		dc:        dc,
+		receivers: make(map[core.FlowID]*recovery.Receiver),
+	}
+}
+
+// ID returns the host's node identity.
+func (h *Host) ID() core.NodeID { return h.id }
+
+// DC returns the host's nearby data center.
+func (h *Host) DC() core.NodeID { return h.dc }
+
+// SetDeliveryHandler installs a callback invoked for every packet the host
+// surfaces to the application (direct or recovered).
+func (h *Host) SetDeliveryHandler(fn func(core.Delivery)) { h.onDeliver = fn }
+
+// Receiver returns the recovery engine for a flow (nil if none yet).
+func (h *Host) Receiver(flow core.FlowID) *recovery.Receiver { return h.receivers[flow] }
+
+// ensureReceiver creates the flow's recovery engine on first contact.
+// Unsolicited flows (multicast members, mid-join) get defaults derived
+// from the deployment config.
+func (h *Host) ensureReceiver(flow core.FlowID, rtt time.Duration, svc core.Service) *recovery.Receiver {
+	if r, ok := h.receivers[flow]; ok {
+		return r
+	}
+	if rtt <= 0 {
+		rtt = 100 * time.Millisecond
+		if f, ok := h.d.flows[flow]; ok {
+			if y := h.d.topo.Direct(f.src, h.id); y > 0 {
+				rtt = 2 * y
+			}
+		}
+	}
+	retry := h.d.cfg.NACKRetry
+	if retry == 0 {
+		// Auto: a quarter RTT balances fast escalation to cooperative
+		// recovery against NACK duplication.
+		retry = rtt / 4
+	} else if retry < 0 {
+		retry = 0 // explicit opt-out
+	}
+	cfg := recovery.Config{
+		Self:         h.id,
+		DC:           h.dc,
+		Service:      svc,
+		SmallTimeout: h.d.cfg.SmallTimeout,
+		RTT:          rtt,
+		NACKRetry:    retry,
+		MaxNACKs:     h.d.cfg.MaxNACKs,
+		SingleTimer:  h.d.cfg.SingleTimer,
+	}
+	r := recovery.New(cfg)
+	h.receivers[flow] = r
+	return r
+}
+
+// Dropped counts datagrams the host could not parse.
+func (h *Host) Dropped() uint64 { return h.drop }
+
+// transmit sends emits, relaying through the host's DC when it has no
+// direct link to the target (helpers answering a remote DC2, for example).
+func (h *Host) transmit(emits []core.Emit) {
+	for _, em := range emits {
+		switch {
+		case h.d.net.HasRoute(h.id, em.To):
+			h.d.net.Send(h.id, em.To, em.Msg)
+		case h.d.net.HasRoute(h.id, h.dc):
+			h.d.net.Send(h.id, h.dc, em.Msg)
+		default:
+			h.drop++
+		}
+	}
+}
+
+// handle is the host's network receive entry point.
+func (h *Host) handle(from, to core.NodeID, data []byte) {
+	now := h.d.sim.Now()
+	var hdr wire.Header
+	body, err := wire.SplitMessage(&hdr, data)
+	if err != nil {
+		h.drop++
+		return
+	}
+	var res recovery.Result
+	switch hdr.Type {
+	case wire.TypeData:
+		svc := hdr.Service
+		if svc == core.ServiceInternet {
+			svc = core.ServiceCoding
+		}
+		r := h.ensureReceiver(hdr.Flow, 0, svc)
+		res = r.OnData(now, &hdr, body)
+	case wire.TypeRecovered, wire.TypePullResp:
+		r := h.ensureReceiver(hdr.Flow, 0, hdr.Service)
+		res = r.OnRecovered(now, &hdr, body)
+	case wire.TypeCoded:
+		var meta wire.Coded
+		shard, err := meta.Unmarshal(body)
+		if err != nil || len(meta.Sources) == 0 {
+			h.drop++
+			return
+		}
+		r := h.ensureReceiver(meta.Sources[0].Flow, 0, core.ServiceCoding)
+		res = r.OnCoded(now, &hdr, &meta, shard)
+	case wire.TypeCoopReq:
+		var ref wire.CoopRef
+		if _, err := ref.Unmarshal(body); err != nil {
+			h.drop++
+			return
+		}
+		if r, ok := h.receivers[hdr.Flow]; ok {
+			res = r.OnCoopReq(now, &hdr, &ref)
+		}
+	case wire.TypeVerify:
+		if r, ok := h.receivers[hdr.Flow]; ok {
+			res = r.OnVerify(now, &hdr)
+		}
+	default:
+		h.drop++
+		return
+	}
+	h.process(now, res)
+	h.armTimer()
+}
+
+// process transmits emits and surfaces deliveries.
+func (h *Host) process(now core.Time, res recovery.Result) {
+	h.transmit(res.Emits)
+	for _, del := range res.Deliveries {
+		if f, ok := h.d.flows[del.Packet.ID.Flow]; ok {
+			f.recordDelivery(del)
+		}
+		if h.onDeliver != nil {
+			h.onDeliver(del)
+		}
+	}
+}
+
+// PullFlow asks the host's DC cache for every packet of flow after seq —
+// the mobility rendezvous drain (Figure 3e). Responses arrive as ordinary
+// recovered deliveries.
+func (h *Host) PullFlow(flow core.FlowID, after core.Seq) {
+	hdr := wire.Header{
+		Type:    wire.TypePull,
+		Service: core.ServiceCaching,
+		Flags:   wire.FlagDrain,
+		Flow:    flow,
+		Seq:     after,
+		TS:      h.d.sim.Now(),
+		Src:     h.id,
+		Dst:     h.dc,
+	}
+	h.ensureReceiver(flow, 0, core.ServiceCaching)
+	h.transmit([]core.Emit{{To: h.dc, Msg: wire.AppendMessage(nil, &hdr, nil)}})
+	h.armTimer()
+}
+
+// armTimer schedules the earliest receiver deadline (generation-guarded,
+// like DCNode).
+func (h *Host) armTimer() {
+	var min core.Time
+	found := false
+	for _, r := range h.receivers {
+		if dl, ok := r.NextDeadline(); ok && (!found || dl < min) {
+			min, found = dl, true
+		}
+	}
+	if !found {
+		return
+	}
+	h.arm++
+	gen := h.arm
+	now := h.d.sim.Now()
+	if min < now {
+		min = now
+	}
+	h.d.sim.At(min, func() {
+		if h.arm != gen {
+			return
+		}
+		t := h.d.sim.Now()
+		for _, r := range h.receivers {
+			h.process(t, r.OnTimer(t))
+		}
+		h.armTimer()
+	})
+}

@@ -1,0 +1,172 @@
+// Package cache implements the J-QoS caching service (§3.2): short-term,
+// in-memory storage of packets at a data center, indexed by packet identity,
+// with TTL expiry and byte-bounded eviction. Receivers pull missing packets
+// (loss recovery), disconnected receivers drain their flow's backlog
+// (mobility/DTN rendezvous, Figure 3e), and hybrid multicast receivers
+// repair from the cached copy (Figure 3d).
+package cache
+
+import (
+	"container/list"
+
+	"jqos/internal/core"
+)
+
+// Stats counts cache effectiveness for experiments.
+type Stats struct {
+	Puts      uint64
+	Hits      uint64
+	Misses    uint64
+	Expired   uint64
+	Evicted   uint64
+	BytesHeld uint64
+}
+
+type entry struct {
+	id      core.PacketID
+	payload []byte
+	expires core.Time
+	elem    *list.Element // position in the expiry FIFO
+}
+
+// Store is the DC-side packet cache. The zero value is not usable; call
+// NewStore. Store is not safe for concurrent use: in the simulator it runs
+// single-goroutine, and the UDP runtime serializes access per relay loop.
+type Store struct {
+	ttl      core.Time
+	maxBytes uint64
+
+	items map[core.PacketID]*entry
+	// flows indexes cached seqs per flow in insertion order, supporting
+	// DrainFlow for the mobility rendezvous use case.
+	flows map[core.FlowID][]core.Seq
+	// fifo orders entries by expiry (constant TTL ⇒ insertion order).
+	fifo  list.List
+	bytes uint64
+	stats Stats
+}
+
+// NewStore creates a cache holding packets for ttl, bounded to maxBytes of
+// payload (0 = unbounded).
+func NewStore(ttl core.Time, maxBytes uint64) *Store {
+	if ttl <= 0 {
+		panic("cache: TTL must be positive")
+	}
+	return &Store{
+		ttl:      ttl,
+		maxBytes: maxBytes,
+		items:    make(map[core.PacketID]*entry),
+		flows:    make(map[core.FlowID][]core.Seq),
+	}
+}
+
+// TTL returns the configured packet lifetime.
+func (s *Store) TTL() core.Time { return s.ttl }
+
+// Len returns the number of cached packets.
+func (s *Store) Len() int { return len(s.items) }
+
+// Bytes returns the cached payload volume.
+func (s *Store) Bytes() uint64 { return s.bytes }
+
+// Stats returns a copy of the counters.
+func (s *Store) Stats() Stats {
+	st := s.stats
+	st.BytesHeld = s.bytes
+	return st
+}
+
+// Put caches a packet payload under id. The payload is copied. Re-putting
+// an existing id refreshes the payload and its TTL (the paper's senders
+// never reuse seqs, but retransmissions can race with duplication).
+func (s *Store) Put(now core.Time, id core.PacketID, payload []byte) {
+	s.expire(now)
+	if e, ok := s.items[id]; ok {
+		s.bytes -= uint64(len(e.payload))
+		s.bytes += uint64(len(payload))
+		e.payload = append(e.payload[:0], payload...)
+		e.expires = now + s.ttl
+		s.fifo.MoveToBack(e.elem)
+	} else {
+		e := &entry{id: id, payload: append([]byte(nil), payload...), expires: now + s.ttl}
+		e.elem = s.fifo.PushBack(e)
+		s.items[id] = e
+		s.flows[id.Flow] = append(s.flows[id.Flow], id.Seq)
+		s.bytes += uint64(len(payload))
+	}
+	s.stats.Puts++
+	if s.maxBytes > 0 {
+		for s.bytes > s.maxBytes && s.fifo.Len() > 0 {
+			s.evictOldest()
+		}
+	}
+}
+
+// Get returns the cached payload for id, if present and unexpired. The
+// returned slice is owned by the cache; callers must copy if they retain it
+// beyond their call frame.
+func (s *Store) Get(now core.Time, id core.PacketID) ([]byte, bool) {
+	s.expire(now)
+	e, ok := s.items[id]
+	if !ok {
+		s.stats.Misses++
+		return nil, false
+	}
+	s.stats.Hits++
+	return e.payload, true
+}
+
+// DrainFlow returns the cached packets of a flow with sequence > after, in
+// sequence order — the mobility pull: a receiver coming online retrieves
+// everything it missed (Figure 3e). Entries remain cached (multiple
+// receivers may drain the same flow in a multicast).
+func (s *Store) DrainFlow(now core.Time, flow core.FlowID, after core.Seq) []core.PacketID {
+	s.expire(now)
+	var out []core.PacketID
+	for _, seq := range s.flows[flow] {
+		if seq <= after {
+			continue
+		}
+		id := core.PacketID{Flow: flow, Seq: seq}
+		if _, ok := s.items[id]; ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// expire drops entries whose TTL passed.
+func (s *Store) expire(now core.Time) {
+	for s.fifo.Len() > 0 {
+		e := s.fifo.Front().Value.(*entry)
+		if e.expires > now {
+			return
+		}
+		s.remove(e)
+		s.stats.Expired++
+	}
+}
+
+func (s *Store) evictOldest() {
+	e := s.fifo.Front().Value.(*entry)
+	s.remove(e)
+	s.stats.Evicted++
+}
+
+func (s *Store) remove(e *entry) {
+	s.fifo.Remove(e.elem)
+	delete(s.items, e.id)
+	s.bytes -= uint64(len(e.payload))
+	// Compact the flow index lazily: drop the seq entry now to keep
+	// DrainFlow linear in live entries.
+	seqs := s.flows[e.id.Flow]
+	for i, q := range seqs {
+		if q == e.id.Seq {
+			s.flows[e.id.Flow] = append(seqs[:i], seqs[i+1:]...)
+			break
+		}
+	}
+	if len(s.flows[e.id.Flow]) == 0 {
+		delete(s.flows, e.id.Flow)
+	}
+}

@@ -1,0 +1,184 @@
+package cache
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"jqos/internal/core"
+)
+
+func id(flow, seq uint64) core.PacketID {
+	return core.PacketID{Flow: core.FlowID(flow), Seq: core.Seq(seq)}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := NewStore(time.Second, 0)
+	s.Put(0, id(1, 1), []byte("alpha"))
+	got, ok := s.Get(10*time.Millisecond, id(1, 1))
+	if !ok || !bytes.Equal(got, []byte("alpha")) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if s.Len() != 1 || s.Bytes() != 5 {
+		t.Errorf("Len=%d Bytes=%d", s.Len(), s.Bytes())
+	}
+	st := s.Stats()
+	if st.Puts != 1 || st.Hits != 1 || st.Misses != 0 || st.BytesHeld != 5 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestGetMiss(t *testing.T) {
+	s := NewStore(time.Second, 0)
+	if _, ok := s.Get(0, id(1, 1)); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if s.Stats().Misses != 1 {
+		t.Errorf("misses = %d", s.Stats().Misses)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	s := NewStore(100*time.Millisecond, 0)
+	s.Put(0, id(1, 1), []byte("a"))
+	s.Put(50*time.Millisecond, id(1, 2), []byte("b"))
+	// At 100ms the first entry expires (TTL boundary is inclusive).
+	if _, ok := s.Get(100*time.Millisecond, id(1, 1)); ok {
+		t.Error("expired entry still served")
+	}
+	if _, ok := s.Get(100*time.Millisecond, id(1, 2)); !ok {
+		t.Error("live entry dropped")
+	}
+	if s.Stats().Expired != 1 {
+		t.Errorf("expired = %d", s.Stats().Expired)
+	}
+	if _, ok := s.Get(time.Hour, id(1, 2)); ok {
+		t.Error("entry survived far beyond TTL")
+	}
+}
+
+func TestPutRefreshesTTLAndPayload(t *testing.T) {
+	s := NewStore(100*time.Millisecond, 0)
+	s.Put(0, id(1, 1), []byte("old"))
+	s.Put(90*time.Millisecond, id(1, 1), []byte("new-payload"))
+	got, ok := s.Get(150*time.Millisecond, id(1, 1))
+	if !ok || string(got) != "new-payload" {
+		t.Fatalf("refreshed entry: %q %v", got, ok)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d after re-put", s.Len())
+	}
+	if s.Bytes() != uint64(len("new-payload")) {
+		t.Errorf("Bytes = %d", s.Bytes())
+	}
+}
+
+func TestPayloadIsCopied(t *testing.T) {
+	s := NewStore(time.Second, 0)
+	buf := []byte("mutable")
+	s.Put(0, id(1, 1), buf)
+	buf[0] = 'X'
+	got, _ := s.Get(0, id(1, 1))
+	if string(got) != "mutable" {
+		t.Errorf("cache aliased caller buffer: %q", got)
+	}
+}
+
+func TestByteBoundEviction(t *testing.T) {
+	s := NewStore(time.Hour, 10)
+	s.Put(0, id(1, 1), []byte("aaaa")) // 4
+	s.Put(0, id(1, 2), []byte("bbbb")) // 8
+	s.Put(0, id(1, 3), []byte("cccc")) // 12 → evict oldest
+	if _, ok := s.Get(0, id(1, 1)); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	if _, ok := s.Get(0, id(1, 3)); !ok {
+		t.Error("newest entry evicted")
+	}
+	if s.Bytes() > 10 {
+		t.Errorf("Bytes = %d over bound", s.Bytes())
+	}
+	if s.Stats().Evicted != 1 {
+		t.Errorf("evicted = %d", s.Stats().Evicted)
+	}
+}
+
+func TestOversizeSinglePacket(t *testing.T) {
+	// A single packet larger than the bound: cache stores then evicts it
+	// down to the FIFO floor — it must not loop forever.
+	s := NewStore(time.Hour, 3)
+	s.Put(0, id(1, 1), []byte("four"))
+	if s.Len() != 0 {
+		t.Errorf("oversize packet retained: len=%d", s.Len())
+	}
+}
+
+func TestDrainFlow(t *testing.T) {
+	s := NewStore(time.Hour, 0)
+	for seq := uint64(1); seq <= 5; seq++ {
+		s.Put(0, id(7, seq), []byte{byte(seq)})
+	}
+	s.Put(0, id(8, 1), []byte("other"))
+	got := s.DrainFlow(0, 7, 2)
+	if len(got) != 3 {
+		t.Fatalf("drained %d, want 3", len(got))
+	}
+	for i, want := range []uint64{3, 4, 5} {
+		if got[i] != id(7, want) {
+			t.Errorf("drain[%d] = %v", i, got[i])
+		}
+	}
+	// Draining leaves entries for other receivers.
+	if again := s.DrainFlow(0, 7, 0); len(again) != 5 {
+		t.Errorf("second drain = %d, want 5", len(again))
+	}
+	if none := s.DrainFlow(0, 99, 0); len(none) != 0 {
+		t.Errorf("unknown flow drained %d", len(none))
+	}
+}
+
+func TestDrainFlowSkipsExpired(t *testing.T) {
+	s := NewStore(100*time.Millisecond, 0)
+	s.Put(0, id(7, 1), []byte("a"))
+	s.Put(80*time.Millisecond, id(7, 2), []byte("b"))
+	got := s.DrainFlow(120*time.Millisecond, 7, 0)
+	if len(got) != 1 || got[0] != id(7, 2) {
+		t.Errorf("drain after expiry = %v", got)
+	}
+}
+
+func TestFlowIndexCompaction(t *testing.T) {
+	s := NewStore(50*time.Millisecond, 0)
+	s.Put(0, id(7, 1), []byte("a"))
+	s.Get(time.Second, id(7, 1)) // force expiry
+	if len(s.flows) != 0 {
+		t.Errorf("flow index leaked: %v", s.flows)
+	}
+}
+
+func TestZeroTTLPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewStore(0) did not panic")
+		}
+	}()
+	NewStore(0, 0)
+}
+
+func TestTTLAccessor(t *testing.T) {
+	if NewStore(42*time.Millisecond, 0).TTL() != 42*time.Millisecond {
+		t.Error("TTL accessor")
+	}
+}
+
+func BenchmarkPutGet(b *testing.B) {
+	s := NewStore(time.Second, 1<<20)
+	payload := make([]byte, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		now := core.Time(i) * time.Microsecond
+		pid := id(1, uint64(i))
+		s.Put(now, pid, payload)
+		s.Get(now, pid)
+	}
+}

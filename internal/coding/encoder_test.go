@@ -1,0 +1,444 @@
+package coding
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"jqos/internal/core"
+	"jqos/internal/rs"
+	"jqos/internal/wire"
+)
+
+const (
+	dc1 core.NodeID = 1
+	dc2 core.NodeID = 2
+)
+
+func testConfig() EncoderConfig {
+	cfg := DefaultEncoderConfig()
+	cfg.K = 4
+	cfg.CrossParity = 2
+	cfg.InBlock = 3
+	cfg.InParity = 1
+	cfg.CrossQueues = 2
+	cfg.CrossTimeout = 30 * time.Millisecond
+	cfg.InTimeout = 50 * time.Millisecond
+	return cfg
+}
+
+func mustEncoder(t *testing.T, cfg EncoderConfig) *Encoder {
+	t.Helper()
+	e, err := NewEncoder(dc1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// decodeEmit parses one coded emit into (header, meta, shard).
+func decodeEmit(t *testing.T, em core.Emit) (wire.Header, wire.Coded, []byte) {
+	t.Helper()
+	var h wire.Header
+	body, err := wire.SplitMessage(&h, em.Msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Type != wire.TypeCoded {
+		t.Fatalf("emit type = %v", h.Type)
+	}
+	var c wire.Coded
+	shard, err := c.Unmarshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, c, shard
+}
+
+func payloadFor(flow, seq int) []byte {
+	return []byte(fmt.Sprintf("flow-%d-seq-%d-payload", flow, seq))
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []EncoderConfig{
+		{K: 0, CrossParity: 1, CrossQueues: 1, CrossTimeout: 1},
+		{K: 201, CrossParity: 1, CrossQueues: 1, CrossTimeout: 1},
+		{K: 4, CrossParity: 0, CrossQueues: 1, CrossTimeout: 1},
+		{K: 4, CrossParity: 1, InBlock: 5, InParity: 0, CrossQueues: 1, CrossTimeout: 1, InTimeout: 1},
+		{K: 4, CrossParity: 1, CrossQueues: 0, CrossTimeout: 1},
+		{K: 4, CrossParity: 1, CrossQueues: 1, CrossTimeout: 0},
+		{K: 4, CrossParity: 1, InBlock: 5, InParity: 1, CrossQueues: 1, CrossTimeout: 1, InTimeout: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := NewEncoder(dc1, cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := NewEncoder(dc1, DefaultEncoderConfig()); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestAlpha(t *testing.T) {
+	cfg := DefaultEncoderConfig() // r=2/6, s=1/5
+	want := 2.0/6 + 1.0/5
+	if a := cfg.Alpha(); a < want-1e-9 || a > want+1e-9 {
+		t.Errorf("alpha = %v, want %v", a, want)
+	}
+	cfg.InBlock = 0
+	if a := cfg.Alpha(); a != 2.0/6 {
+		t.Errorf("alpha without in-stream = %v", a)
+	}
+}
+
+func TestCrossBatchFillsAtK(t *testing.T) {
+	cfg := testConfig()
+	cfg.InBlock = 0 // cross only
+	e := mustEncoder(t, cfg)
+	var emits []core.Emit
+	// K distinct flows, one packet each → exactly one batch of r=2.
+	for f := 1; f <= cfg.K; f++ {
+		emits = append(emits, e.OnData(0, dc2, core.NodeID(100+f), core.FlowID(f), 1, payloadFor(f, 1))...)
+	}
+	if len(emits) != cfg.CrossParity {
+		t.Fatalf("emitted %d parity messages, want %d", len(emits), cfg.CrossParity)
+	}
+	h, meta, shard := decodeEmit(t, emits[0])
+	if h.Dst != dc2 || h.Src != dc1 || h.Service != core.ServiceCoding {
+		t.Errorf("header: %+v", h)
+	}
+	if meta.Kind != wire.CrossStream || int(meta.K) != cfg.K || int(meta.R) != cfg.CrossParity {
+		t.Errorf("meta: %+v", meta)
+	}
+	if len(meta.Sources) != cfg.K {
+		t.Fatalf("sources = %d", len(meta.Sources))
+	}
+	// Sources must be distinct flows with the right receivers.
+	seen := map[core.FlowID]bool{}
+	for _, s := range meta.Sources {
+		if seen[s.Flow] {
+			t.Errorf("flow %d repeated in batch", s.Flow)
+		}
+		seen[s.Flow] = true
+		if s.Receiver != core.NodeID(100+int(s.Flow)) {
+			t.Errorf("source receiver: %+v", s)
+		}
+	}
+	if int(meta.ShardLen) != len(shard) {
+		t.Errorf("shard len %d vs declared %d", len(shard), meta.ShardLen)
+	}
+	st := e.Stats()
+	if st.CrossBatches != 1 || st.CrossCoded != 2 || st.DataPackets != uint64(cfg.K) {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestCrossParityDecodes(t *testing.T) {
+	// The parity the encoder emits must actually reconstruct a lost
+	// packet: erase one source, rebuild from the other k-1 + parity.
+	cfg := testConfig()
+	cfg.InBlock = 0
+	e := mustEncoder(t, cfg)
+	payloads := map[core.FlowID][]byte{}
+	var emits []core.Emit
+	for f := 1; f <= cfg.K; f++ {
+		p := payloadFor(f, 1)
+		payloads[core.FlowID(f)] = p
+		emits = append(emits, e.OnData(0, dc2, 100, core.FlowID(f), 1, p)...)
+	}
+	_, meta, shard0 := decodeEmit(t, emits[0])
+	// Rebuild shards: lose source 2, keep the rest + parity 0.
+	k := int(meta.K)
+	shards := make([][]byte, k+int(meta.R))
+	shardLen := int(meta.ShardLen)
+	for i, src := range meta.Sources {
+		if i == 2 {
+			continue
+		}
+		buf := make([]byte, shardLen)
+		if _, err := rs.Pack(payloads[src.Flow], buf); err != nil {
+			t.Fatal(err)
+		}
+		shards[i] = buf
+	}
+	shards[k+int(meta.Index)] = shard0
+	codec, _ := rs.NewCodec(k, int(meta.R))
+	if err := codec.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rs.Unpack(shards[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := payloads[meta.Sources[2].Flow]; !bytes.Equal(got, want) {
+		t.Errorf("reconstructed %q, want %q", got, want)
+	}
+}
+
+func TestInStreamBlockFills(t *testing.T) {
+	cfg := testConfig()
+	e := mustEncoder(t, cfg)
+	var inEmits []core.Emit
+	for seq := 1; seq <= cfg.InBlock; seq++ {
+		for _, em := range e.OnData(0, dc2, 100, 7, core.Seq(seq), payloadFor(7, seq)) {
+			_, meta, _ := decodeEmit(t, em)
+			if meta.Kind == wire.InStream {
+				inEmits = append(inEmits, em)
+			}
+		}
+	}
+	if len(inEmits) != cfg.InParity {
+		t.Fatalf("in-stream emits = %d, want %d", len(inEmits), cfg.InParity)
+	}
+	_, meta, _ := decodeEmit(t, inEmits[0])
+	if int(meta.K) != cfg.InBlock || len(meta.Sources) != cfg.InBlock {
+		t.Errorf("meta: %+v", meta)
+	}
+	for i, s := range meta.Sources {
+		if s.Flow != 7 || int(s.Seq) != i+1 {
+			t.Errorf("source %d: %+v", i, s)
+		}
+	}
+}
+
+func TestInStreamDisabled(t *testing.T) {
+	cfg := testConfig()
+	cfg.InBlock = 0 // Skype case study: s = 0
+	e := mustEncoder(t, cfg)
+	for seq := 1; seq <= 20; seq++ {
+		for _, em := range e.OnData(0, dc2, 100, 7, core.Seq(seq), payloadFor(7, seq)) {
+			_, meta, _ := decodeEmit(t, em)
+			if meta.Kind == wire.InStream {
+				t.Fatal("in-stream parity with InBlock=0")
+			}
+		}
+	}
+	if e.Stats().InBatches != 0 {
+		t.Error("in-stream batches counted")
+	}
+}
+
+func TestSameFlowNeverSharesCrossQueue(t *testing.T) {
+	// Two queues, one flow sending many packets: each queue may hold at
+	// most one packet of the flow; the third packet forces eviction
+	// (single-packet queue) per Algorithm 1 lines 13–19.
+	cfg := testConfig()
+	cfg.InBlock = 0
+	cfg.CrossQueues = 2
+	e := mustEncoder(t, cfg)
+	var emits []core.Emit
+	for seq := 1; seq <= 6; seq++ {
+		emits = append(emits, e.OnData(0, dc2, 100, 7, core.Seq(seq), payloadFor(7, seq))...)
+	}
+	// Single flow can never fill a K=4 batch; everything is evictions.
+	if len(emits) != 0 {
+		t.Errorf("unexpected emits: %d", len(emits))
+	}
+	if e.Stats().Evicted == 0 {
+		t.Error("no evictions recorded for single-flow overload")
+	}
+	// Verify the invariant directly on the internal queues.
+	for _, set := range e.cross {
+		for _, q := range set.qs {
+			flows := map[core.FlowID]int{}
+			for _, p := range q.pkts {
+				flows[p.ref.Flow]++
+				if flows[p.ref.Flow] > 1 {
+					t.Fatal("queue holds two packets of one flow")
+				}
+			}
+		}
+	}
+}
+
+func TestAllQueuesHoldFlowFlushesOldest(t *testing.T) {
+	// Fill both queues with ≥2 packets including flow 7 in each; the next
+	// flow-7 packet must flush (not evict) the initial queue.
+	cfg := testConfig()
+	cfg.InBlock = 0
+	cfg.CrossQueues = 2
+	cfg.K = 4
+	e := mustEncoder(t, cfg)
+	var emits []core.Emit
+	emits = append(emits, e.OnData(0, dc2, 100, 7, 1, payloadFor(7, 1))...) // q0
+	emits = append(emits, e.OnData(0, dc2, 100, 8, 1, payloadFor(8, 1))...) // q? (rr for flow 8 starts at q0 → q0 has no 8 → q0)
+	emits = append(emits, e.OnData(0, dc2, 100, 7, 2, payloadFor(7, 2))...) // q1
+	emits = append(emits, e.OnData(0, dc2, 100, 9, 1, payloadFor(9, 1))...) // q0
+	if len(emits) != 0 {
+		t.Fatalf("premature emits: %d", len(emits))
+	}
+	// Now both queues contain flow 7 (q0: 7,8,9; q1: 7). Next flow-7
+	// packet scans all queues, fails, and processes the initial queue.
+	emits = e.OnData(0, dc2, 100, 7, 3, payloadFor(7, 3))
+	if len(emits) != cfg.CrossParity && e.Stats().Evicted == 0 {
+		t.Errorf("expected flush or eviction, emits=%d stats=%+v", len(emits), e.Stats())
+	}
+	if e.Stats().CrossBatches+e.Stats().Evicted == 0 {
+		t.Error("neither flush nor eviction happened")
+	}
+}
+
+func TestTimerFlush(t *testing.T) {
+	cfg := testConfig()
+	cfg.InBlock = 0
+	e := mustEncoder(t, cfg)
+	e.OnData(0, dc2, 100, 1, 1, payloadFor(1, 1))
+	e.OnData(0, dc2, 100, 2, 1, payloadFor(2, 1))
+	dl, ok := e.NextDeadline()
+	if !ok || dl != cfg.CrossTimeout {
+		t.Fatalf("deadline = %v %v, want %v", dl, ok, cfg.CrossTimeout)
+	}
+	if emits := e.OnTimer(cfg.CrossTimeout - 1); len(emits) != 0 {
+		t.Errorf("early timer flushed %d", len(emits))
+	}
+	emits := e.OnTimer(cfg.CrossTimeout)
+	if len(emits) != cfg.CrossParity {
+		t.Fatalf("timer flush emitted %d", len(emits))
+	}
+	_, meta, _ := decodeEmit(t, emits[0])
+	if int(meta.K) != 2 {
+		t.Errorf("partial batch k = %d, want 2", meta.K)
+	}
+	if _, ok := e.NextDeadline(); ok {
+		t.Error("deadline remains after flush")
+	}
+	if e.Stats().TimerFlushes == 0 {
+		t.Error("timer flush not counted")
+	}
+}
+
+func TestInStreamTimerFlush(t *testing.T) {
+	cfg := testConfig()
+	e := mustEncoder(t, cfg)
+	e.OnData(0, dc2, 100, 7, 1, payloadFor(7, 1))
+	// In queue (50ms) and cross queue (30ms) both open; earliest is cross.
+	dl, ok := e.NextDeadline()
+	if !ok || dl != cfg.CrossTimeout {
+		t.Fatalf("deadline = %v", dl)
+	}
+	emits := e.OnTimer(cfg.InTimeout)
+	// Cross flush (single pkt) + in flush (single pkt): both emit.
+	kinds := map[wire.CodedKind]int{}
+	for _, em := range emits {
+		_, meta, _ := decodeEmit(t, em)
+		kinds[meta.Kind]++
+	}
+	if kinds[wire.InStream] != cfg.InParity || kinds[wire.CrossStream] != cfg.CrossParity {
+		t.Errorf("timer kinds: %v", kinds)
+	}
+}
+
+func TestFlushDrainsEverything(t *testing.T) {
+	cfg := testConfig()
+	e := mustEncoder(t, cfg)
+	e.OnData(0, dc2, 100, 1, 1, payloadFor(1, 1))
+	e.OnData(0, 3, 100, 2, 1, payloadFor(2, 1)) // second DC2 group
+	emits := e.Flush(time.Millisecond)
+	if len(emits) == 0 {
+		t.Fatal("flush emitted nothing")
+	}
+	if _, ok := e.NextDeadline(); ok {
+		t.Error("queues remain after Flush")
+	}
+	// Spatial constraint: separate DC2s get separate batches.
+	dsts := map[core.NodeID]bool{}
+	for _, em := range emits {
+		dsts[em.To] = true
+	}
+	if !dsts[dc2] || !dsts[3] {
+		t.Errorf("flush destinations: %v", dsts)
+	}
+}
+
+func TestSpatialGrouping(t *testing.T) {
+	// Flows bound for different DC2s must never share a batch (§4.1).
+	cfg := testConfig()
+	cfg.InBlock = 0
+	e := mustEncoder(t, cfg)
+	var emits []core.Emit
+	for f := 1; f <= cfg.K; f++ {
+		d := dc2
+		if f%2 == 0 {
+			d = 3
+		}
+		emits = append(emits, e.OnData(0, d, 100, core.FlowID(f), 1, payloadFor(f, 1))...)
+	}
+	// Neither group reached K=4 alone (2 flows each) → no emits yet.
+	if len(emits) != 0 {
+		t.Fatalf("cross-DC batch leaked: %d emits", len(emits))
+	}
+	for _, em := range e.Flush(0) {
+		hdr, meta, _ := decodeEmit(t, em)
+		for _, s := range meta.Sources {
+			wantDC := dc2
+			if int(s.Flow)%2 == 0 {
+				wantDC = 3
+			}
+			if hdr.Dst != wantDC {
+				t.Errorf("flow %d parity sent to %v", s.Flow, hdr.Dst)
+			}
+		}
+	}
+}
+
+func TestOverheadStat(t *testing.T) {
+	cfg := testConfig()
+	cfg.InBlock = 0
+	e := mustEncoder(t, cfg)
+	for f := 1; f <= cfg.K; f++ {
+		e.OnData(0, dc2, 100, core.FlowID(f), 1, make([]byte, 512))
+	}
+	st := e.Stats()
+	if st.Overhead() <= 0 {
+		t.Error("overhead not tracked")
+	}
+	// r=2/4 → coded bytes ≈ half of data bytes (plus headers/meta).
+	if st.Overhead() > 0.8 {
+		t.Errorf("overhead = %v, unexpectedly high", st.Overhead())
+	}
+	if (EncoderStats{}).Overhead() != 0 {
+		t.Error("zero stats overhead")
+	}
+}
+
+func TestPayloadCopied(t *testing.T) {
+	cfg := testConfig()
+	cfg.InBlock = 0
+	e := mustEncoder(t, cfg)
+	buf := []byte("mutable payload")
+	var emits []core.Emit
+	emits = append(emits, e.OnData(0, dc2, 100, 1, 1, buf)...)
+	buf[0] = 'X'
+	for f := 2; f <= cfg.K; f++ {
+		emits = append(emits, e.OnData(0, dc2, 100, core.FlowID(f), 1, payloadFor(f, 1))...)
+	}
+	// The batch fills at the K-th flow; reconstruct flow 1's packet from
+	// parity and the others.
+	emits = append(emits, e.Flush(0)...)
+	if len(emits) == 0 {
+		t.Fatal("no emits")
+	}
+	_, meta, shard := decodeEmit(t, emits[0])
+	k := int(meta.K)
+	shards := make([][]byte, k+int(meta.R))
+	for i, src := range meta.Sources {
+		if src.Flow == 1 {
+			continue
+		}
+		b := make([]byte, int(meta.ShardLen))
+		if _, err := rs.Pack(payloadFor(int(src.Flow), 1), b); err != nil {
+			t.Fatal(err)
+		}
+		shards[i] = b
+	}
+	shards[k+int(meta.Index)] = shard
+	codec, _ := rs.NewCodec(k, int(meta.R))
+	if err := codec.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := rs.Unpack(shards[0])
+	if string(got) != "mutable payload" {
+		t.Errorf("encoder aliased caller buffer: %q", got)
+	}
+}

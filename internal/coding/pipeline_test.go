@@ -1,0 +1,123 @@
+package coding
+
+import (
+	"sync"
+	"testing"
+
+	"jqos/internal/core"
+	"jqos/internal/wire"
+)
+
+func TestPipelineEncodesAcrossWorkers(t *testing.T) {
+	cfg := crossOnlyConfig()
+	var mu sync.Mutex
+	var emitted []core.Emit
+	p, err := NewPipeline(dc1, cfg, 4, 64, func(es []core.Emit) {
+		mu.Lock()
+		emitted = append(emitted, es...)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Workers() != 4 {
+		t.Fatalf("workers = %d", p.Workers())
+	}
+	// 32 flows × 8 packets; flows pin to workers by ID.
+	for seq := 1; seq <= 8; seq++ {
+		for f := 1; f <= 32; f++ {
+			p.Submit(0, dc2, core.NodeID(100+f), core.FlowID(f), core.Seq(seq), payloadFor(f, seq))
+		}
+	}
+	p.Close()
+	if p.Emitted() == 0 || uint64(len(emitted)) != p.Emitted() {
+		t.Fatalf("emitted = %d, sink saw %d", p.Emitted(), len(emitted))
+	}
+	st := p.Stats()
+	if st.DataPackets != 32*8 {
+		t.Errorf("data packets = %d", st.DataPackets)
+	}
+	// Flow pinning: every batch must contain flows from one worker only
+	// (flow mod workers is constant within a batch).
+	for _, em := range emitted {
+		var hdr wire.Header
+		body, err := wire.SplitMessage(&hdr, em.Msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var meta wire.Coded
+		if _, err := meta.Unmarshal(body); err != nil {
+			t.Fatal(err)
+		}
+		if len(meta.Sources) == 0 {
+			t.Fatal("empty batch")
+		}
+		w := uint64(meta.Sources[0].Flow) % 4
+		for _, s := range meta.Sources {
+			if uint64(s.Flow)%4 != w {
+				t.Fatalf("batch mixes workers: %+v", meta.Sources)
+			}
+		}
+	}
+}
+
+func TestPipelineTrySubmitBackpressure(t *testing.T) {
+	// A single worker with a tiny queue and a slow sink must eventually
+	// reject TrySubmit rather than block.
+	block := make(chan struct{})
+	p, err := NewPipeline(dc1, crossOnlyConfig(), 1, 1, func([]core.Emit) { <-block })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejected := false
+	for f := 1; f <= 64 && !rejected; f++ {
+		for seq := 1; seq <= 64 && !rejected; seq++ {
+			rejected = !p.TrySubmit(0, dc2, 100, core.FlowID(f), core.Seq(seq), payloadFor(f, seq))
+		}
+	}
+	close(block)
+	p.Close()
+	if !rejected || p.Dropped() == 0 {
+		t.Errorf("no backpressure: dropped=%d", p.Dropped())
+	}
+}
+
+func TestPipelineZeroWorkersClamped(t *testing.T) {
+	p, err := NewPipeline(dc1, crossOnlyConfig(), 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Workers() != 1 {
+		t.Errorf("workers = %d", p.Workers())
+	}
+	p.Submit(0, dc2, 100, 1, 1, []byte("x"))
+	p.Close()
+	if p.Stats().DataPackets != 1 {
+		t.Error("packet lost")
+	}
+}
+
+func TestPipelineBadConfig(t *testing.T) {
+	if _, err := NewPipeline(dc1, EncoderConfig{}, 2, 8, nil); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestPipelineFlushOnClose(t *testing.T) {
+	// Packets that never fill a batch must still be encoded at Close.
+	var mu sync.Mutex
+	count := 0
+	p, err := NewPipeline(dc1, crossOnlyConfig(), 2, 8, func(es []core.Emit) {
+		mu.Lock()
+		count += len(es)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Submit(0, dc2, 100, 1, 1, []byte("lonely"))
+	p.Close()
+	if count == 0 {
+		t.Error("open batch not flushed on Close")
+	}
+}

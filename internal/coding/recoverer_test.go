@@ -1,0 +1,525 @@
+package coding
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"jqos/internal/core"
+	"jqos/internal/wire"
+)
+
+// harness builds an encoder+recoverer pair and ships parity between them.
+type harness struct {
+	t   *testing.T
+	enc *Encoder
+	rec *Recoverer
+	// payloads remembers what each flow sent, keyed by packet.
+	payloads map[core.PacketID][]byte
+	// receivers maps flows to their receiving endpoints.
+	receivers map[core.FlowID]core.NodeID
+}
+
+func newHarness(t *testing.T, cfg EncoderConfig) *harness {
+	t.Helper()
+	enc, err := NewEncoder(dc1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &harness{
+		t:         t,
+		enc:       enc,
+		rec:       NewRecoverer(dc2, DefaultRecovererConfig()),
+		payloads:  make(map[core.PacketID][]byte),
+		receivers: make(map[core.FlowID]core.NodeID),
+	}
+}
+
+// send pushes a data packet through DC1 and relays parity to DC2.
+func (h *harness) send(now core.Time, flow core.FlowID, seq core.Seq, receiver core.NodeID) []core.Emit {
+	h.t.Helper()
+	p := payloadFor(int(flow), int(seq))
+	h.payloads[core.PacketID{Flow: flow, Seq: seq}] = p
+	h.receivers[flow] = receiver
+	var out []core.Emit
+	for _, em := range h.enc.OnData(now, dc2, receiver, flow, seq, p) {
+		out = append(out, h.deliverCoded(now, em)...)
+	}
+	return out
+}
+
+// deliverCoded feeds one encoder emit into the recoverer.
+func (h *harness) deliverCoded(now core.Time, em core.Emit) []core.Emit {
+	h.t.Helper()
+	var hdr wire.Header
+	body, err := wire.SplitMessage(&hdr, em.Msg)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	var meta wire.Coded
+	shard, err := meta.Unmarshal(body)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return h.rec.OnCoded(now, &hdr, &meta, shard)
+}
+
+// respondCoop answers every CoopReq in emits as the helpers would,
+// except for receivers listed in silent (stragglers).
+func (h *harness) respondCoop(now core.Time, emits []core.Emit, silent ...core.NodeID) []core.Emit {
+	h.t.Helper()
+	mute := map[core.NodeID]bool{}
+	for _, s := range silent {
+		mute[s] = true
+	}
+	var out []core.Emit
+	for _, em := range emits {
+		var hdr wire.Header
+		body, err := wire.SplitMessage(&hdr, em.Msg)
+		if err != nil {
+			h.t.Fatal(err)
+		}
+		if hdr.Type != wire.TypeCoopReq || mute[em.To] {
+			continue
+		}
+		var ref wire.CoopRef
+		if _, err := ref.Unmarshal(body); err != nil {
+			h.t.Fatal(err)
+		}
+		payload := h.payloads[hdr.ID()]
+		if payload == nil {
+			h.t.Fatalf("coop req for unknown packet %v", hdr.ID())
+		}
+		respHdr := wire.Header{
+			Type: wire.TypeCoopResp, Service: core.ServiceCoding,
+			Flow: hdr.Flow, Seq: hdr.Seq, TS: now, Src: em.To, Dst: dc2,
+		}
+		out = append(out, h.rec.OnCoopResp(now, &respHdr, &ref, payload)...)
+	}
+	return out
+}
+
+// findRecovered extracts TypeRecovered deliveries from emits.
+func findRecovered(t *testing.T, emits []core.Emit) map[core.PacketID][]byte {
+	t.Helper()
+	got := map[core.PacketID][]byte{}
+	for _, em := range emits {
+		var hdr wire.Header
+		body, err := wire.SplitMessage(&hdr, em.Msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hdr.Type == wire.TypeRecovered {
+			got[hdr.ID()] = body
+		}
+	}
+	return got
+}
+
+func countType(t *testing.T, emits []core.Emit, typ wire.MsgType) int {
+	t.Helper()
+	n := 0
+	for _, em := range emits {
+		var hdr wire.Header
+		if _, err := wire.SplitMessage(&hdr, em.Msg); err != nil {
+			t.Fatal(err)
+		}
+		if hdr.Type == typ {
+			n++
+		}
+	}
+	return n
+}
+
+func crossOnlyConfig() EncoderConfig {
+	cfg := testConfig()
+	cfg.InBlock = 0
+	return cfg
+}
+
+func TestCooperativeRecoveryEndToEnd(t *testing.T) {
+	h := newHarness(t, crossOnlyConfig())
+	// Four flows to four distinct receivers fill a batch.
+	var coded []core.Emit
+	for f := 1; f <= 4; f++ {
+		coded = append(coded, h.send(0, core.FlowID(f), 1, core.NodeID(100+f))...)
+	}
+	if h.rec.Batches() != 1 {
+		t.Fatalf("batches = %d", h.rec.Batches())
+	}
+	// Receiver 101 lost flow 1 seq 1 and NACKs DC2.
+	want := core.PacketID{Flow: 1, Seq: 1}
+	emits := h.rec.OnNACK(time.Millisecond, 101, want, 0)
+	if n := countType(t, emits, wire.TypeCoopReq); n != 3 {
+		t.Fatalf("coop requests = %d, want 3", n)
+	}
+	for _, em := range emits {
+		if em.To == 101 {
+			t.Error("coop request sent to the requester")
+		}
+	}
+	// Helpers respond; with r=2 parity cached, k−2 data already suffice,
+	// but full response must also work.
+	final := h.respondCoop(2*time.Millisecond, emits)
+	got := findRecovered(t, final)
+	if !bytes.Equal(got[want], h.payloads[want]) {
+		t.Fatalf("recovered %q, want %q", got[want], h.payloads[want])
+	}
+	st := h.rec.Stats()
+	if st.CoopStarted != 1 || st.CoopRecovered != 1 || st.NACKs != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestStragglerProtection(t *testing.T) {
+	// r=2 parity means the recovery tolerates one silent helper (§4.4:
+	// "DC2 may only require a few of the receivers to respond").
+	h := newHarness(t, crossOnlyConfig())
+	for f := 1; f <= 4; f++ {
+		h.send(0, core.FlowID(f), 1, core.NodeID(100+f))
+	}
+	want := core.PacketID{Flow: 1, Seq: 1}
+	reqs := h.rec.OnNACK(time.Millisecond, 101, want, 0)
+	// Receiver 103 is a straggler and never answers. k=4, parity=2:
+	// 2 data + 2 parity = 4 ≥ k → recoverable.
+	final := h.respondCoop(2*time.Millisecond, reqs, 103)
+	got := findRecovered(t, final)
+	if !bytes.Equal(got[want], h.payloads[want]) {
+		t.Fatalf("straggler recovery failed: %q", got[want])
+	}
+	if h.rec.Stats().StragglersSaved != 1 {
+		t.Errorf("stragglers saved = %d", h.rec.Stats().StragglersSaved)
+	}
+}
+
+func TestTooManyStragglersFailsSilently(t *testing.T) {
+	h := newHarness(t, crossOnlyConfig())
+	for f := 1; f <= 4; f++ {
+		h.send(0, core.FlowID(f), 1, core.NodeID(100+f))
+	}
+	want := core.PacketID{Flow: 1, Seq: 1}
+	reqs := h.rec.OnNACK(time.Millisecond, 101, want, 0)
+	// Two of three helpers silent: 1 data + 2 parity = 3 < 4.
+	final := h.respondCoop(2*time.Millisecond, reqs, 103, 104)
+	if len(findRecovered(t, final)) != 0 {
+		t.Fatal("recovered despite too many stragglers")
+	}
+	// Deadline passes → silent failure accounted.
+	h.rec.OnTimer(time.Second)
+	if h.rec.Stats().CoopFailed != 1 {
+		t.Errorf("coop failed = %d", h.rec.Stats().CoopFailed)
+	}
+}
+
+func TestInStreamServedFirst(t *testing.T) {
+	cfg := testConfig() // InBlock=3
+	h := newHarness(t, cfg)
+	// One flow fills an in-stream block (3 pkts); cross queue stays open.
+	for seq := 1; seq <= 3; seq++ {
+		h.send(0, 7, core.Seq(seq), 101)
+	}
+	want := core.PacketID{Flow: 7, Seq: 2}
+	emits := h.rec.OnNACK(time.Millisecond, 101, want, 0)
+	// First NACK → in-stream parity forwarded to the receiver itself.
+	if n := countType(t, emits, wire.TypeCoded); n != cfg.InParity {
+		t.Fatalf("in-stream parity messages = %d", n)
+	}
+	for _, em := range emits {
+		if em.To != 101 {
+			t.Errorf("parity sent to %v, want receiver", em.To)
+		}
+	}
+	if h.rec.Stats().InStreamServed != 1 {
+		t.Errorf("stats: %+v", h.rec.Stats())
+	}
+	// No cross batch closed yet, so a repeat NACK falls back to
+	// in-stream again rather than escalating into nothing.
+	again := h.rec.OnNACK(2*time.Millisecond, 101, want, 0)
+	if n := countType(t, again, wire.TypeCoded); n != cfg.InParity {
+		t.Errorf("repeat NACK emitted %d parity messages", n)
+	}
+	if h.rec.Stats().InStreamServed != 2 {
+		t.Errorf("stats after repeat: %+v", h.rec.Stats())
+	}
+}
+
+func TestRepeatNACKEscalatesToCoop(t *testing.T) {
+	cfg := testConfig() // in-stream AND cross-stream
+	cfg.K = 3
+	h := newHarness(t, cfg)
+	// Three flows × 3 packets: fills in-stream blocks (per flow) and
+	// three cross batches.
+	for seq := 1; seq <= 3; seq++ {
+		for f := 1; f <= 3; f++ {
+			h.send(0, core.FlowID(f), core.Seq(seq), core.NodeID(100+f))
+		}
+	}
+	want := core.PacketID{Flow: 1, Seq: 2}
+	first := h.rec.OnNACK(time.Millisecond, 101, want, 0)
+	if countType(t, first, wire.TypeCoded) == 0 || countType(t, first, wire.TypeCoopReq) != 0 {
+		t.Fatalf("first NACK should be in-stream only")
+	}
+	second := h.rec.OnNACK(2*time.Millisecond, 101, want, 0)
+	if countType(t, second, wire.TypeCoopReq) == 0 {
+		t.Fatal("second NACK did not escalate to cooperative recovery")
+	}
+	final := h.respondCoop(3*time.Millisecond, second)
+	got := findRecovered(t, final)
+	if !bytes.Equal(got[want], h.payloads[want]) {
+		t.Fatalf("escalated recovery failed")
+	}
+}
+
+func TestSpeculativeNACKVerifiedAtParityArrival(t *testing.T) {
+	// A NACK flagged WantVerify (speculative timer NACK) parks silently;
+	// when parity arrives, DC2 probes the receiver BEFORE undertaking
+	// recovery ("DC2 first checks with the receiver", §3.4).
+	h := newHarness(t, crossOnlyConfig())
+	want := core.PacketID{Flow: 1, Seq: 1}
+	emits := h.rec.OnNACK(0, 101, want, wire.FlagWantVerify)
+	if len(emits) != 0 {
+		t.Fatalf("speculative NACK emitted immediately: %d", len(emits))
+	}
+	var woken []core.Emit
+	for f := 1; f <= 4; f++ {
+		woken = append(woken, h.send(time.Millisecond, core.FlowID(f), 1, core.NodeID(100+f))...)
+	}
+	if n := countType(t, woken, wire.TypeVerify); n != 1 {
+		t.Fatalf("verify probes at parity arrival = %d", n)
+	}
+	if countType(t, woken, wire.TypeCoopReq) != 0 {
+		t.Fatal("recovery started before verification")
+	}
+	// Receiver confirms the packet is still missing → recovery runs.
+	resp := wire.Header{Type: wire.TypeVerifyResp, Flags: wire.FlagStillWanted,
+		Flow: want.Flow, Seq: want.Seq, Src: 101, Dst: dc2}
+	reqs := h.rec.OnVerifyResp(2*time.Millisecond, &resp)
+	if countType(t, reqs, wire.TypeCoopReq) == 0 {
+		t.Fatal("still-wanted verification did not start recovery")
+	}
+	final := h.respondCoop(3*time.Millisecond, reqs)
+	if got := findRecovered(t, final); !bytes.Equal(got[want], h.payloads[want]) {
+		t.Fatal("verified recovery failed")
+	}
+	if h.rec.Stats().Verifies != 1 || h.rec.Stats().PendingMatched != 1 {
+		t.Errorf("stats: %+v", h.rec.Stats())
+	}
+}
+
+func TestSpuriousNACKDroppedOnVerify(t *testing.T) {
+	// The direct packet arrived while the NACK was parked: the receiver
+	// answers the probe with not-wanted and no recovery is pushed.
+	h := newHarness(t, crossOnlyConfig())
+	want := core.PacketID{Flow: 1, Seq: 1}
+	h.rec.OnNACK(0, 101, want, wire.FlagWantVerify)
+	var woken []core.Emit
+	for f := 1; f <= 4; f++ {
+		woken = append(woken, h.send(time.Millisecond, core.FlowID(f), 1, core.NodeID(100+f))...)
+	}
+	if countType(t, woken, wire.TypeVerify) != 1 {
+		t.Fatal("no probe at parity arrival")
+	}
+	resp := wire.Header{Type: wire.TypeVerifyResp, Flow: want.Flow, Seq: want.Seq, Src: 101, Dst: dc2}
+	if out := h.rec.OnVerifyResp(2*time.Millisecond, &resp); len(out) != 0 {
+		t.Fatal("spurious NACK still triggered recovery")
+	}
+	// The pending entry is gone: nothing left to resurrect.
+	if _, dl := h.rec.NextDeadline(); !dl {
+		t.Log("no pending state left (expected)")
+	}
+}
+
+func TestHardEvidenceNACKRecoversWithoutProbe(t *testing.T) {
+	// Gap/pump NACKs carry no WantVerify flag: parity arrival recovers
+	// immediately, no probe round trip.
+	h := newHarness(t, crossOnlyConfig())
+	want := core.PacketID{Flow: 1, Seq: 1}
+	h.rec.OnNACK(0, 101, want, 0)
+	var woken []core.Emit
+	for f := 1; f <= 4; f++ {
+		woken = append(woken, h.send(time.Millisecond, core.FlowID(f), 1, core.NodeID(100+f))...)
+	}
+	if countType(t, woken, wire.TypeVerify) != 0 {
+		t.Fatal("hard-evidence NACK was probed")
+	}
+	if countType(t, woken, wire.TypeCoopReq) == 0 {
+		t.Fatal("parked NACK not woken by parity arrival")
+	}
+	final := h.respondCoop(2*time.Millisecond, woken)
+	if got := findRecovered(t, final); !bytes.Equal(got[want], h.payloads[want]) {
+		t.Fatal("late recovery failed")
+	}
+}
+
+func TestPendingNACKExpires(t *testing.T) {
+	cfg := DefaultRecovererConfig()
+	cfg.PendingTTL = 100 * time.Millisecond
+	rec := NewRecoverer(dc2, cfg)
+	rec.OnNACK(0, 101, core.PacketID{Flow: 1, Seq: 1}, 0)
+	rec.OnTimer(200 * time.Millisecond)
+	st := rec.Stats()
+	if st.PendingExpired != 1 || st.Unrecoverable != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestBatchTTLExpiry(t *testing.T) {
+	h := newHarness(t, crossOnlyConfig())
+	for f := 1; f <= 4; f++ {
+		h.send(0, core.FlowID(f), 1, core.NodeID(100+f))
+	}
+	if h.rec.Batches() != 1 {
+		t.Fatal("no batch stored")
+	}
+	h.rec.OnTimer(DefaultRecovererConfig().BatchTTL + time.Second)
+	if h.rec.Batches() != 0 {
+		t.Error("batch survived TTL")
+	}
+	// NACK after expiry parks (nothing covers it).
+	emits := h.rec.OnNACK(3*time.Second, 101, core.PacketID{Flow: 1, Seq: 1}, 0)
+	if countType(t, emits, wire.TypeCoopReq) != 0 {
+		t.Error("recovery from expired batch")
+	}
+}
+
+func TestDuplicateAndAlienCoopRespIgnored(t *testing.T) {
+	h := newHarness(t, crossOnlyConfig())
+	for f := 1; f <= 4; f++ {
+		h.send(0, core.FlowID(f), 1, core.NodeID(100+f))
+	}
+	want := core.PacketID{Flow: 1, Seq: 1}
+	reqs := h.rec.OnNACK(time.Millisecond, 101, want, 0)
+	// Build one legitimate response, deliver it twice, plus one naming a
+	// packet outside the batch.
+	var hdr wire.Header
+	if _, err := wire.SplitMessage(&hdr, reqs[0].Msg); err != nil {
+		t.Fatal(err)
+	}
+	ref := wire.CoopRef{Batch: 1, Want: want}
+	respHdr := wire.Header{Type: wire.TypeCoopResp, Flow: hdr.Flow, Seq: hdr.Seq, Src: 102, Dst: dc2}
+	h.rec.OnCoopResp(2*time.Millisecond, &respHdr, &ref, h.payloads[hdr.ID()])
+	h.rec.OnCoopResp(2*time.Millisecond, &respHdr, &ref, h.payloads[hdr.ID()])
+	alienHdr := wire.Header{Type: wire.TypeCoopResp, Flow: 99, Seq: 99, Src: 102, Dst: dc2}
+	h.rec.OnCoopResp(2*time.Millisecond, &alienHdr, &ref, []byte("alien"))
+	if used := h.rec.Stats().CoopRespsUsed; used != 1 {
+		t.Errorf("responses used = %d, want 1", used)
+	}
+	// Response for an unknown recovery is ignored too.
+	ghostRef := wire.CoopRef{Batch: 42, Want: want}
+	if out := h.rec.OnCoopResp(2*time.Millisecond, &respHdr, &ghostRef, []byte("x")); out != nil {
+		t.Error("ghost recovery produced emits")
+	}
+}
+
+func TestDuplicateParityIgnored(t *testing.T) {
+	h := newHarness(t, crossOnlyConfig())
+	var coded []core.Emit
+	for f := 1; f <= 4; f++ {
+		for _, em := range h.enc.OnData(0, dc2, core.NodeID(100+f), core.FlowID(f), 1, payloadFor(f, 1)) {
+			coded = append(coded, em)
+			h.payloads[core.PacketID{Flow: core.FlowID(f), Seq: 1}] = payloadFor(f, 1)
+		}
+	}
+	if len(coded) != 2 {
+		t.Fatalf("coded = %d", len(coded))
+	}
+	h.deliverCoded(0, coded[0])
+	h.deliverCoded(0, coded[0]) // duplicate shard
+	h.deliverCoded(0, coded[1])
+	if st := h.rec.Stats(); st.CodedStored != 2 {
+		t.Errorf("stored = %d, want 2", st.CodedStored)
+	}
+}
+
+func TestSingleFlowBatchActsAsDuplication(t *testing.T) {
+	// A timer-flushed single-packet batch (k=1, r=2): parity alone must
+	// recover the packet, no helpers needed.
+	cfg := crossOnlyConfig()
+	h := newHarness(t, cfg)
+	h.send(0, 1, 1, 101)
+	var coded []core.Emit
+	for _, em := range h.enc.OnTimer(cfg.CrossTimeout) {
+		coded = append(coded, h.deliverCoded(cfg.CrossTimeout, em)...)
+	}
+	want := core.PacketID{Flow: 1, Seq: 1}
+	emits := h.rec.OnNACK(cfg.CrossTimeout+time.Millisecond, 101, want, 0)
+	got := findRecovered(t, emits)
+	if !bytes.Equal(got[want], h.payloads[want]) {
+		t.Fatalf("k=1 recovery failed: %v", got)
+	}
+	if countType(t, emits, wire.TypeCoopReq) != 0 {
+		t.Error("k=1 recovery asked for helpers")
+	}
+}
+
+func TestConcurrentRecoveriesSameBatch(t *testing.T) {
+	// Two receivers lose different packets of the same batch; both must
+	// recover independently.
+	h := newHarness(t, crossOnlyConfig())
+	for f := 1; f <= 4; f++ {
+		h.send(0, core.FlowID(f), 1, core.NodeID(100+f))
+	}
+	w1 := core.PacketID{Flow: 1, Seq: 1}
+	w2 := core.PacketID{Flow: 2, Seq: 1}
+	reqs1 := h.rec.OnNACK(time.Millisecond, 101, w1, 0)
+	reqs2 := h.rec.OnNACK(time.Millisecond, 102, w2, 0)
+	// A repeat NACK for an in-flight recovery must not duplicate requests.
+	if emits := h.rec.OnNACK(time.Millisecond, 101, w1, 0); countType(t, emits, wire.TypeCoopReq) != 0 {
+		t.Error("duplicate recovery started while in flight")
+	}
+	final1 := h.respondCoop(2*time.Millisecond, reqs1)
+	final2 := h.respondCoop(2*time.Millisecond, reqs2)
+	if got := findRecovered(t, final1); !bytes.Equal(got[w1], h.payloads[w1]) {
+		t.Error("first recovery failed")
+	}
+	if got := findRecovered(t, final2); !bytes.Equal(got[w2], h.payloads[w2]) {
+		t.Error("second recovery failed")
+	}
+	// Immediately after completion, a racing retry NACK is absorbed by
+	// the recently-recovered memory (no duplicate cooperative round)...
+	if emits := h.rec.OnNACK(3*time.Millisecond, 101, w1, 0); countType(t, emits, wire.TypeCoopReq) != 0 {
+		t.Error("racing retry NACK restarted a fresh recovery")
+	}
+	// ...but once that window passes, a fresh NACK may restart recovery
+	// (the recovered packet could itself be lost on the access path).
+	after := 3*time.Millisecond + DefaultRecovererConfig().RecoveryDeadline
+	if emits := h.rec.OnNACK(after, 101, w1, 0); countType(t, emits, wire.TypeCoopReq) == 0 {
+		t.Error("post-window NACK ignored")
+	}
+}
+
+func TestRecovererConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero TTL config did not panic")
+		}
+	}()
+	NewRecoverer(dc2, RecovererConfig{})
+}
+
+func TestRecovererStringer(t *testing.T) {
+	rec := NewRecoverer(dc2, DefaultRecovererConfig())
+	if s := rec.String(); !strings.Contains(s, "0 batches") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestNextDeadlineTracksState(t *testing.T) {
+	h := newHarness(t, crossOnlyConfig())
+	if _, ok := h.rec.NextDeadline(); ok {
+		t.Error("deadline on empty recoverer")
+	}
+	for f := 1; f <= 4; f++ {
+		h.send(0, core.FlowID(f), 1, core.NodeID(100+f))
+	}
+	dl, ok := h.rec.NextDeadline()
+	if !ok || dl != DefaultRecovererConfig().BatchTTL {
+		t.Errorf("deadline = %v %v", dl, ok)
+	}
+	h.rec.OnNACK(time.Millisecond, 101, core.PacketID{Flow: 1, Seq: 1}, 0)
+	dl, ok = h.rec.NextDeadline()
+	if !ok || dl != time.Millisecond+DefaultRecovererConfig().RecoveryDeadline {
+		t.Errorf("recovery deadline = %v", dl)
+	}
+}

@@ -1,0 +1,206 @@
+// Package dataset synthesizes the measurement datasets the paper collected
+// from RIPE Atlas and PlanetLab. Real probes are unavailable offline, so
+// each generator is calibrated to the quantiles the paper reports (see
+// DESIGN.md §1 for the substitution argument):
+//
+//   - Figure 7 feasibility paths: 6250 US-East→EU paths with one-way
+//     latencies for the direct Internet (y), inter-DC (x), and host↔DC (δ)
+//     segments. Calibrated so 55% of EU δ < 10 ms and 15% > 20 ms, with a
+//     heavy Internet tail.
+//   - Historical δ eras (Figure 7d): Ireland 2007 → Frankfurt 2014 →
+//     Stockholm 2018.
+//   - PlanetLab-like CR-WAN paths (Figure 8): 45 inter-continental paths
+//     with per-path loss processes mixing random, multi-packet, and outage
+//     episodes (loss rates up to 0.9%, 40% of paths above 0.1%, 45% of
+//     paths seeing 1–3 s outages).
+//
+// All generators are deterministic functions of their seed.
+package dataset
+
+import (
+	"math/rand"
+	"time"
+
+	"jqos/internal/core"
+)
+
+// Region labels the geographic areas used across the evaluation.
+type Region uint8
+
+// Regions in the deployment (§6.2.1: DCs in US, EU, Asia, and OC).
+const (
+	RegionUSEast Region = iota
+	RegionUSWest
+	RegionEU
+	RegionNorthEU
+	RegionAsia
+	RegionOceania
+)
+
+var regionNames = [...]string{"us-east", "us-west", "eu", "north-eu", "asia", "oceania"}
+
+// String implements fmt.Stringer.
+func (r Region) String() string {
+	if int(r) < len(regionNames) {
+		return regionNames[r]
+	}
+	return "region?"
+}
+
+// AllRegions lists every region.
+var AllRegions = []Region{RegionUSEast, RegionUSWest, RegionEU, RegionNorthEU, RegionAsia, RegionOceania}
+
+func ms(f float64) core.Time { return core.Time(f * float64(time.Millisecond)) }
+
+// FeasibilityPath is one Figure-7 measurement: one-way latencies of every
+// segment of a full overlay between a US-East sender and an EU receiver.
+// All values are one-way (the paper halves measured RTTs).
+type FeasibilityPath struct {
+	ID int
+	// DeltaS is sender → DC1 (δ_S).
+	DeltaS core.Time
+	// DeltaR is receiver → DC2 (δ_R).
+	DeltaR core.Time
+	// InterDC is DC1 → DC2 over the cloud WAN (x).
+	InterDC core.Time
+	// Direct is sender → receiver over the public Internet (y).
+	Direct core.Time
+	// DeltaRMedian is the median δ_R across all receivers — the
+	// cooperative-recovery helpers' typical distance (used in the coding
+	// delay formula y + 2δ_R + 2δ_median + Δ).
+	DeltaRMedian core.Time
+}
+
+// RTT returns the direct-path round trip (2y).
+func (p FeasibilityPath) RTT() core.Time { return 2 * p.Direct }
+
+// WaitDelta returns Δ: the extra wait when the cloud copy reaches DC2 after
+// the pull request could be served, i.e. max(0, (δS+x) − (y+δR)) (§6.1).
+func (p FeasibilityPath) WaitDelta() core.Time {
+	cloud := p.DeltaS + p.InterDC
+	direct := p.Direct + p.DeltaR
+	if cloud > direct {
+		return cloud - direct
+	}
+	return 0
+}
+
+// ForwardingDelay returns the end-to-end delivery latency over the full
+// overlay: x + δS + δR (Figure 2b).
+func (p FeasibilityPath) ForwardingDelay() core.Time {
+	return p.InterDC + p.DeltaS + p.DeltaR
+}
+
+// CachingDelay returns delivery latency when the packet is lost on the
+// Internet and pulled from the nearby DC: y + 2δR + Δ (Figure 2c).
+func (p FeasibilityPath) CachingDelay() core.Time {
+	return p.Direct + 2*p.DeltaR + p.WaitDelta()
+}
+
+// CodingDelay returns delivery latency under cooperative recovery:
+// y + 2δR + 2δ_median + Δ (Figure 2d, §6.1 methodology).
+func (p FeasibilityPath) CodingDelay() core.Time {
+	return p.Direct + 2*p.DeltaR + 2*p.DeltaRMedian + p.WaitDelta()
+}
+
+// sampleDeltaEU draws a receiver-to-DC one-way latency matching Figure 7c:
+// 55% below 10 ms, 30% in 10–20 ms, 15% above 20 ms with an exponential
+// tail.
+func sampleDeltaEU(r *rand.Rand) core.Time {
+	u := r.Float64()
+	switch {
+	case u < 0.55:
+		return ms(1.5 + r.Float64()*8.5) // 1.5–10 ms
+	case u < 0.85:
+		return ms(10 + r.Float64()*10) // 10–20 ms
+	default:
+		return ms(20 + r.ExpFloat64()*9) // 20+ ms tail
+	}
+}
+
+// sampleDeltaUS draws a PlanetLab-sender-to-DC latency: US hosts sit close
+// to US-East DCs (well peered academic networks).
+func sampleDeltaUS(r *rand.Rand) core.Time {
+	return ms(2 + r.ExpFloat64()*6)
+}
+
+// GenerateFeasibility synthesizes n Figure-7 paths (the paper used 6250).
+func GenerateFeasibility(seed int64, n int) []FeasibilityPath {
+	r := rand.New(rand.NewSource(seed))
+	paths := make([]FeasibilityPath, n)
+	deltaRs := make([]float64, n)
+	for i := range paths {
+		deltaR := sampleDeltaEU(r)
+		deltaRs[i] = float64(deltaR)
+		// Transatlantic one-way: cloud WAN is tight around 38–44 ms;
+		// the public Internet rides a similar geodesic (40–55 ms) but
+		// with a heavy tail — ~8% of paths are persistently inflated
+		// (the "consistently poor paths" VIA reroutes).
+		interDC := ms(38 + r.Float64()*6)
+		direct := ms(40 + r.Float64()*12)
+		if r.Float64() < 0.05 {
+			direct += ms(25 + r.ExpFloat64()*45)
+		}
+		paths[i] = FeasibilityPath{
+			ID:      i,
+			DeltaS:  sampleDeltaUS(r),
+			DeltaR:  deltaR,
+			InterDC: interDC,
+			Direct:  direct,
+		}
+	}
+	// Median δR feeds the coding-delay formula.
+	med := medianTime(deltaRs)
+	for i := range paths {
+		paths[i].DeltaRMedian = med
+	}
+	return paths
+}
+
+func medianTime(vs []float64) core.Time {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vs...)
+	// insertion-free: use sort
+	sortFloat64s(s)
+	return core.Time(s[len(s)/2])
+}
+
+// Era is one generation of cloud presence for Figure 7d.
+type Era struct {
+	Name string
+	Year int
+	// Deltas holds each North-EU host's one-way latency to the era's
+	// nearest DC.
+	Deltas []core.Time
+}
+
+// GenerateEras synthesizes Figure 7d: the same North-EU host population
+// measured against the nearest DC available in each era. Newer DCs are
+// closer, so every host improves monotonically across eras.
+func GenerateEras(seed int64, hosts int) []Era {
+	r := rand.New(rand.NewSource(seed))
+	eras := []Era{
+		{Name: "Ireland (2007)", Year: 2007},
+		{Name: "Frankfurt (2014)", Year: 2014},
+		{Name: "Now", Year: 2018}, // Stockholm
+	}
+	for i := range eras {
+		eras[i].Deltas = make([]core.Time, hosts)
+	}
+	for h := 0; h < hosts; h++ {
+		// Host-specific access component (last mile, shared across eras).
+		access := 1 + r.ExpFloat64()*2.5
+		// Geographic component per era: Stockholm is in-region for
+		// North-EU hosts, Frankfurt one hop south, Ireland across the
+		// North Sea.
+		stockholm := access + 2 + r.Float64()*6
+		frankfurt := stockholm + 8 + r.Float64()*8
+		ireland := frankfurt + 8 + r.Float64()*12
+		eras[0].Deltas[h] = ms(ireland)
+		eras[1].Deltas[h] = ms(frankfurt)
+		eras[2].Deltas[h] = ms(stockholm)
+	}
+	return eras
+}

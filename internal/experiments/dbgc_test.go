@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"testing"
+
+	"jqos/internal/core"
+)
+
+func TestDebug9aComponents(t *testing.T) {
+	for _, sc := range []videoScenario{
+		{name: "Fwd", service: core.ServiceForwarding, outage: true},
+		{name: "CR-WAN", service: core.ServiceCoding, outage: true},
+	} {
+		out := runVideoScenarioDebug(2, sc, true, t)
+		_ = out
+	}
+}

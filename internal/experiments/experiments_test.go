@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"jqos/internal/tcpsim"
+)
+
+func tcpsimNoRecovery() tcpsim.Recovery { return tcpsim.NoRecovery{} }
+func tcpsimCRWAN() tcpsim.Recovery      { return tcpsim.DefaultCRWAN() }
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"10", "7a", "7b", "7c", "7d", "8a", "8b", "8c", "8d", "8e",
+		"9a", "9b", "cost", "k20", "mobile"}
+	got := All()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.ID != want[i] {
+			t.Errorf("registry[%d] = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	if _, err := Find("8a"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Find("nope"); err == nil {
+		t.Error("unknown experiment found")
+	}
+}
+
+// TestAllExperimentsQuick runs every experiment in quick mode and checks
+// structural health: non-empty figures with sane series and notes.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep still takes a few seconds")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run(Options{Seed: 7, Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Figures) == 0 {
+				t.Fatal("no figures")
+			}
+			for _, fig := range res.Figures {
+				if fig.ID == "" || fig.Title == "" {
+					t.Errorf("figure missing metadata: %+v", fig.ID)
+				}
+				if len(fig.Series) == 0 {
+					t.Error("figure has no series")
+				}
+				for _, s := range fig.Series {
+					if len(s.Points) == 0 {
+						t.Errorf("series %q empty", s.Name)
+					}
+				}
+				if len(fig.Notes) == 0 {
+					t.Error("figure has no headline notes")
+				}
+				var buf bytes.Buffer
+				if err := fig.WriteCSV(&buf); err != nil {
+					t.Errorf("CSV: %v", err)
+				}
+				if out := fig.ASCII(60, 12); !strings.Contains(out, fig.ID) {
+					t.Errorf("ASCII render broken for %s", fig.ID)
+				}
+			}
+		})
+	}
+}
+
+func TestFig7aShape(t *testing.T) {
+	res, err := runFig7a(Options{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := res.Figures[0]
+	series := map[string]int{}
+	for i, s := range fig.Series {
+		series[s.Name] = i
+	}
+	cache := fig.Series[series["Cache"]]
+	coding := fig.Series[series["Coding"]]
+	internet := fig.Series[series["Internet"]]
+	// Paper headline: 95% of paths ≤150 ms for cache and coding.
+	if x := cache.XAtY(0.95); x > 160 {
+		t.Errorf("cache p95 = %.0f ms", x)
+	}
+	if x := coding.XAtY(0.95); x > 175 {
+		t.Errorf("coding p95 = %.0f ms", x)
+	}
+	// Internet has a heavier tail than forwarding.
+	fwd := fig.Series[series["Fwd"]]
+	if internet.XAtY(0.99) <= fwd.XAtY(0.99) {
+		t.Error("internet tail not heavier than forwarding")
+	}
+}
+
+func TestFig7bShape(t *testing.T) {
+	res, err := runFig7b(Options{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := res.Figures[0]
+	caching, coding := fig.Series[0], fig.Series[1]
+	// Caching recovers strictly faster than coding; both mostly ≤0.5 RTT.
+	if caching.YAt(0.25) <= coding.YAt(0.25) {
+		t.Error("caching not faster than coding at 0.25 RTT")
+	}
+	if y := caching.YAt(0.5); y < 0.85 {
+		t.Errorf("caching within 0.5 RTT = %.2f", y)
+	}
+}
+
+func TestFig8aHeadline(t *testing.T) {
+	outs := runFig8Deployment(3, fig8Defaults(true))
+	lost, rec := 0, 0
+	for _, po := range outs {
+		lost += po.directLost
+		rec += po.recoveredInT
+	}
+	if lost == 0 {
+		t.Fatal("no losses simulated")
+	}
+	// Quick mode rarely samples outages, so recovery is near-complete
+	// minus shared-fate access losses; anything below 60% means the
+	// recovery machinery regressed.
+	if rate := float64(rec) / float64(lost); rate < 0.6 {
+		t.Errorf("recovery rate = %.2f (%d/%d)", rate, rec, lost)
+	}
+}
+
+func TestFig9aOrdering(t *testing.T) {
+	res, err := runFig9a(Options{Seed: 2, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := res.Figures[0]
+	// Compare the mass of bad frames (PSNR ≤ 30 dB): the outage freezes
+	// a block of frames on the Internet curve, while forwarding and
+	// CR-WAN ride it out.
+	bad := map[string]float64{}
+	for _, s := range fig.Series {
+		bad[s.Name] = s.YAt(30)
+	}
+	if bad["Internet"] < 0.08 {
+		t.Errorf("Internet bad-frame mass %.2f — outage invisible", bad["Internet"])
+	}
+	if bad["Fwd"] > bad["Internet"]/3 {
+		t.Errorf("Fwd bad-frame mass %.2f vs Internet %.2f", bad["Fwd"], bad["Internet"])
+	}
+	// Quick mode's short outage keeps more boundary noise; demand a
+	// clear improvement rather than the full-scale near-elimination.
+	if bad["CR-WAN"] > bad["Internet"]*0.7 {
+		t.Errorf("CR-WAN bad-frame mass %.2f vs Internet %.2f", bad["CR-WAN"], bad["Internet"])
+	}
+}
+
+func TestFig9bTailReduction(t *testing.T) {
+	internet := runTCPBatch(5, 400, tcpsimNoRecovery())
+	crwan := runTCPBatch(5, 400, tcpsimCRWAN())
+	if crwan.Quantile(0.995) >= internet.Quantile(0.995) {
+		t.Errorf("no tail reduction: internet p99.5 %.2fs vs crwan %.2fs",
+			internet.Quantile(0.995), crwan.Quantile(0.995))
+	}
+}
+
+func TestCostHeadline(t *testing.T) {
+	res, err := runCost(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(res.Figures[0].Notes, "\n")
+	if !strings.Contains(joined, "16x") {
+		t.Errorf("cost ratio missing from notes:\n%s", joined)
+	}
+}
+
+func TestK20Recovery(t *testing.T) {
+	res, err := runK20(Options{Seed: 4, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	notes := strings.Join(res.Figures[0].Notes, "\n")
+	if !strings.Contains(notes, "recovered") {
+		t.Errorf("k20 notes: %s", notes)
+	}
+	// Recovery percentage lives in the single bar point.
+	rate := res.Figures[0].Series[0].Points[0].Y
+	if rate < 85 {
+		t.Errorf("k=20 recovery = %.0f%%, want >85%%", rate)
+	}
+}

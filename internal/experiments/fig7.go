@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"jqos/internal/dataset"
+	"jqos/internal/stats"
+)
+
+func init() {
+	register(Experiment{ID: "7a", Title: "End-to-end packet delivery latency by service (CDF)", Run: runFig7a})
+	register(Experiment{ID: "7b", Title: "Recovery delay as a fraction of RTT (CDF)", Run: runFig7b})
+	register(Experiment{ID: "7c", Title: "End host to DC latency δ, EU receivers (CDF)", Run: runFig7c})
+	register(Experiment{ID: "7d", Title: "North-EU latency to nearest DC across eras (CDF)", Run: runFig7d})
+}
+
+func feasibilityPaths(o Options) []dataset.FeasibilityPath {
+	n := 6250 // paper's path count
+	if o.Quick {
+		n = 500
+	}
+	return dataset.GenerateFeasibility(o.Seed, n)
+}
+
+// runFig7a computes the §6.1 feasibility CDFs: Internet y, forwarding
+// x+δS+δR, caching y+2δR+Δ, coding y+2δR+2δmed+Δ.
+func runFig7a(o Options) (Result, error) {
+	paths := feasibilityPaths(o)
+	var internet, fwd, cch, cod stats.Sample
+	for _, p := range paths {
+		internet.Add(msOf(float64(p.Direct)))
+		fwd.Add(msOf(float64(p.ForwardingDelay())))
+		cch.Add(msOf(float64(p.CachingDelay())))
+		cod.Add(msOf(float64(p.CodingDelay())))
+	}
+	fig := stats.Figure{
+		ID:     "fig7a",
+		Title:  "End-to-end delivery latency by service",
+		XLabel: "source to destination delay (ms)",
+		YLabel: "CDF",
+	}
+	fig.AddSeries(internet.CDF("Internet"))
+	fig.AddSeries(fwd.CDF("Fwd"))
+	fig.AddSeries(cch.CDF("Cache"))
+	fig.AddSeries(cod.CDF("Coding"))
+	fig.AddNote("paper: coding/caching deliver within 150 ms for 95%% of paths")
+	fig.AddNote("measured: caching p95 = %.0f ms, coding p95 = %.0f ms",
+		cch.Quantile(0.95), cod.Quantile(0.95))
+	fig.AddNote("measured: internet p99 = %.0f ms vs forwarding p99 = %.0f ms (tail cut)",
+		internet.Quantile(0.99), fwd.Quantile(0.99))
+	return Result{Figures: []stats.Figure{fig}}, nil
+}
+
+// runFig7b compares on-demand recovery delay (pull = 2δR for caching,
+// 2δR+2δmed for coding) against the path RTT.
+func runFig7b(o Options) (Result, error) {
+	paths := feasibilityPaths(o)
+	var cch, cod stats.Sample
+	for _, p := range paths {
+		rtt := float64(p.RTT())
+		cch.Add(float64(2*p.DeltaR+p.WaitDelta()) / rtt)
+		cod.Add(float64(2*p.DeltaR+2*p.DeltaRMedian+p.WaitDelta()) / rtt)
+	}
+	fig := stats.Figure{
+		ID:     "fig7b",
+		Title:  "Recovery delay / RTT",
+		XLabel: "recovery delay / RTT",
+		YLabel: "CDF",
+	}
+	fig.AddSeries(cch.CDF("Caching"))
+	fig.AddSeries(cod.CDF("Coding"))
+	fig.AddNote("paper: 95%% of recoveries within 0.5×RTT; caching ~70%% within 0.25×RTT, coding ~10%%")
+	fig.AddNote("measured: caching ≤0.25×RTT for %.0f%%, coding ≤0.25×RTT for %.0f%%",
+		100*cch.FractionBelow(0.25), 100*cod.FractionBelow(0.25))
+	fig.AddNote("measured: within 0.5×RTT — caching %.0f%%, coding %.0f%%",
+		100*cch.FractionBelow(0.5), 100*cod.FractionBelow(0.5))
+	return Result{Figures: []stats.Figure{fig}}, nil
+}
+
+// runFig7c plots the δ distribution for EU receivers.
+func runFig7c(o Options) (Result, error) {
+	paths := feasibilityPaths(o)
+	var delta stats.Sample
+	for _, p := range paths {
+		delta.Add(msOf(float64(p.DeltaR)))
+	}
+	fig := stats.Figure{
+		ID:     "fig7c",
+		Title:  "End host to DC latency (EU)",
+		XLabel: "δ (ms)",
+		YLabel: "CDF",
+	}
+	fig.AddSeries(delta.CDF("Europe"))
+	fig.AddNote("paper: 55%% of paths below 10 ms, 15%% above 20 ms")
+	fig.AddNote("measured: %.0f%% below 10 ms, %.0f%% above 20 ms",
+		100*delta.FractionBelow(10), 100*(1-delta.FractionBelow(20)))
+	return Result{Figures: []stats.Figure{fig}}, nil
+}
+
+// runFig7d plots δ for North-EU hosts against each DC era.
+func runFig7d(o Options) (Result, error) {
+	hosts := 2000
+	if o.Quick {
+		hosts = 300
+	}
+	eras := dataset.GenerateEras(o.Seed, hosts)
+	fig := stats.Figure{
+		ID:     "fig7d",
+		Title:  "North EU latency to nearest DC over DC generations",
+		XLabel: "δ (ms)",
+		YLabel: "CDF",
+	}
+	var medians []float64
+	// Plot newest first to match the paper's legend order.
+	for i := len(eras) - 1; i >= 0; i-- {
+		var s stats.Sample
+		for _, d := range eras[i].Deltas {
+			s.Add(msOf(float64(d)))
+		}
+		fig.AddSeries(s.CDF(eras[i].Name))
+		medians = append(medians, s.Median())
+	}
+	fig.AddNote("paper: δ decreases with each nearer DC generation")
+	fig.AddNote("measured medians: Now %.0f ms, Frankfurt %.0f ms, Ireland %.0f ms",
+		medians[0], medians[1], medians[2])
+	return Result{Figures: []stats.Figure{fig}}, nil
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"time"
+
+	"jqos/internal/netem"
+	"jqos/internal/stats"
+	"jqos/internal/tcpsim"
+)
+
+func init() {
+	register(Experiment{ID: "9b", Title: "TCP case study: flow completion time tail", Run: runFig9b})
+}
+
+// runTCPBatch executes n request/response exchanges and returns FCTs (s).
+func runTCPBatch(seed int64, n int, shim tcpsim.Recovery) *stats.Sample {
+	out := stats.NewSample(n)
+	for i := 0; i < n; i++ {
+		sim := netem.NewSimulator(seed + int64(i)*7919)
+		cfg := tcpsim.DefaultConfig()
+		// The Google study's loss model on the data direction (the
+		// study measured server→client web-response loss; §6.4).
+		cfg.DataLoss = netem.NewGoogleBurst()
+		cfg.Shim = shim
+		var fct time.Duration
+		conn := tcpsim.New(sim, cfg, func(r tcpsim.Result) { fct = r.FCT })
+		conn.Start()
+		sim.Run()
+		out.Add(fct.Seconds())
+	}
+	return out
+}
+
+func runFig9b(o Options) (Result, error) {
+	n := 10000 // paper: 10 k requests per variant
+	if o.Quick {
+		n = 600
+	}
+	overlayExtra := 6 * time.Millisecond // overlay detour vs direct path
+
+	internet := runTCPBatch(o.Seed, n, tcpsim.NoRecovery{})
+	crwan := runTCPBatch(o.Seed, n, tcpsim.DefaultCRWAN())
+	synack := runTCPBatch(o.Seed, n, tcpsim.SelectiveDup{
+		Kinds: map[tcpsim.SegmentKind]bool{tcpsim.KindSYNACK: true},
+		Extra: overlayExtra,
+	})
+	fullDup := runTCPBatch(o.Seed, n, tcpsim.SelectiveDup{
+		Kinds: map[tcpsim.SegmentKind]bool{
+			tcpsim.KindSYN: true, tcpsim.KindSYNACK: true, tcpsim.KindRequest: true,
+			tcpsim.KindData: true, tcpsim.KindACK: true,
+		},
+		Extra: overlayExtra,
+	})
+
+	fig := stats.Figure{
+		ID:     "fig9b",
+		Title:  "TCP flow completion time (tail, y ≥ 0.90)",
+		XLabel: "flow completion time (s)",
+		YLabel: "CDF",
+	}
+	// The paper plots only the tail; emit full CDFs (CSV consumers can
+	// zoom) but report tail headlines.
+	fig.AddSeries(internet.CDF("Internet"))
+	fig.AddSeries(crwan.CDF("CR-WAN"))
+	fig.AddNote("paper: Internet tail stretches to ~9 s; J-QoS removes it by hiding losses from TCP")
+	fig.AddNote("measured: p99.5 Internet %.2f s vs CR-WAN %.2f s; max %.2f s vs %.2f s",
+		internet.Quantile(0.995), crwan.Quantile(0.995), internet.Max(), crwan.Max())
+
+	// Selective-duplication ablation (§6.4): tail latency reduction at
+	// the paper's tail point.
+	tail := func(s *stats.Sample) float64 { return s.Quantile(0.995) }
+	base := tail(internet)
+	redSYN := 100 * (base - tail(synack)) / base
+	redFull := 100 * (base - tail(fullDup)) / base
+	fig.AddNote("paper: duplicating only SYN-ACKs cuts the tail ~33%%; full duplication ~83%%")
+	fig.AddNote("measured tail reduction at p99.5: SYN-ACK-only %.0f%%, full duplication %.0f%%",
+		redSYN, redFull)
+	return Result{Figures: []stats.Figure{fig}}, nil
+}

@@ -1,0 +1,115 @@
+// Package forward implements the J-QoS forwarding service (§3.1): next-hop
+// routing over the small cloud overlay, unicast and multicast fan-out, and
+// the duplication helpers behind multipath and partial-overlay use cases
+// (Figure 3). Route decisions are centrally computed and pushed to each DC,
+// matching the paper's "simple, centralized" model.
+package forward
+
+import (
+	"fmt"
+	"sort"
+
+	"jqos/internal/core"
+)
+
+// Stats counts forwarding activity.
+type Stats struct {
+	Unicast   uint64 // packets forwarded to a single next hop
+	Multicast uint64 // packets fanned out to a group
+	Copies    uint64 // total copies emitted
+	NoRoute   uint64 // packets dropped for lack of a route
+}
+
+// Forwarder is the forwarding state of one DC node.
+type Forwarder struct {
+	self core.NodeID
+	// routes maps a destination to the next hop toward it. Destinations
+	// without an entry are delivered directly (the overlay is small and
+	// every DC can reach every endpoint it serves).
+	routes map[core.NodeID]core.NodeID
+	// groups maps a multicast group ID to its member endpoints.
+	groups map[core.NodeID][]core.NodeID
+	stats  Stats
+}
+
+// New creates a forwarder for the DC with identity self.
+func New(self core.NodeID) *Forwarder {
+	return &Forwarder{
+		self:   self,
+		routes: make(map[core.NodeID]core.NodeID),
+		groups: make(map[core.NodeID][]core.NodeID),
+	}
+}
+
+// Self returns the forwarder's node identity.
+func (f *Forwarder) Self() core.NodeID { return f.self }
+
+// Stats returns a copy of the counters.
+func (f *Forwarder) Stats() Stats { return f.stats }
+
+// SetRoute installs next hop via for destination dst. via == dst means
+// direct delivery.
+func (f *Forwarder) SetRoute(dst, via core.NodeID) { f.routes[dst] = via }
+
+// DeleteRoute removes the route for dst.
+func (f *Forwarder) DeleteRoute(dst core.NodeID) { delete(f.routes, dst) }
+
+// SetGroup installs (or replaces) a multicast group. Members are stored
+// sorted so fan-out order is deterministic.
+func (f *Forwarder) SetGroup(group core.NodeID, members ...core.NodeID) {
+	ms := append([]core.NodeID(nil), members...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	f.groups[group] = ms
+}
+
+// Group returns the members of a group (nil if unknown).
+func (f *Forwarder) Group(group core.NodeID) []core.NodeID { return f.groups[group] }
+
+// IsGroup reports whether dst names a multicast group on this DC.
+func (f *Forwarder) IsGroup(dst core.NodeID) bool {
+	_, ok := f.groups[dst]
+	return ok
+}
+
+// NextHops resolves a destination into the set of nodes this DC should
+// copy the packet to: the group members for a multicast destination, or the
+// single next hop (defaulting to the destination itself) for unicast.
+func (f *Forwarder) NextHops(dst core.NodeID) []core.NodeID {
+	if members, ok := f.groups[dst]; ok {
+		return members
+	}
+	if via, ok := f.routes[dst]; ok {
+		return []core.NodeID{via}
+	}
+	return []core.NodeID{dst}
+}
+
+// Forward produces the Emits that relay one message toward dst. The
+// message bytes are shared across copies (links never mutate payloads).
+// Self-loops are dropped defensively: a route pointing back at this DC
+// would otherwise ping-pong forever.
+func (f *Forwarder) Forward(dst core.NodeID, msg []byte) []core.Emit {
+	hops := f.NextHops(dst)
+	out := make([]core.Emit, 0, len(hops))
+	for _, h := range hops {
+		if h == f.self {
+			continue
+		}
+		out = append(out, core.Emit{To: h, Msg: msg})
+	}
+	switch {
+	case len(out) == 0:
+		f.stats.NoRoute++
+	case f.IsGroup(dst):
+		f.stats.Multicast++
+	default:
+		f.stats.Unicast++
+	}
+	f.stats.Copies += uint64(len(out))
+	return out
+}
+
+// String implements fmt.Stringer for debugging.
+func (f *Forwarder) String() string {
+	return fmt.Sprintf("forwarder(%v: %d routes, %d groups)", f.self, len(f.routes), len(f.groups))
+}

@@ -1,0 +1,118 @@
+package forward
+
+import (
+	"strings"
+	"testing"
+
+	"jqos/internal/core"
+)
+
+func TestUnicastDefaultsToDirect(t *testing.T) {
+	f := New(1)
+	if f.Self() != 1 {
+		t.Error("Self")
+	}
+	emits := f.Forward(9, []byte("m"))
+	if len(emits) != 1 || emits[0].To != 9 {
+		t.Fatalf("emits = %+v", emits)
+	}
+	st := f.Stats()
+	if st.Unicast != 1 || st.Copies != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestExplicitRoute(t *testing.T) {
+	f := New(1)
+	f.SetRoute(9, 2) // via DC 2
+	emits := f.Forward(9, nil)
+	if len(emits) != 1 || emits[0].To != 2 {
+		t.Fatalf("emits = %+v", emits)
+	}
+	f.DeleteRoute(9)
+	if emits := f.Forward(9, nil); emits[0].To != 9 {
+		t.Error("route not deleted")
+	}
+}
+
+func TestMulticastFanOut(t *testing.T) {
+	f := New(1)
+	f.SetGroup(100, 30, 10, 20)
+	if !f.IsGroup(100) || f.IsGroup(99) {
+		t.Error("IsGroup")
+	}
+	if g := f.Group(100); len(g) != 3 || g[0] != 10 || g[2] != 30 {
+		t.Errorf("group not sorted: %v", g)
+	}
+	msg := []byte("frame")
+	emits := f.Forward(100, msg)
+	if len(emits) != 3 {
+		t.Fatalf("fan-out = %d", len(emits))
+	}
+	for i, want := range []core.NodeID{10, 20, 30} {
+		if emits[i].To != want {
+			t.Errorf("emit %d to %v", i, emits[i].To)
+		}
+		if &emits[i].Msg[0] != &msg[0] {
+			t.Error("multicast should share message bytes")
+		}
+	}
+	st := f.Stats()
+	if st.Multicast != 1 || st.Copies != 3 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestSelfLoopSuppressed(t *testing.T) {
+	f := New(1)
+	f.SetRoute(9, 1) // misconfigured: route points at self
+	emits := f.Forward(9, nil)
+	if len(emits) != 0 {
+		t.Fatalf("self-loop emitted: %+v", emits)
+	}
+	if f.Stats().NoRoute != 1 {
+		t.Errorf("NoRoute = %d", f.Stats().NoRoute)
+	}
+}
+
+func TestGroupWithSelfMember(t *testing.T) {
+	f := New(1)
+	f.SetGroup(100, 1, 2) // group includes this DC
+	emits := f.Forward(100, nil)
+	if len(emits) != 1 || emits[0].To != 2 {
+		t.Errorf("emits = %+v", emits)
+	}
+}
+
+func TestNextHops(t *testing.T) {
+	f := New(1)
+	f.SetGroup(100, 5, 6)
+	f.SetRoute(7, 2)
+	if h := f.NextHops(100); len(h) != 2 {
+		t.Errorf("group hops: %v", h)
+	}
+	if h := f.NextHops(7); len(h) != 1 || h[0] != 2 {
+		t.Errorf("routed hops: %v", h)
+	}
+	if h := f.NextHops(42); len(h) != 1 || h[0] != 42 {
+		t.Errorf("default hops: %v", h)
+	}
+}
+
+func TestSetGroupReplaces(t *testing.T) {
+	f := New(1)
+	f.SetGroup(100, 5, 6)
+	f.SetGroup(100, 7)
+	if g := f.Group(100); len(g) != 1 || g[0] != 7 {
+		t.Errorf("group after replace: %v", g)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	f := New(3)
+	f.SetRoute(9, 2)
+	f.SetGroup(100, 5)
+	if s := f.String(); !strings.Contains(s, "1 routes") || !strings.Contains(s, "1 groups") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,101 @@
+package netem
+
+import (
+	"math/rand"
+
+	"jqos/internal/core"
+)
+
+// LinkStats counts what a link did to traffic, for experiment accounting.
+type LinkStats struct {
+	Sent      uint64 // packets offered to the link
+	Delivered uint64 // packets that arrived
+	Lost      uint64 // packets dropped by the loss process
+	TailDrop  uint64 // packets dropped by queue overflow
+	Bytes     uint64 // bytes delivered
+}
+
+// LossRate returns the fraction of offered packets that did not arrive.
+func (s LinkStats) LossRate() float64 {
+	if s.Sent == 0 {
+		return 0
+	}
+	return float64(s.Sent-s.Delivered) / float64(s.Sent)
+}
+
+// Link is a unidirectional emulated path: FIFO serialization at Rate
+// bytes/sec (0 = infinite), a bounded queue, a propagation DelayModel, and
+// a LossModel. Loss is evaluated at enqueue time (ingress drop), which is
+// how both tail loss and path outages manifest to endpoints.
+type Link struct {
+	sim   *Simulator
+	rng   *rand.Rand
+	delay DelayModel
+	loss  LossModel
+
+	// Rate is the serialization rate in bytes/second. Zero disables
+	// bandwidth emulation.
+	Rate int64
+	// MaxQueue bounds queueing delay; packets that would wait longer are
+	// tail-dropped. Zero means an unbounded queue.
+	MaxQueue core.Time
+
+	busyUntil core.Time
+	stats     LinkStats
+}
+
+// NewLink builds a link on sim with the given models. A nil delay means
+// zero propagation; a nil loss means lossless.
+func NewLink(sim *Simulator, delay DelayModel, loss LossModel) *Link {
+	if delay == nil {
+		delay = FixedDelay(0)
+	}
+	if loss == nil {
+		loss = NoLoss{}
+	}
+	return &Link{sim: sim, rng: sim.Fork(), delay: delay, loss: loss}
+}
+
+// Stats returns a copy of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// SetLoss swaps the loss process (used by tests and scenario scripts to
+// inject outages mid-run).
+func (l *Link) SetLoss(m LossModel) {
+	if m == nil {
+		m = NoLoss{}
+	}
+	l.loss = m
+}
+
+// Send offers a packet of size bytes to the link. If the packet survives
+// loss and queueing, deliver runs at its arrival time. Send reports whether
+// the packet was accepted (false = dropped); the result is for accounting
+// only — callers must not branch protocol behaviour on it, since a real
+// sender cannot observe drops.
+func (l *Link) Send(size int, deliver func(arrived core.Time)) bool {
+	now := l.sim.Now()
+	l.stats.Sent++
+	if l.loss.Lose(now, l.rng) {
+		l.stats.Lost++
+		return false
+	}
+	depart := now
+	if l.Rate > 0 {
+		if l.busyUntil > depart {
+			depart = l.busyUntil
+		}
+		if l.MaxQueue > 0 && depart-now > l.MaxQueue {
+			l.stats.TailDrop++
+			return false
+		}
+		tx := core.Time(float64(size) / float64(l.Rate) * 1e9)
+		depart += tx
+		l.busyUntil = depart
+	}
+	arrive := depart + l.delay.Delay(now, l.rng)
+	l.stats.Delivered++
+	l.stats.Bytes += uint64(size)
+	l.sim.At(arrive, func() { deliver(arrive) })
+	return true
+}

@@ -1,0 +1,179 @@
+package netem
+
+import (
+	"math/rand"
+	"sort"
+
+	"jqos/internal/core"
+)
+
+// LossModel decides, per packet, whether a link drops it. Implementations
+// may keep state (burst models are Markovian), so a LossModel instance must
+// not be shared between links.
+type LossModel interface {
+	// Lose reports whether the packet observed at virtual time now is
+	// dropped.
+	Lose(now core.Time, r *rand.Rand) bool
+}
+
+// NoLoss is the zero loss process.
+type NoLoss struct{}
+
+// Lose implements LossModel.
+func (NoLoss) Lose(core.Time, *rand.Rand) bool { return false }
+
+// Bernoulli drops each packet independently with probability P — the
+// "random loss" class of Figure 8(b).
+type Bernoulli struct {
+	P float64
+}
+
+// Lose implements LossModel.
+func (b Bernoulli) Lose(_ core.Time, r *rand.Rand) bool { return r.Float64() < b.P }
+
+// GoogleBurst is the loss model from the Google web-latency study the paper
+// adopts for its TCP experiment (§6.4): the first packet of a burst is lost
+// with probability PFirst, and once losing, each subsequent packet is lost
+// with probability PNext. Produces multi-packet episodes.
+type GoogleBurst struct {
+	PFirst float64 // paper: 0.01
+	PNext  float64 // paper: 0.5
+	inLoss bool
+}
+
+// NewGoogleBurst returns the model with the paper's parameters.
+func NewGoogleBurst() *GoogleBurst { return &GoogleBurst{PFirst: 0.01, PNext: 0.5} }
+
+// Lose implements LossModel.
+func (g *GoogleBurst) Lose(_ core.Time, r *rand.Rand) bool {
+	p := g.PFirst
+	if g.inLoss {
+		p = g.PNext
+	}
+	g.inLoss = r.Float64() < p
+	return g.inLoss
+}
+
+// GilbertElliott is the classic two-state burst-loss channel: a Good state
+// with loss LossG and a Bad state with loss LossB, with per-packet
+// transition probabilities between them. Used to synthesize the
+// multi-packet episode class on PlanetLab-like paths.
+type GilbertElliott struct {
+	PGoodToBad float64
+	PBadToGood float64
+	LossGood   float64
+	LossBad    float64
+	bad        bool
+}
+
+// Lose implements LossModel.
+func (g *GilbertElliott) Lose(_ core.Time, r *rand.Rand) bool {
+	if g.bad {
+		if r.Float64() < g.PBadToGood {
+			g.bad = false
+		}
+	} else if r.Float64() < g.PGoodToBad {
+		g.bad = true
+	}
+	p := g.LossGood
+	if g.bad {
+		p = g.LossBad
+	}
+	return r.Float64() < p
+}
+
+// Window is a half-open interval of virtual time [From, To).
+type Window struct {
+	From, To core.Time
+}
+
+// Contains reports whether t falls in the window.
+func (w Window) Contains(t core.Time) bool { return t >= w.From && t < w.To }
+
+// OutageSchedule drops every packet inside its windows — the "outage"
+// episode class (paper: 45% of paths see 1–3 s outages; the Skype case
+// study uses a 30 s outage). Windows must be sorted and non-overlapping.
+type OutageSchedule struct {
+	Windows []Window
+}
+
+// AddOutage appends a window starting at from with the given duration.
+func (o *OutageSchedule) AddOutage(from core.Time, dur core.Time) {
+	o.Windows = append(o.Windows, Window{From: from, To: from + dur})
+	sort.Slice(o.Windows, func(i, j int) bool { return o.Windows[i].From < o.Windows[j].From })
+}
+
+// Lose implements LossModel.
+func (o *OutageSchedule) Lose(now core.Time, _ *rand.Rand) bool {
+	// Binary search for the first window ending after now.
+	i := sort.Search(len(o.Windows), func(i int) bool { return o.Windows[i].To > now })
+	return i < len(o.Windows) && o.Windows[i].Contains(now)
+}
+
+// RandomOutages generates an OutageSchedule with outages arriving as a
+// Poisson process of the given rate (events per simulated second) over
+// [0, horizon), each lasting between minDur and maxDur (uniform).
+func RandomOutages(r *rand.Rand, horizon core.Time, perSecond float64, minDur, maxDur core.Time) *OutageSchedule {
+	o := &OutageSchedule{}
+	if perSecond <= 0 {
+		return o
+	}
+	t := core.Time(0)
+	for {
+		gapSec := r.ExpFloat64() / perSecond
+		t += core.Time(gapSec * 1e9)
+		if t >= horizon {
+			return o
+		}
+		dur := minDur
+		if maxDur > minDur {
+			dur += core.Time(r.Int63n(int64(maxDur - minDur)))
+		}
+		o.AddOutage(t, dur)
+	}
+}
+
+// Composite loses a packet if any component model loses it. All components
+// observe every packet, so stateful components advance consistently.
+type Composite []LossModel
+
+// Lose implements LossModel.
+func (c Composite) Lose(now core.Time, r *rand.Rand) bool {
+	lost := false
+	for _, m := range c {
+		if m.Lose(now, r) {
+			lost = true
+		}
+	}
+	return lost
+}
+
+// SharedFate makes one loss decision per virtual timestamp and replays it
+// to every link that asks at that same instant. It models a shared first
+// mile: when a sender emits the direct copy and the cloud copy of a packet
+// in the same event, an access-link drop kills both (the paper's finding
+// that unrecoverable losses concentrate on source access paths).
+//
+// The cache holds a single timestamp, so all queries for one packet must
+// happen before the next packet is offered — true for J-QoS senders, which
+// fan out all copies synchronously.
+type SharedFate struct {
+	Model    LossModel
+	lastTime core.Time
+	lastLose bool
+	primed   bool
+}
+
+// NewSharedFate wraps a model for shared-fate evaluation.
+func NewSharedFate(m LossModel) *SharedFate { return &SharedFate{Model: m} }
+
+// Lose implements LossModel.
+func (s *SharedFate) Lose(now core.Time, r *rand.Rand) bool {
+	if s.primed && now == s.lastTime {
+		return s.lastLose
+	}
+	s.primed = true
+	s.lastTime = now
+	s.lastLose = s.Model.Lose(now, r)
+	return s.lastLose
+}

@@ -1,0 +1,498 @@
+package netem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"jqos/internal/core"
+)
+
+func TestSimulatorOrdering(t *testing.T) {
+	sim := NewSimulator(1)
+	var order []int
+	sim.At(30*time.Millisecond, func() { order = append(order, 3) })
+	sim.At(10*time.Millisecond, func() { order = append(order, 1) })
+	sim.At(20*time.Millisecond, func() { order = append(order, 2) })
+	sim.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if sim.Now() != 30*time.Millisecond {
+		t.Errorf("Now = %v", sim.Now())
+	}
+	if sim.Steps() != 3 {
+		t.Errorf("Steps = %d", sim.Steps())
+	}
+}
+
+func TestSimulatorFIFOWithinTimestamp(t *testing.T) {
+	sim := NewSimulator(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		sim.At(5*time.Millisecond, func() { order = append(order, i) })
+	}
+	sim.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", order)
+		}
+	}
+}
+
+func TestSimulatorNestedScheduling(t *testing.T) {
+	sim := NewSimulator(1)
+	var fired []core.Time
+	sim.After(time.Millisecond, func() {
+		fired = append(fired, sim.Now())
+		sim.After(2*time.Millisecond, func() {
+			fired = append(fired, sim.Now())
+		})
+	})
+	sim.Run()
+	if len(fired) != 2 || fired[0] != time.Millisecond || fired[1] != 3*time.Millisecond {
+		t.Errorf("fired = %v", fired)
+	}
+}
+
+func TestSimulatorPastPanics(t *testing.T) {
+	sim := NewSimulator(1)
+	sim.At(10*time.Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		sim.At(5*time.Millisecond, func() {})
+	})
+	sim.Run()
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	sim := NewSimulator(1)
+	ran := false
+	sim.At(5*time.Millisecond, func() { ran = true })
+	sim.RunUntil(3 * time.Millisecond)
+	if ran || sim.Now() != 3*time.Millisecond {
+		t.Errorf("early event ran=%v now=%v", ran, sim.Now())
+	}
+	if sim.Pending() != 1 {
+		t.Errorf("Pending = %d", sim.Pending())
+	}
+	sim.RunFor(10 * time.Millisecond)
+	if !ran || sim.Now() != 13*time.Millisecond {
+		t.Errorf("ran=%v now=%v", ran, sim.Now())
+	}
+}
+
+func TestSimulatorDeterminism(t *testing.T) {
+	run := func() []int64 {
+		sim := NewSimulator(99)
+		link := NewLink(sim, UniformJitter{Base: 10 * time.Millisecond, Jitter: 5 * time.Millisecond}, Bernoulli{P: 0.3})
+		var arrivals []int64
+		for i := 0; i < 200; i++ {
+			i := i
+			sim.At(core.Time(i)*time.Millisecond, func() {
+				link.Send(100, func(at core.Time) { arrivals = append(arrivals, int64(at)) })
+			})
+		}
+		sim.Run()
+		return arrivals
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	m := Bernoulli{P: 0.1}
+	lost := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if m.Lose(0, r) {
+			lost++
+		}
+	}
+	if rate := float64(lost) / n; math.Abs(rate-0.1) > 0.005 {
+		t.Errorf("loss rate = %v, want ~0.1", rate)
+	}
+}
+
+func TestNoLoss(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	if (NoLoss{}).Lose(0, r) {
+		t.Error("NoLoss lost a packet")
+	}
+}
+
+func TestGoogleBurstProducesBursts(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	m := NewGoogleBurst()
+	losses, bursts, run := 0, 0, 0
+	const n = 500000
+	maxBurst := 0
+	for i := 0; i < n; i++ {
+		if m.Lose(0, r) {
+			losses++
+			run++
+			if run > maxBurst {
+				maxBurst = run
+			}
+		} else {
+			if run > 0 {
+				bursts++
+			}
+			run = 0
+		}
+	}
+	// Expected loss rate ≈ pFirst/(pFirst+ (1-pNext)) stationary ≈ 2%.
+	rate := float64(losses) / n
+	if rate < 0.01 || rate > 0.04 {
+		t.Errorf("loss rate = %v", rate)
+	}
+	// Mean burst length should be ≈ 1/(1-pNext) = 2.
+	mean := float64(losses) / float64(bursts)
+	if mean < 1.7 || mean > 2.3 {
+		t.Errorf("mean burst = %v, want ~2", mean)
+	}
+	if maxBurst < 4 {
+		t.Errorf("max burst = %d, expected multi-packet bursts", maxBurst)
+	}
+}
+
+func TestGilbertElliottStates(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	m := &GilbertElliott{PGoodToBad: 0.01, PBadToGood: 0.2, LossGood: 0, LossBad: 1}
+	losses := 0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		if m.Lose(0, r) {
+			losses++
+		}
+	}
+	// Stationary bad fraction = 0.01/(0.01+0.2) ≈ 4.8%.
+	rate := float64(losses) / n
+	if rate < 0.03 || rate > 0.07 {
+		t.Errorf("bad-state loss fraction = %v", rate)
+	}
+}
+
+func TestOutageSchedule(t *testing.T) {
+	o := &OutageSchedule{}
+	o.AddOutage(10*time.Second, 2*time.Second)
+	o.AddOutage(1*time.Second, 1*time.Second)
+	r := rand.New(rand.NewSource(1))
+	cases := []struct {
+		at   core.Time
+		want bool
+	}{
+		{0, false},
+		{1 * time.Second, true},
+		{1999 * time.Millisecond, true},
+		{2 * time.Second, false},
+		{11 * time.Second, true},
+		{12 * time.Second, false},
+		{30 * time.Second, false},
+	}
+	for _, c := range cases {
+		if got := o.Lose(c.at, r); got != c.want {
+			t.Errorf("Lose(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestRandomOutages(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	o := RandomOutages(r, time.Hour, 1.0/60, time.Second, 3*time.Second)
+	if len(o.Windows) == 0 {
+		t.Fatal("no outages generated")
+	}
+	for i, w := range o.Windows {
+		if d := w.To - w.From; d < time.Second || d > 3*time.Second {
+			t.Errorf("window %d duration %v", i, d)
+		}
+		if i > 0 && w.From < o.Windows[i-1].From {
+			t.Error("windows unsorted")
+		}
+	}
+	if empty := RandomOutages(r, time.Hour, 0, time.Second, time.Second); len(empty.Windows) != 0 {
+		t.Error("rate 0 produced outages")
+	}
+}
+
+func TestComposite(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	o := &OutageSchedule{}
+	o.AddOutage(0, time.Second)
+	c := Composite{Bernoulli{P: 0}, o}
+	if !c.Lose(500*time.Millisecond, r) {
+		t.Error("composite missed outage")
+	}
+	if c.Lose(2*time.Second, r) {
+		t.Error("composite lost outside outage")
+	}
+}
+
+func TestDelayModels(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	if d := (FixedDelay(5 * time.Millisecond)).Delay(0, r); d != 5*time.Millisecond {
+		t.Errorf("FixedDelay = %v", d)
+	}
+	u := UniformJitter{Base: 10 * time.Millisecond, Jitter: 5 * time.Millisecond}
+	for i := 0; i < 1000; i++ {
+		d := u.Delay(0, r)
+		if d < 10*time.Millisecond || d >= 15*time.Millisecond {
+			t.Fatalf("UniformJitter out of range: %v", d)
+		}
+	}
+	if d := (UniformJitter{Base: time.Millisecond}).Delay(0, r); d != time.Millisecond {
+		t.Errorf("zero jitter = %v", d)
+	}
+	nj := NormalJitter{Base: 10 * time.Millisecond, Sigma: 2 * time.Millisecond, Floor: 9 * time.Millisecond}
+	for i := 0; i < 1000; i++ {
+		if d := nj.Delay(0, r); d < 9*time.Millisecond {
+			t.Fatalf("NormalJitter below floor: %v", d)
+		}
+	}
+}
+
+func TestHeavyTailJitter(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	h := HeavyTailJitter{Base: 50 * time.Millisecond, Sigma: 2 * time.Millisecond,
+		PTail: 0.05, TailLo: 100 * time.Millisecond, Alpha: 1.5}
+	tail := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		d := h.Delay(0, r)
+		if d >= 140*time.Millisecond {
+			tail++
+		}
+		if d < 25*time.Millisecond {
+			t.Fatalf("delay below floor: %v", d)
+		}
+	}
+	frac := float64(tail) / n
+	if frac < 0.02 || frac > 0.09 {
+		t.Errorf("tail fraction = %v, want ~0.05", frac)
+	}
+}
+
+func TestEmpiricalDelay(t *testing.T) {
+	samples := []core.Time{3 * time.Millisecond, 1 * time.Millisecond, 2 * time.Millisecond}
+	e := NewEmpirical(samples)
+	if e.Quantile(0) != time.Millisecond || e.Quantile(1) != 3*time.Millisecond {
+		t.Errorf("quantiles: %v %v", e.Quantile(0), e.Quantile(1))
+	}
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		d := e.Delay(0, r)
+		if d < time.Millisecond || d > 3*time.Millisecond {
+			t.Fatalf("empirical delay out of set: %v", d)
+		}
+	}
+	var empty Empirical
+	if empty.Delay(0, r) != 0 || empty.Quantile(0.5) != 0 {
+		t.Error("empty empirical should return 0")
+	}
+}
+
+func TestLinkDeliveryAndStats(t *testing.T) {
+	sim := NewSimulator(10)
+	link := NewLink(sim, FixedDelay(10*time.Millisecond), nil)
+	var arrived core.Time
+	ok := link.Send(500, func(at core.Time) { arrived = at })
+	if !ok {
+		t.Fatal("send rejected")
+	}
+	sim.Run()
+	if arrived != 10*time.Millisecond {
+		t.Errorf("arrived at %v", arrived)
+	}
+	st := link.Stats()
+	if st.Sent != 1 || st.Delivered != 1 || st.Bytes != 500 || st.LossRate() != 0 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestLinkLossAccounting(t *testing.T) {
+	sim := NewSimulator(11)
+	link := NewLink(sim, nil, Bernoulli{P: 1})
+	if link.Send(100, func(core.Time) { t.Error("delivered through P=1 loss") }) {
+		t.Error("send accepted")
+	}
+	sim.Run()
+	st := link.Stats()
+	if st.Lost != 1 || st.Delivered != 0 || st.LossRate() != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+	if (LinkStats{}).LossRate() != 0 {
+		t.Error("zero stats loss rate")
+	}
+}
+
+func TestLinkSerializationAndQueue(t *testing.T) {
+	sim := NewSimulator(12)
+	link := NewLink(sim, FixedDelay(0), nil)
+	link.Rate = 1000 // bytes/sec → 1 ms per byte
+	var arrivals []core.Time
+	// Two 10-byte packets sent back to back: second must queue behind first.
+	link.Send(10, func(at core.Time) { arrivals = append(arrivals, at) })
+	link.Send(10, func(at core.Time) { arrivals = append(arrivals, at) })
+	sim.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	if arrivals[0] != 10*time.Millisecond || arrivals[1] != 20*time.Millisecond {
+		t.Errorf("serialization wrong: %v", arrivals)
+	}
+}
+
+func TestLinkTailDrop(t *testing.T) {
+	sim := NewSimulator(13)
+	link := NewLink(sim, nil, nil)
+	link.Rate = 1000
+	link.MaxQueue = 15 * time.Millisecond
+	accepted := 0
+	for i := 0; i < 5; i++ { // each packet takes 10ms to serialize
+		if link.Send(10, func(core.Time) {}) {
+			accepted++
+		}
+	}
+	sim.Run()
+	// First departs at 10ms (wait 0), second waits 10, third would wait 20 > 15.
+	if accepted != 2 {
+		t.Errorf("accepted = %d, want 2", accepted)
+	}
+	if link.Stats().TailDrop != 3 {
+		t.Errorf("tail drops = %d", link.Stats().TailDrop)
+	}
+}
+
+func TestLinkSetLoss(t *testing.T) {
+	sim := NewSimulator(14)
+	link := NewLink(sim, nil, nil)
+	link.SetLoss(Bernoulli{P: 1})
+	if link.Send(1, func(core.Time) {}) {
+		t.Error("send survived after SetLoss(P=1)")
+	}
+	link.SetLoss(nil)
+	if !link.Send(1, func(core.Time) {}) {
+		t.Error("send failed after SetLoss(nil)")
+	}
+	sim.Run()
+}
+
+func TestNetworkDelivery(t *testing.T) {
+	sim := NewSimulator(15)
+	net := NewNetwork(sim)
+	if net.Sim() != sim {
+		t.Error("Sim() mismatch")
+	}
+	var got []byte
+	var gotFrom core.NodeID
+	net.AddNode(1, nil)
+	net.AddNode(2, func(from, to core.NodeID, data []byte) {
+		gotFrom, got = from, data
+	})
+	net.Connect(1, 2, NewLink(sim, FixedDelay(time.Millisecond), nil))
+	var taps int
+	net.Tap = func(from, to core.NodeID, size int) { taps += size }
+	if !net.Send(1, 2, []byte("hi")) {
+		t.Fatal("send failed")
+	}
+	sim.Run()
+	if string(got) != "hi" || gotFrom != 1 {
+		t.Errorf("delivery: %q from %v", got, gotFrom)
+	}
+	if taps != 2 {
+		t.Errorf("tap bytes = %d", taps)
+	}
+	if !net.HasRoute(1, 2) || net.HasRoute(2, 1) {
+		t.Error("HasRoute wrong")
+	}
+	if net.LinkBetween(1, 2) == nil {
+		t.Error("LinkBetween nil")
+	}
+}
+
+func TestNetworkUnknownRoutePanics(t *testing.T) {
+	sim := NewSimulator(16)
+	net := NewNetwork(sim)
+	defer func() {
+		if recover() == nil {
+			t.Error("send on missing link did not panic")
+		}
+	}()
+	net.Send(1, 2, []byte("x"))
+}
+
+func TestNetworkNilLinkPanics(t *testing.T) {
+	net := NewNetwork(NewSimulator(17))
+	defer func() {
+		if recover() == nil {
+			t.Error("Connect(nil) did not panic")
+		}
+	}()
+	net.Connect(1, 2, nil)
+}
+
+func TestNetworkDeliveryToUnregisteredNode(t *testing.T) {
+	sim := NewSimulator(18)
+	net := NewNetwork(sim)
+	net.Connect(1, 9, NewLink(sim, nil, nil))
+	if !net.Send(1, 9, []byte("into the void")) {
+		t.Error("send to unregistered node rejected")
+	}
+	sim.Run() // must not panic
+}
+
+func TestConnectBidirectional(t *testing.T) {
+	sim := NewSimulator(19)
+	net := NewNetwork(sim)
+	calls := 0
+	net.ConnectBidirectional(1, 2, func() *Link {
+		calls++
+		return NewLink(sim, nil, nil)
+	})
+	if calls != 2 {
+		t.Errorf("maker called %d times", calls)
+	}
+	if !net.HasRoute(1, 2) || !net.HasRoute(2, 1) {
+		t.Error("bidirectional routes missing")
+	}
+	if net.LinkBetween(1, 2) == net.LinkBetween(2, 1) {
+		t.Error("directions share a link")
+	}
+}
+
+func BenchmarkSimulatorEventLoop(b *testing.B) {
+	sim := NewSimulator(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim.After(time.Microsecond, func() {})
+		sim.RunFor(2 * time.Microsecond)
+	}
+}
+
+func BenchmarkLinkSend(b *testing.B) {
+	sim := NewSimulator(1)
+	link := NewLink(sim, UniformJitter{Base: time.Millisecond, Jitter: time.Millisecond}, Bernoulli{P: 0.01})
+	sink := func(core.Time) {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		link.Send(512, sink)
+		if i%1024 == 0 {
+			sim.RunFor(10 * time.Millisecond)
+		}
+	}
+	sim.Run()
+}

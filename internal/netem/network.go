@@ -1,0 +1,97 @@
+package netem
+
+import (
+	"fmt"
+
+	"jqos/internal/core"
+)
+
+// Handler consumes datagrams addressed to a node. data is owned by the
+// receiver once delivered (the network never retains or reuses it).
+type Handler func(from, to core.NodeID, data []byte)
+
+// linkKey identifies a directed edge.
+type linkKey struct {
+	from, to core.NodeID
+}
+
+// Network is a set of nodes joined by directed links, the fabric over which
+// an emulated J-QoS deployment runs. It is not safe for concurrent use; the
+// simulator is single-goroutine by design.
+type Network struct {
+	sim   *Simulator
+	links map[linkKey]*Link
+	nodes map[core.NodeID]Handler
+	// Tap, if set, observes every accepted datagram at send time — used
+	// by experiments for bandwidth accounting and by tests for tracing.
+	Tap func(from, to core.NodeID, size int)
+}
+
+// NewNetwork creates an empty network on sim.
+func NewNetwork(sim *Simulator) *Network {
+	return &Network{
+		sim:   sim,
+		links: make(map[linkKey]*Link),
+		nodes: make(map[core.NodeID]Handler),
+	}
+}
+
+// Sim returns the simulator driving this network.
+func (n *Network) Sim() *Simulator { return n.sim }
+
+// AddNode registers a handler for a node ID. Re-registering replaces the
+// handler (endpoints are built in stages during wiring).
+func (n *Network) AddNode(id core.NodeID, h Handler) {
+	n.nodes[id] = h
+}
+
+// Connect installs a unidirectional link from a to b, replacing any
+// existing one.
+func (n *Network) Connect(a, b core.NodeID, l *Link) {
+	if l == nil {
+		panic("netem: Connect with nil link")
+	}
+	n.links[linkKey{a, b}] = l
+}
+
+// ConnectBidirectional installs two independent links with the same models
+// built by mk (called twice so each direction has independent state).
+func (n *Network) ConnectBidirectional(a, b core.NodeID, mk func() *Link) {
+	n.Connect(a, b, mk())
+	n.Connect(b, a, mk())
+}
+
+// LinkBetween returns the directed link or nil.
+func (n *Network) LinkBetween(a, b core.NodeID) *Link {
+	return n.links[linkKey{a, b}]
+}
+
+// Send transmits one datagram. Unknown routes panic: topologies are static
+// per experiment, so a missing link is a wiring bug, not a runtime
+// condition. Sends to nodes with no registered handler are delivered to a
+// no-op (packets can arrive for endpoints that already left — e.g. after a
+// mobility hand-off).
+func (n *Network) Send(from, to core.NodeID, data []byte) bool {
+	l := n.links[linkKey{from, to}]
+	if l == nil {
+		panic(fmt.Sprintf("netem: no link %v -> %v", from, to))
+	}
+	ok := l.Send(len(data), func(core.Time) {
+		if h := n.nodes[to]; h != nil {
+			h(from, to, data)
+		}
+	})
+	if ok && n.Tap != nil {
+		n.Tap(from, to, len(data))
+	}
+	return ok
+}
+
+// HasRoute reports whether a directed link exists.
+func (n *Network) HasRoute(from, to core.NodeID) bool {
+	return n.links[linkKey{from, to}] != nil
+}
+
+// NodeHandler returns the registered handler for a node (nil if none) —
+// diagnostics use it to wrap endpoints with classification shims.
+func (n *Network) NodeHandler(id core.NodeID) Handler { return n.nodes[id] }

@@ -1,0 +1,633 @@
+// Package recovery implements the receiver-side J-QoS reliability layer
+// (§3.4): loss detection via sequence gaps and a two-state Markov timeout
+// model, NACK generation toward the nearby DC, local decoding of in-stream
+// parity, cooperative-recovery helper duties, and spurious-recovery
+// verification. Like the DC engines it is sans-IO: events in, Emits and
+// Deliveries out.
+package recovery
+
+import (
+	"fmt"
+
+	"jqos/internal/core"
+	"jqos/internal/rs"
+	"jqos/internal/wire"
+)
+
+// Config tunes one receiving endpoint.
+type Config struct {
+	// Self is this receiver's node ID; DC is its nearby data center
+	// (DC2), the target of NACKs and pulls.
+	Self core.NodeID
+	DC   core.NodeID
+	// Service selects what recovery the NACKs request; it is stamped
+	// into emitted headers (caching and coding share this layer).
+	Service core.Service
+	// SmallTimeout is the in-burst loss-detection timer (paper: 25 ms).
+	SmallTimeout core.Time
+	// RTT is the direct-path round trip; the long (cross-burst) timer
+	// and the give-up horizon derive from it.
+	RTT core.Time
+	// NACKRetry is the re-NACK interval for an outstanding loss
+	// (a repeat NACK escalates DC2 from in-stream to cooperative
+	// recovery). Zero disables retries.
+	NACKRetry core.Time
+	// MaxNACKs bounds NACKs per missing packet.
+	MaxNACKs int
+	// GiveUpAfter abandons a missing packet (the paper counts recovery
+	// slower than one RTT as a loss; we keep trying a little longer and
+	// let the experiment apply the one-RTT rule). Default 4×RTT.
+	GiveUpAfter core.Time
+	// RecentWindow is how many delivered packets per flow are retained
+	// for cooperative responses and in-stream decoding.
+	RecentWindow int
+	// SingleTimer disables the two-state model: the small timeout runs
+	// across bursts too (the ablation behind the paper's "5× fewer
+	// NACKs" claim).
+	SingleTimer bool
+	// PumpWindow sizes the sustained-recovery pump: when recoveries
+	// arrive while the direct path is silent (an outage), the receiver
+	// keeps up to this many speculative NACKs outstanding ahead of the
+	// last recovered packet, letting recovery proceed at the parity
+	// arrival rate ("repeatedly applying this cooperative recovery
+	// process … recovers an indefinite series of losses", §4.4).
+	// 0 = default (16); negative disables the pump.
+	PumpWindow int
+}
+
+// DefaultConfig returns deployment defaults for a path with the given RTT.
+func DefaultConfig(self, dc core.NodeID, rtt core.Time) Config {
+	return Config{
+		Self:         self,
+		DC:           dc,
+		Service:      core.ServiceCoding,
+		SmallTimeout: 25e6, // 25ms
+		RTT:          rtt,
+		NACKRetry:    rtt / 4,
+		MaxNACKs:     3,
+		GiveUpAfter:  4 * rtt,
+		RecentWindow: 128,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	if c.SmallTimeout <= 0 {
+		c.SmallTimeout = 25e6
+	}
+	if c.RTT <= 0 {
+		c.RTT = 100e6
+	}
+	if c.MaxNACKs <= 0 {
+		c.MaxNACKs = 3
+	}
+	if c.GiveUpAfter <= 0 {
+		c.GiveUpAfter = 4 * c.RTT
+	}
+	if c.RecentWindow <= 0 {
+		c.RecentWindow = 128
+	}
+	if c.NACKRetry < 0 {
+		c.NACKRetry = 0
+	}
+	if c.PumpWindow == 0 {
+		c.PumpWindow = 16
+	}
+}
+
+// Stats counts receiver-side protocol activity.
+type Stats struct {
+	DataReceived  uint64
+	Duplicates    uint64
+	LossesSeen    uint64 // distinct missing packets detected
+	GapNACKs      uint64 // NACKs from sequence gaps
+	TimerNACKs    uint64 // NACKs from small-timeout expiry (burst tail)
+	IdleNACKs     uint64 // NACKs from long-timeout expiry
+	PumpNACKs     uint64 // speculative NACKs from the outage pump
+	RetryNACKs    uint64
+	Recovered     uint64 // packets restored by any cloud service
+	InStreamLocal uint64 // of those, decoded locally from in-stream parity
+	LateArrivals  uint64 // missing packets that showed up on their own
+	GaveUp        uint64
+	CoopResponses uint64
+	VerifyReplies uint64
+}
+
+// NACKsSent totals every NACK category.
+func (s Stats) NACKsSent() uint64 {
+	return s.GapNACKs + s.TimerNACKs + s.IdleNACKs + s.PumpNACKs + s.RetryNACKs
+}
+
+// Result is the outcome of one event: messages to transmit and packets to
+// hand to the application.
+type Result struct {
+	Emits      []core.Emit
+	Deliveries []core.Delivery
+}
+
+func (r *Result) merge(o Result) {
+	r.Emits = append(r.Emits, o.Emits...)
+	r.Deliveries = append(r.Deliveries, o.Deliveries...)
+}
+
+type markovState uint8
+
+const (
+	stateIdle markovState = iota
+	stateBurst
+)
+
+type missState struct {
+	firstMiss core.Time
+	nacks     int
+	nextNACK  core.Time
+	hasNACK   bool // at least one NACK actually sent
+}
+
+type flowState struct {
+	id          core.FlowID
+	started     bool
+	next        core.Seq
+	state       markovState
+	deadline    core.Time // 0 = timer disarmed
+	idleFired   bool      // one idle NACK per silence period
+	everArrived bool
+	lastArrival core.Time
+	lastDirect  core.Time // last arrival on the direct path
+	pumpHigh    core.Seq  // highest seq the pump has NACKed
+	missing     map[core.Seq]*missState
+	delivered   map[core.Seq]bool
+	recent      map[core.Seq][]byte
+	order       []core.Seq // recent-window eviction order
+	src         core.NodeID
+}
+
+// inDecode accumulates in-stream parity for local decoding.
+type inDecode struct {
+	meta    wire.Coded
+	parity  map[int][]byte
+	expires core.Time
+}
+
+// Receiver is the endpoint reliability engine. Not safe for concurrent use.
+type Receiver struct {
+	cfg   Config
+	flows map[core.FlowID]*flowState
+	inDec map[uint64]*inDecode
+	stats Stats
+}
+
+// New builds a receiver engine.
+func New(cfg Config) *Receiver {
+	cfg.fillDefaults()
+	return &Receiver{
+		cfg:   cfg,
+		flows: make(map[core.FlowID]*flowState),
+		inDec: make(map[uint64]*inDecode),
+	}
+}
+
+// Stats returns a copy of the counters.
+func (r *Receiver) Stats() Stats { return r.stats }
+
+// Config returns the receiver's configuration.
+func (r *Receiver) Config() Config { return r.cfg }
+
+// SetService changes the service stamped on future NACKs — used when the
+// framework upgrades a flow to a more expensive service (§3.5).
+func (r *Receiver) SetService(s core.Service) { r.cfg.Service = s }
+
+func (r *Receiver) flow(id core.FlowID) *flowState {
+	fs := r.flows[id]
+	if fs == nil {
+		fs = &flowState{
+			id:        id,
+			missing:   make(map[core.Seq]*missState),
+			delivered: make(map[core.Seq]bool),
+			recent:    make(map[core.Seq][]byte),
+		}
+		r.flows[id] = fs
+	}
+	return fs
+}
+
+// OnData processes a data packet from the direct path.
+func (r *Receiver) OnData(now core.Time, hdr *wire.Header, payload []byte) Result {
+	var res Result
+	fs := r.flow(hdr.Flow)
+	fs.src = hdr.Src
+	r.stats.DataReceived++
+	fs.lastDirect = now
+
+	// Attribute overlay-duplicated copies to their service so multipath
+	// and path-switched forwarding show up in delivery accounting.
+	via := core.ServiceInternet
+	if hdr.Flags&wire.FlagDup != 0 {
+		via = hdr.Service
+	}
+	seq := hdr.Seq
+	switch {
+	case !fs.started:
+		// Join at the first observed packet; earlier history is not
+		// ours to recover.
+		fs.started = true
+		fs.next = seq + 1
+		res.merge(r.accept(now, fs, hdr, payload, false, via, 0))
+	case fs.delivered[seq]:
+		r.stats.Duplicates++
+	case seq < fs.next:
+		// Late arrival: a tracked loss, a given-up loss, or a packet
+		// the idle timer speculatively NACKed before it was even sent
+		// (session boundary). The duplicate case was handled above, so
+		// anything undelivered is surfaced.
+		r.stats.LateArrivals++
+		r.resolve(fs, seq)
+		res.merge(r.accept(now, fs, hdr, payload, false, via, 0))
+	case seq == fs.next:
+		fs.next = seq + 1
+		res.merge(r.accept(now, fs, hdr, payload, false, via, 0))
+	default: // gap: [next, seq) missing
+		for s := fs.next; s < seq; s++ {
+			res.Emits = append(res.Emits, r.noteMissing(now, fs, s, false)...)
+			r.stats.GapNACKs++
+		}
+		fs.next = seq + 1
+		res.merge(r.accept(now, fs, hdr, payload, false, via, 0))
+	}
+
+	// Markov model (§3.4): the small timer applies only to packets
+	// "arriving within a burst (sub-RTT scale)" — enter burst state when
+	// the observed inter-arrival is short, otherwise arm the long timer.
+	// SingleTimer mode (the ablation) always uses the small timer.
+	delta := now - fs.lastArrival
+	if r.cfg.SingleTimer || (fs.everArrived && delta <= r.cfg.SmallTimeout) {
+		fs.state = stateBurst
+		fs.deadline = now + r.cfg.SmallTimeout
+	} else {
+		fs.state = stateIdle
+		fs.deadline = now + r.cfg.RTT
+	}
+	fs.everArrived = true
+	fs.lastArrival = now
+	fs.idleFired = false
+	return res
+}
+
+// accept delivers a packet and records it in the recent window.
+func (r *Receiver) accept(now core.Time, fs *flowState, hdr *wire.Header, payload []byte, recovered bool, via core.Service, recDelay core.Time) Result {
+	fs.delivered[hdr.Seq] = true
+	cp := append([]byte(nil), payload...)
+	fs.recent[hdr.Seq] = cp
+	fs.order = append(fs.order, hdr.Seq)
+	for len(fs.order) > r.cfg.RecentWindow {
+		old := fs.order[0]
+		fs.order = fs.order[1:]
+		delete(fs.recent, old)
+		delete(fs.delivered, old)
+	}
+	pkt := &core.Packet{
+		ID:      core.PacketID{Flow: hdr.Flow, Seq: hdr.Seq},
+		Src:     fs.src,
+		Dst:     r.cfg.Self,
+		Sent:    hdr.TS,
+		Payload: cp,
+	}
+	return Result{Deliveries: []core.Delivery{{
+		Packet: pkt, At: now, Recovered: recovered, Via: via, RecoveryDelay: recDelay,
+	}}}
+}
+
+// noteMissing registers a loss and emits its first NACK.
+func (r *Receiver) noteMissing(now core.Time, fs *flowState, seq core.Seq, wantVerify bool) []core.Emit {
+	if _, ok := fs.missing[seq]; ok {
+		return nil
+	}
+	r.stats.LossesSeen++
+	ms := &missState{firstMiss: now, nacks: 1, hasNACK: true}
+	if r.cfg.NACKRetry > 0 {
+		ms.nextNACK = now + r.cfg.NACKRetry
+	}
+	fs.missing[seq] = ms
+	return []core.Emit{r.nack(now, fs.id, seq, wantVerify)}
+}
+
+func (r *Receiver) nack(now core.Time, flow core.FlowID, seq core.Seq, wantVerify bool) core.Emit {
+	hdr := wire.Header{
+		Type:    wire.TypeNACK,
+		Service: r.cfg.Service,
+		Flow:    flow,
+		Seq:     seq,
+		TS:      now,
+		Src:     r.cfg.Self,
+		Dst:     r.cfg.DC,
+	}
+	if wantVerify {
+		hdr.Flags |= wire.FlagWantVerify
+	}
+	return core.Emit{To: r.cfg.DC, Msg: wire.AppendMessage(nil, &hdr, nil)}
+}
+
+// resolve clears a tracked loss.
+func (r *Receiver) resolve(fs *flowState, seq core.Seq) {
+	delete(fs.missing, seq)
+}
+
+// OnRecovered processes a repaired packet from the DC (TypeRecovered from
+// coding, TypePullResp from caching).
+func (r *Receiver) OnRecovered(now core.Time, hdr *wire.Header, payload []byte) Result {
+	fs := r.flow(hdr.Flow)
+	if fs.delivered[hdr.Seq] {
+		r.stats.Duplicates++
+		return Result{}
+	}
+	if _, miss := fs.missing[hdr.Seq]; !miss && fs.started && hdr.Seq < fs.next {
+		// Recovery for something we never tracked (already gave up or
+		// spurious); deliver anyway if unseen.
+		r.stats.Duplicates++
+		return Result{}
+	}
+	var recDelay core.Time
+	tracked := false
+	var detectedAt core.Time
+	if ms, ok := fs.missing[hdr.Seq]; ok {
+		recDelay = now - ms.firstMiss
+		detectedAt = ms.firstMiss
+		tracked = true
+	}
+	r.resolve(fs, hdr.Seq)
+	r.stats.Recovered++
+	var res Result
+	if !fs.started {
+		fs.started = true
+		fs.next = hdr.Seq + 1
+	} else if hdr.Seq >= fs.next {
+		// A recovered packet beyond the expectation proves everything
+		// in between existed: NACK the gap.
+		for s := fs.next; s < hdr.Seq; s++ {
+			res.Emits = append(res.Emits, r.noteMissing(now, fs, s, false)...)
+			r.stats.GapNACKs++
+		}
+		fs.next = hdr.Seq + 1
+	}
+	via := hdr.Service
+	if via == 0 {
+		via = r.cfg.Service
+	}
+	res.merge(r.accept(now, fs, hdr, payload, true, via, recDelay))
+	// Sustained-recovery pump: recoveries flowing while the direct path
+	// has been silent since this loss was detected indicate an outage —
+	// keep speculative NACKs outstanding so the next losses are already
+	// in recovery when their parity reaches the DC.
+	if r.cfg.PumpWindow > 0 && tracked && fs.lastDirect < detectedAt {
+		high := hdr.Seq + core.Seq(r.cfg.PumpWindow)
+		start := fs.next
+		if fs.pumpHigh+1 > start {
+			start = fs.pumpHigh + 1
+		}
+		for s := start; s <= high; s++ {
+			emits := r.noteMissing(now, fs, s, false)
+			if len(emits) > 0 {
+				r.stats.PumpNACKs++
+				res.Emits = append(res.Emits, emits...)
+			}
+		}
+		if high > fs.pumpHigh {
+			fs.pumpHigh = high
+		}
+	}
+	return res
+}
+
+// OnCoded performs local in-stream decoding: combine the parity shard with
+// the flow's recent packets to reconstruct whatever is missing (§4.2 —
+// "packet YA can recover from the loss of A3").
+func (r *Receiver) OnCoded(now core.Time, hdr *wire.Header, meta *wire.Coded, shard []byte) Result {
+	var res Result
+	if meta.Kind != wire.InStream || len(meta.Sources) == 0 {
+		return res
+	}
+	dec := r.inDec[meta.Batch]
+	if dec == nil {
+		dec = &inDecode{meta: *meta, parity: make(map[int][]byte)}
+		dec.meta.Sources = append([]wire.SourceRef(nil), meta.Sources...)
+		r.inDec[meta.Batch] = dec
+	}
+	dec.expires = now + 2*r.cfg.RTT
+	if _, dup := dec.parity[int(meta.Index)]; !dup {
+		dec.parity[int(meta.Index)] = append([]byte(nil), shard...)
+	}
+
+	flow := dec.meta.Sources[0].Flow
+	fs := r.flow(flow)
+	k := int(dec.meta.K)
+	shardLen := len(shard)
+	shards := make([][]byte, k+int(dec.meta.R))
+	present := 0
+	var wanted []int
+	for i, src := range dec.meta.Sources {
+		if p, ok := fs.recent[src.Seq]; ok {
+			buf := make([]byte, shardLen)
+			if _, err := rs.Pack(p, buf); err != nil {
+				continue
+			}
+			shards[i] = buf
+			present++
+		} else {
+			wanted = append(wanted, i)
+		}
+	}
+	for idx, p := range dec.parity {
+		if k+idx < len(shards) && len(p) == shardLen {
+			shards[k+idx] = p
+			present++
+		}
+	}
+	if len(wanted) == 0 || present < k {
+		return res // nothing to do, or not decodable yet
+	}
+	codec, err := rs.NewCodec(k, int(dec.meta.R))
+	if err != nil {
+		return res
+	}
+	if err := codec.Reconstruct(shards); err != nil {
+		return res
+	}
+	for _, i := range wanted {
+		payload, err := rs.Unpack(shards[i])
+		if err != nil {
+			continue
+		}
+		src := dec.meta.Sources[i]
+		if fs.delivered[src.Seq] {
+			continue
+		}
+		var recDelay core.Time
+		if ms, ok := fs.missing[src.Seq]; ok {
+			recDelay = now - ms.firstMiss
+		}
+		r.resolve(fs, src.Seq)
+		r.stats.Recovered++
+		r.stats.InStreamLocal++
+		if fs.started && src.Seq >= fs.next {
+			fs.next = src.Seq + 1
+		}
+		ph := wire.Header{Flow: src.Flow, Seq: src.Seq, TS: hdr.TS, Src: fs.src, Dst: r.cfg.Self}
+		res.merge(r.accept(now, fs, &ph, payload, true, core.ServiceCoding, recDelay))
+	}
+	delete(r.inDec, meta.Batch)
+	return res
+}
+
+// OnCoopReq answers a cooperative-recovery request (§4.4 step 2→3): if the
+// requested packet is in the recent window, return it to the DC. Ingress to
+// the DC is free, so helpers answer unconditionally.
+func (r *Receiver) OnCoopReq(now core.Time, hdr *wire.Header, ref *wire.CoopRef) Result {
+	fs := r.flows[hdr.Flow]
+	if fs == nil {
+		return Result{}
+	}
+	payload, ok := fs.recent[hdr.Seq]
+	if !ok {
+		return Result{} // we lost it too; DC treats us as a straggler
+	}
+	r.stats.CoopResponses++
+	respHdr := wire.Header{
+		Type:    wire.TypeCoopResp,
+		Service: core.ServiceCoding,
+		Flow:    hdr.Flow,
+		Seq:     hdr.Seq,
+		TS:      now,
+		Src:     r.cfg.Self,
+		Dst:     hdr.Src,
+	}
+	msg := wire.AppendMessage(nil, &respHdr, ref.AppendMarshal(nil, payload))
+	return Result{Emits: []core.Emit{{To: hdr.Src, Msg: msg}}}
+}
+
+// OnVerify answers DC2's spurious-recovery probe: still wanted only if the
+// packet remains missing.
+func (r *Receiver) OnVerify(now core.Time, hdr *wire.Header) Result {
+	r.stats.VerifyReplies++
+	fs := r.flows[hdr.Flow]
+	still := false
+	if fs != nil {
+		_, still = fs.missing[hdr.Seq]
+	}
+	respHdr := wire.Header{
+		Type:    wire.TypeVerifyResp,
+		Service: r.cfg.Service,
+		Flow:    hdr.Flow,
+		Seq:     hdr.Seq,
+		TS:      now,
+		Src:     r.cfg.Self,
+		Dst:     hdr.Src,
+	}
+	if still {
+		respHdr.Flags |= wire.FlagStillWanted
+	}
+	return Result{Emits: []core.Emit{{To: hdr.Src, Msg: wire.AppendMessage(nil, &respHdr, nil)}}}
+}
+
+// NextDeadline reports the earliest timer the runtime should schedule.
+func (r *Receiver) NextDeadline() (core.Time, bool) {
+	var min core.Time
+	found := false
+	consider := func(d core.Time) {
+		if d == 0 {
+			return
+		}
+		if !found || d < min {
+			min, found = d, true
+		}
+	}
+	for _, fs := range r.flows {
+		consider(fs.deadline)
+		for _, ms := range fs.missing {
+			consider(ms.firstMiss + r.cfg.GiveUpAfter)
+			if r.cfg.NACKRetry > 0 && ms.nacks < r.cfg.MaxNACKs {
+				consider(ms.nextNACK)
+			}
+		}
+	}
+	for _, dec := range r.inDec {
+		consider(dec.expires)
+	}
+	return min, found
+}
+
+// OnTimer advances the Markov model and retry/give-up bookkeeping.
+func (r *Receiver) OnTimer(now core.Time) Result {
+	var res Result
+	for _, fs := range r.flows {
+		if fs.deadline != 0 && fs.deadline <= now {
+			switch fs.state {
+			case stateBurst:
+				// Small timeout expired mid-burst: the next expected
+				// packet is overdue → NACK and fall back to the long
+				// timer (§3.4).
+				if fs.started {
+					if emits := r.noteMissing(now, fs, fs.next, true); len(emits) > 0 {
+						r.stats.TimerNACKs++
+						res.Emits = append(res.Emits, emits...)
+						fs.next++
+					}
+				}
+				if r.cfg.SingleTimer {
+					fs.deadline = now + r.cfg.SmallTimeout
+				} else {
+					fs.state = stateIdle
+					fs.deadline = now + r.cfg.RTT
+				}
+			case stateIdle:
+				// Long timeout: one speculative NACK per silence
+				// period, then disarm until traffic resumes.
+				if fs.started && !fs.idleFired {
+					fs.idleFired = true
+					if emits := r.noteMissing(now, fs, fs.next, true); len(emits) > 0 {
+						r.stats.IdleNACKs++
+						res.Emits = append(res.Emits, emits...)
+						fs.next++
+					}
+					fs.deadline = now + r.cfg.RTT
+				} else {
+					fs.deadline = 0
+				}
+			}
+		}
+		// NACK retries and give-ups.
+		for seq, ms := range fs.missing {
+			if now-ms.firstMiss >= r.cfg.GiveUpAfter {
+				delete(fs.missing, seq)
+				r.stats.GaveUp++
+				continue
+			}
+			if r.cfg.NACKRetry > 0 && ms.hasNACK && ms.nacks < r.cfg.MaxNACKs && ms.nextNACK <= now {
+				ms.nacks++
+				ms.nextNACK = now + r.cfg.NACKRetry
+				r.stats.RetryNACKs++
+				res.Emits = append(res.Emits, r.nack(now, fs.id, seq, false))
+			}
+		}
+	}
+	for batch, dec := range r.inDec {
+		if dec.expires <= now {
+			delete(r.inDec, batch)
+		}
+	}
+	return res
+}
+
+// OutstandingLosses reports currently tracked missing packets (tests and
+// metrics).
+func (r *Receiver) OutstandingLosses() int {
+	n := 0
+	for _, fs := range r.flows {
+		n += len(fs.missing)
+	}
+	return n
+}
+
+// String implements fmt.Stringer.
+func (r *Receiver) String() string {
+	return fmt.Sprintf("receiver(%v→dc%v: %d flows, %d missing)",
+		r.cfg.Self, r.cfg.DC, len(r.flows), r.OutstandingLosses())
+}

@@ -1,0 +1,110 @@
+// Package rs implements systematic Reed-Solomon erasure coding over
+// GF(2⁸), replacing the zfec library the paper's prototype used. The codec
+// produces n-k parity shards for k data shards; any k of the n shards
+// reconstruct the originals. CR-WAN uses it for both in-stream FEC and
+// cross-stream coded packets (§4).
+package rs
+
+// GF(2⁸) arithmetic with the primitive polynomial x⁸+x⁴+x³+x²+1 (0x11D),
+// the same field used by most storage erasure coders. Multiplication uses
+// log/exp tables; a per-coefficient 256-entry row table accelerates the
+// inner encode loops (mulSlice) without unsafe tricks.
+
+const fieldSize = 256
+
+var (
+	expTable [2 * fieldSize]byte // exp[i] = α^i, doubled to skip a mod
+	logTable [fieldSize]int
+	// mulTable[a][b] = a·b. 64 KiB; built once at init. Keeping the full
+	// table makes matrix inversion and slice kernels branch-free.
+	mulTable [fieldSize][fieldSize]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < fieldSize-1; i++ {
+		expTable[i] = byte(x)
+		logTable[x] = i
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= 0x11D
+		}
+	}
+	for i := fieldSize - 1; i < len(expTable); i++ {
+		expTable[i] = expTable[i-(fieldSize-1)]
+	}
+	for a := 1; a < fieldSize; a++ {
+		la := logTable[a]
+		for b := 1; b < fieldSize; b++ {
+			mulTable[a][b] = expTable[la+logTable[b]]
+		}
+	}
+}
+
+// gfAdd returns a+b in GF(2⁸) (carry-less: XOR).
+func gfAdd(a, b byte) byte { return a ^ b }
+
+// gfMul returns a·b in GF(2⁸).
+func gfMul(a, b byte) byte { return mulTable[a][b] }
+
+// gfDiv returns a/b in GF(2⁸). Division by zero panics: it can only arise
+// from a singular decode matrix, which the decoder rules out beforehand.
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("rs: division by zero in GF(256)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[logTable[a]-logTable[b]+(fieldSize-1)]
+}
+
+// gfInv returns the multiplicative inverse of a.
+func gfInv(a byte) byte { return gfDiv(1, a) }
+
+// gfExp returns α^n for n ≥ 0.
+func gfExp(n int) byte {
+	return expTable[n%(fieldSize-1)]
+}
+
+// mulSlice computes dst[i] ^= c·src[i] for all i (the fused
+// multiply-accumulate at the heart of both encode and decode). dst and src
+// must be the same length. c == 0 is a no-op; c == 1 is a pure XOR.
+func mulSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("rs: mulSlice length mismatch")
+	}
+	switch c {
+	case 0:
+		return
+	case 1:
+		for i, s := range src {
+			dst[i] ^= s
+		}
+	default:
+		row := &mulTable[c]
+		for i, s := range src {
+			dst[i] ^= row[s]
+		}
+	}
+}
+
+// setMulSlice computes dst[i] = c·src[i] (overwrite form).
+func setMulSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("rs: setMulSlice length mismatch")
+	}
+	switch c {
+	case 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+	case 1:
+		copy(dst, src)
+	default:
+		row := &mulTable[c]
+		for i, s := range src {
+			dst[i] = row[s]
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package rs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Codec is a systematic Reed-Solomon erasure codec with k data shards and
+// m parity shards (n = k+m total). Any k of the n shards reconstruct the
+// data. A Codec is immutable after construction and safe for concurrent
+// use; CR-WAN's parallel encoder pipeline shares one Codec per (k, m).
+type Codec struct {
+	k, m int
+	// parity holds the bottom m rows of the systematic generator matrix;
+	// row i gives the coefficients of parity shard i over the data shards.
+	parity matrix
+}
+
+// Errors returned by the codec.
+var (
+	ErrInvalidParams  = errors.New("rs: shard counts out of range")
+	ErrTooFewShards   = errors.New("rs: not enough shards to reconstruct")
+	ErrShardSize      = errors.New("rs: inconsistent shard sizes")
+	ErrTooManyParity  = errors.New("rs: parity index out of range")
+	ErrSingularDecode = errors.New("rs: decode matrix singular")
+)
+
+// NewCodec creates a codec for k data and m parity shards.
+// 1 ≤ k, 0 ≤ m, k+m ≤ 256 (the field size bounds total shards).
+func NewCodec(k, m int) (*Codec, error) {
+	if k < 1 || m < 0 || k+m > fieldSize {
+		return nil, fmt.Errorf("%w: k=%d m=%d", ErrInvalidParams, k, m)
+	}
+	c := &Codec{k: k, m: m}
+	if m > 0 {
+		sys := buildSystematic(k+m, k)
+		c.parity = sys.subMatrix(k, k+m, 0, k)
+	}
+	return c, nil
+}
+
+// DataShards returns k.
+func (c *Codec) DataShards() int { return c.k }
+
+// ParityShards returns m.
+func (c *Codec) ParityShards() int { return c.m }
+
+// TotalShards returns k+m.
+func (c *Codec) TotalShards() int { return c.k + c.m }
+
+// Encode fills parity shards from data shards. shards must hold k+m slices
+// of identical length; the first k are inputs, the last m are outputs and
+// are overwritten in place (caller allocates, enabling buffer reuse in the
+// encoder hot path).
+func (c *Codec) Encode(shards [][]byte) error {
+	if len(shards) != c.k+c.m {
+		return fmt.Errorf("%w: got %d shards, want %d", ErrShardSize, len(shards), c.k+c.m)
+	}
+	size, err := checkShardSizes(shards, nil)
+	if err != nil {
+		return err
+	}
+	_ = size
+	for p := 0; p < c.m; p++ {
+		out := shards[c.k+p]
+		row := c.parity.row(p)
+		setMulSlice(row[0], shards[0], out)
+		for d := 1; d < c.k; d++ {
+			mulSlice(row[d], shards[d], out)
+		}
+	}
+	return nil
+}
+
+// EncodeParity computes a single parity shard (index p in [0,m)) into dst.
+// CR-WAN uses this to generate the r cross-stream coded packets of a batch
+// one at a time as they are sent.
+func (c *Codec) EncodeParity(p int, data [][]byte, dst []byte) error {
+	if p < 0 || p >= c.m {
+		return fmt.Errorf("%w: %d of %d", ErrTooManyParity, p, c.m)
+	}
+	if len(data) != c.k {
+		return fmt.Errorf("%w: got %d data shards, want %d", ErrShardSize, len(data), c.k)
+	}
+	if _, err := checkShardSizes(data, dst); err != nil {
+		return err
+	}
+	row := c.parity.row(p)
+	setMulSlice(row[0], data[0], dst)
+	for d := 1; d < c.k; d++ {
+		mulSlice(row[d], data[d], dst)
+	}
+	return nil
+}
+
+// Reconstruct fills in missing shards. shards has length k+m; missing
+// shards are nil and are allocated and filled on success. At least k shards
+// must be present. Present shards are never modified.
+func (c *Codec) Reconstruct(shards [][]byte) error {
+	if len(shards) != c.k+c.m {
+		return fmt.Errorf("%w: got %d shards, want %d", ErrShardSize, len(shards), c.k+c.m)
+	}
+	present := 0
+	size := -1
+	for _, s := range shards {
+		if s == nil {
+			continue
+		}
+		present++
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return fmt.Errorf("%w: %d vs %d", ErrShardSize, len(s), size)
+		}
+	}
+	if present < c.k {
+		return fmt.Errorf("%w: %d present, need %d", ErrTooFewShards, present, c.k)
+	}
+	missingData := false
+	for i := 0; i < c.k; i++ {
+		if shards[i] == nil {
+			missingData = true
+			break
+		}
+	}
+	if missingData {
+		if err := c.reconstructData(shards, size); err != nil {
+			return err
+		}
+	}
+	// With all data shards in hand, re-encode any missing parity.
+	for p := 0; p < c.m; p++ {
+		if shards[c.k+p] == nil {
+			shards[c.k+p] = make([]byte, size)
+			if err := c.EncodeParity(p, shards[:c.k], shards[c.k+p]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// reconstructData solves for the missing data shards using the first k
+// available shards.
+func (c *Codec) reconstructData(shards [][]byte, size int) error {
+	// Build the k×k matrix whose rows are the generator rows of k
+	// available shards, plus the corresponding shard data.
+	sub := newMatrix(c.k, c.k)
+	input := make([][]byte, c.k)
+	got := 0
+	for i := 0; i < c.k+c.m && got < c.k; i++ {
+		if shards[i] == nil {
+			continue
+		}
+		if i < c.k {
+			sub.set(got, i, 1) // systematic row: identity
+		} else {
+			copy(sub.row(got), c.parity.row(i-c.k))
+		}
+		input[got] = shards[i]
+		got++
+	}
+	inv, err := sub.invert()
+	if err != nil {
+		return ErrSingularDecode
+	}
+	for d := 0; d < c.k; d++ {
+		if shards[d] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		row := inv.row(d)
+		setMulSlice(row[0], input[0], out)
+		for j := 1; j < c.k; j++ {
+			mulSlice(row[j], input[j], out)
+		}
+		shards[d] = out
+	}
+	return nil
+}
+
+// checkShardSizes verifies all shards (and the optional extra slice) share
+// one length and that none are nil, returning the common size.
+func checkShardSizes(shards [][]byte, extra []byte) (int, error) {
+	if len(shards) == 0 {
+		return 0, ErrShardSize
+	}
+	if shards[0] == nil {
+		return 0, fmt.Errorf("%w: nil shard", ErrShardSize)
+	}
+	size := len(shards[0])
+	for _, s := range shards[1:] {
+		if s == nil || len(s) != size {
+			return 0, fmt.Errorf("%w: want %d bytes per shard", ErrShardSize, size)
+		}
+	}
+	if extra != nil && len(extra) != size {
+		return 0, fmt.Errorf("%w: dst %d, want %d", ErrShardSize, len(extra), size)
+	}
+	return size, nil
+}

@@ -1,0 +1,506 @@
+package rs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGFAxioms(t *testing.T) {
+	// Spot-check field axioms exhaustively over the whole field.
+	for a := 0; a < 256; a++ {
+		ab := byte(a)
+		if gfMul(ab, 1) != ab {
+			t.Fatalf("%d·1 != %d", a, a)
+		}
+		if gfMul(ab, 0) != 0 {
+			t.Fatalf("%d·0 != 0", a)
+		}
+		if gfAdd(ab, ab) != 0 {
+			t.Fatalf("%d+%d != 0 (char 2)", a, a)
+		}
+		if a != 0 {
+			if got := gfMul(ab, gfInv(ab)); got != 1 {
+				t.Fatalf("%d·inv = %d, want 1", a, got)
+			}
+		}
+	}
+}
+
+func TestGFMulCommutesAndAssociates(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		a, b, c := byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))
+		if gfMul(a, b) != gfMul(b, a) {
+			t.Fatalf("mul not commutative: %d %d", a, b)
+		}
+		if gfMul(gfMul(a, b), c) != gfMul(a, gfMul(b, c)) {
+			t.Fatalf("mul not associative: %d %d %d", a, b, c)
+		}
+		// Distributivity.
+		if gfMul(a, gfAdd(b, c)) != gfAdd(gfMul(a, b), gfMul(a, c)) {
+			t.Fatalf("not distributive: %d %d %d", a, b, c)
+		}
+	}
+}
+
+func TestGFDivPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gfDiv(x, 0) did not panic")
+		}
+	}()
+	gfDiv(3, 0)
+}
+
+func TestGFDivIsInverseOfMul(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 1; b < 256; b++ {
+			q := gfDiv(byte(a), byte(b))
+			if gfMul(q, byte(b)) != byte(a) {
+				t.Fatalf("(%d/%d)*%d = %d, want %d", a, b, b, gfMul(q, byte(b)), a)
+			}
+		}
+	}
+}
+
+func TestMulSliceKernels(t *testing.T) {
+	src := []byte{1, 2, 3, 255}
+	dst := []byte{9, 9, 9, 9}
+	mulSlice(0, src, dst)
+	if !bytes.Equal(dst, []byte{9, 9, 9, 9}) {
+		t.Error("mulSlice(0) should be a no-op")
+	}
+	mulSlice(1, src, dst)
+	if !bytes.Equal(dst, []byte{8, 11, 10, 246}) {
+		t.Errorf("mulSlice(1) = %v", dst)
+	}
+	setMulSlice(0, src, dst)
+	if !bytes.Equal(dst, []byte{0, 0, 0, 0}) {
+		t.Error("setMulSlice(0) should zero dst")
+	}
+	setMulSlice(1, src, dst)
+	if !bytes.Equal(dst, src) {
+		t.Error("setMulSlice(1) should copy")
+	}
+	setMulSlice(2, src, dst)
+	for i := range src {
+		if dst[i] != gfMul(2, src[i]) {
+			t.Errorf("setMulSlice(2)[%d] = %d", i, dst[i])
+		}
+	}
+}
+
+func TestMulSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	mulSlice(3, make([]byte, 4), make([]byte, 5))
+}
+
+func TestMatrixInvertIdentity(t *testing.T) {
+	id := identity(5)
+	inv, err := id.invert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(inv.data, id.data) {
+		t.Error("identity inverse != identity")
+	}
+}
+
+func TestMatrixInvertRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(8)
+		m := vandermonde(n, n)
+		inv, err := m.invert()
+		if err != nil {
+			t.Fatalf("vandermonde %dx%d singular: %v", n, n, err)
+		}
+		prod := m.mul(inv)
+		if !bytes.Equal(prod.data, identity(n).data) {
+			t.Fatalf("m·inv != I for n=%d", n)
+		}
+	}
+}
+
+func TestMatrixSingular(t *testing.T) {
+	m := newMatrix(2, 2) // all zeros
+	if _, err := m.invert(); err == nil {
+		t.Fatal("zero matrix inverted")
+	}
+	nm := newMatrix(2, 3)
+	if _, err := nm.invert(); err == nil {
+		t.Fatal("non-square matrix inverted")
+	}
+}
+
+func TestNewCodecParamValidation(t *testing.T) {
+	for _, c := range []struct{ k, m int }{{0, 1}, {-1, 2}, {1, -1}, {200, 100}} {
+		if _, err := NewCodec(c.k, c.m); !errors.Is(err, ErrInvalidParams) {
+			t.Errorf("NewCodec(%d,%d) err = %v, want ErrInvalidParams", c.k, c.m, err)
+		}
+	}
+	if _, err := NewCodec(1, 0); err != nil {
+		t.Errorf("NewCodec(1,0): %v", err)
+	}
+	if c, err := NewCodec(4, 2); err != nil || c.DataShards() != 4 || c.ParityShards() != 2 || c.TotalShards() != 6 {
+		t.Errorf("NewCodec(4,2) = %v, %v", c, err)
+	}
+}
+
+func makeShards(t *testing.T, rng *rand.Rand, k, m, size int) ([][]byte, *Codec) {
+	t.Helper()
+	c, err := NewCodec(k, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([][]byte, k+m)
+	for i := range shards {
+		shards[i] = make([]byte, size)
+		if i < k {
+			rng.Read(shards[i])
+		}
+	}
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	return shards, c
+}
+
+func TestEncodeSystematic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([][]byte, 4)
+	orig := make([][]byte, 4)
+	for i := range data {
+		data[i] = make([]byte, 64)
+		rng.Read(data[i])
+		orig[i] = append([]byte(nil), data[i]...)
+	}
+	c, _ := NewCodec(4, 2)
+	shards := append(data, make([]byte, 64), make([]byte, 64))
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if !bytes.Equal(shards[i], orig[i]) {
+			t.Errorf("systematic encode modified data shard %d", i)
+		}
+	}
+}
+
+func TestReconstructAllErasurePatterns(t *testing.T) {
+	// For a small code, erase every subset of shards of size ≤ m and
+	// verify exact reconstruction — the core RS guarantee.
+	const k, m, size = 4, 3, 33
+	rng := rand.New(rand.NewSource(5))
+	shards, c := makeShards(t, rng, k, m, size)
+	want := make([][]byte, len(shards))
+	for i := range shards {
+		want[i] = append([]byte(nil), shards[i]...)
+	}
+	n := k + m
+	for mask := 0; mask < 1<<n; mask++ {
+		erased := 0
+		for b := 0; b < n; b++ {
+			if mask&(1<<b) != 0 {
+				erased++
+			}
+		}
+		if erased == 0 || erased > m {
+			continue
+		}
+		work := make([][]byte, n)
+		for i := range work {
+			if mask&(1<<i) != 0 {
+				work[i] = nil
+			} else {
+				work[i] = append([]byte(nil), want[i]...)
+			}
+		}
+		if err := c.Reconstruct(work); err != nil {
+			t.Fatalf("mask %b: %v", mask, err)
+		}
+		for i := range work {
+			if !bytes.Equal(work[i], want[i]) {
+				t.Fatalf("mask %b: shard %d mismatch", mask, i)
+			}
+		}
+	}
+}
+
+func TestReconstructTooFewShards(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	shards, c := makeShards(t, rng, 4, 2, 16)
+	shards[0], shards[1], shards[2] = nil, nil, nil // only 3 of 4+2 left
+	if err := c.Reconstruct(shards); !errors.Is(err, ErrTooFewShards) {
+		t.Fatalf("err = %v, want ErrTooFewShards", err)
+	}
+}
+
+func TestReconstructSizeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	shards, c := makeShards(t, rng, 3, 2, 16)
+	shards[1] = make([]byte, 8)
+	if err := c.Reconstruct(shards); !errors.Is(err, ErrShardSize) {
+		t.Fatalf("err = %v, want ErrShardSize", err)
+	}
+	if err := c.Reconstruct(shards[:3]); !errors.Is(err, ErrShardSize) {
+		t.Fatalf("short slice err = %v, want ErrShardSize", err)
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	c, _ := NewCodec(2, 1)
+	if err := c.Encode([][]byte{make([]byte, 4)}); !errors.Is(err, ErrShardSize) {
+		t.Errorf("wrong count: %v", err)
+	}
+	if err := c.Encode([][]byte{make([]byte, 4), make([]byte, 5), make([]byte, 4)}); !errors.Is(err, ErrShardSize) {
+		t.Errorf("uneven sizes: %v", err)
+	}
+	if err := c.Encode([][]byte{make([]byte, 4), nil, make([]byte, 4)}); !errors.Is(err, ErrShardSize) {
+		t.Errorf("nil shard: %v", err)
+	}
+}
+
+func TestEncodeParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	shards, c := makeShards(t, rng, 5, 3, 48)
+	for p := 0; p < 3; p++ {
+		dst := make([]byte, 48)
+		if err := c.EncodeParity(p, shards[:5], dst); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dst, shards[5+p]) {
+			t.Errorf("EncodeParity(%d) != Encode row", p)
+		}
+	}
+	if err := c.EncodeParity(3, shards[:5], make([]byte, 48)); !errors.Is(err, ErrTooManyParity) {
+		t.Errorf("out-of-range parity: %v", err)
+	}
+	if err := c.EncodeParity(0, shards[:4], make([]byte, 48)); !errors.Is(err, ErrShardSize) {
+		t.Errorf("short data: %v", err)
+	}
+	if err := c.EncodeParity(0, shards[:5], make([]byte, 7)); !errors.Is(err, ErrShardSize) {
+		t.Errorf("bad dst: %v", err)
+	}
+}
+
+func TestZeroParityCodec(t *testing.T) {
+	c, err := NewCodec(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := [][]byte{{1}, {2}, {3}}
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReconstructQuick(t *testing.T) {
+	// Property: for random (k, m, erasures ≤ m), reconstruction is exact.
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(10)
+		m := r.Intn(5)
+		size := 1 + r.Intn(300)
+		c, err := NewCodec(k, m)
+		if err != nil {
+			return false
+		}
+		shards := make([][]byte, k+m)
+		for i := range shards {
+			shards[i] = make([]byte, size)
+			if i < k {
+				r.Read(shards[i])
+			}
+		}
+		if err := c.Encode(shards); err != nil {
+			return false
+		}
+		want := make([][]byte, len(shards))
+		for i := range shards {
+			want[i] = append([]byte(nil), shards[i]...)
+		}
+		// Erase up to m random shards.
+		for e := 0; e < m; e++ {
+			shards[r.Intn(k+m)] = nil
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			return false
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	payload := []byte("hello jqos")
+	shard := make([]byte, PackedSize(len(payload))+7)
+	if _, err := Pack(payload, shard); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("round trip = %q", got)
+	}
+	// Padding must be zero so parity over padded tails is stable.
+	for i := PackedSize(len(payload)); i < len(shard); i++ {
+		if shard[i] != 0 {
+			t.Errorf("padding byte %d = %d", i, shard[i])
+		}
+	}
+}
+
+func TestPackErrors(t *testing.T) {
+	if _, err := Pack(make([]byte, 10), make([]byte, 5)); err == nil {
+		t.Error("small shard accepted")
+	}
+	if _, err := Pack(make([]byte, 70000), make([]byte, 70010)); err == nil {
+		t.Error("oversize payload accepted")
+	}
+	if _, err := Unpack([]byte{1}); err == nil {
+		t.Error("short shard unpacked")
+	}
+	if _, err := Unpack([]byte{0xFF, 0xFF, 0}); err == nil {
+		t.Error("lying length unpacked")
+	}
+}
+
+func TestPackBatch(t *testing.T) {
+	payloads := [][]byte{[]byte("a"), []byte("bcdef"), []byte("")}
+	shards, size, err := PackBatch(payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != PackedSize(5) {
+		t.Errorf("size = %d, want %d", size, PackedSize(5))
+	}
+	for i, p := range payloads {
+		got, err := Unpack(shards[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Errorf("shard %d = %q, want %q", i, got, p)
+		}
+	}
+	if _, _, err := PackBatch(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+}
+
+func TestCodedRecoveryEndToEnd(t *testing.T) {
+	// Simulates the CR-WAN use: pack variable-size packets from k flows,
+	// generate r=2 parity, lose two packets, recover both.
+	payloads := [][]byte{
+		[]byte("flow-A packet 17"),
+		[]byte("flow-B pkt"),
+		[]byte("flow-C packet with a much longer body 0123456789"),
+		[]byte("flow-D"),
+	}
+	shards, size, err := PackBatch(payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := NewCodec(4, 2)
+	all := append(shards, make([]byte, size), make([]byte, size))
+	if err := c.Encode(all); err != nil {
+		t.Fatal(err)
+	}
+	all[0], all[2] = nil, nil
+	if err := c.Reconstruct(all); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range payloads {
+		got, err := Unpack(all[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Errorf("recovered %d = %q, want %q", i, got, p)
+		}
+	}
+}
+
+func BenchmarkEncodeK6R2_512B(b *testing.B) {
+	benchmarkEncode(b, 6, 2, 512)
+}
+
+func BenchmarkEncodeK10R2_512B(b *testing.B) {
+	benchmarkEncode(b, 10, 2, 512)
+}
+
+func BenchmarkEncodeK20R2_512B(b *testing.B) {
+	benchmarkEncode(b, 20, 2, 512)
+}
+
+func benchmarkEncode(b *testing.B, k, m, size int) {
+	c, err := NewCodec(k, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	shards := make([][]byte, k+m)
+	for i := range shards {
+		shards[i] = make([]byte, size)
+		if i < k {
+			rng.Read(shards[i])
+		}
+	}
+	b.SetBytes(int64(k * size))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Encode(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstructK6R2_512B(b *testing.B) {
+	c, _ := NewCodec(6, 2)
+	rng := rand.New(rand.NewSource(1))
+	shards := make([][]byte, 8)
+	for i := range shards {
+		shards[i] = make([]byte, 512)
+		if i < 6 {
+			rng.Read(shards[i])
+		}
+	}
+	if err := c.Encode(shards); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		work := make([][]byte, 8)
+		copy(work, shards)
+		work[1], work[3] = nil, nil
+		b.StartTimer()
+		if err := c.Reconstruct(work); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

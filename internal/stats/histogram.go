@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bucket counter over a closed range. Values outside
+// the range are clamped into the first or last bucket so that totals always
+// balance (the paper's figures never discard observations).
+type Histogram struct {
+	Lo, Hi  float64
+	Counts  []uint64
+	total   uint64
+	clamped uint64
+}
+
+// NewHistogram creates a histogram over [lo, hi) with n equal buckets.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		panic("stats: histogram needs at least one bucket")
+	}
+	if hi <= lo {
+		panic("stats: histogram range is empty")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]uint64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	n := len(h.Counts)
+	idx := int(math.Floor((v - h.Lo) / (h.Hi - h.Lo) * float64(n)))
+	if idx < 0 {
+		idx = 0
+		h.clamped++
+	} else if idx >= n {
+		idx = n - 1
+		h.clamped++
+	}
+	h.Counts[idx]++
+	h.total++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Clamped returns how many observations fell outside [Lo, Hi).
+func (h *Histogram) Clamped() uint64 { return h.clamped }
+
+// BucketMid returns the midpoint value of bucket i.
+func (h *Histogram) BucketMid(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// CDF converts the histogram into a cumulative series over bucket upper
+// edges.
+func (h *Histogram) CDF(name string) Series {
+	s := Series{Name: name}
+	if h.total == 0 {
+		return s
+	}
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		s.Append(h.Lo+w*float64(i+1), float64(cum)/float64(h.total))
+	}
+	return s
+}
+
+// String renders a quick bar view, mostly for debugging and examples.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	max := uint64(1)
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	for i, c := range h.Counts {
+		bar := int(float64(c) / float64(max) * 40)
+		fmt.Fprintf(&b, "%10.4g %-40s %d\n", h.BucketMid(i), strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}

@@ -1,0 +1,449 @@
+// Package tcpsim is an event-driven TCP model for the paper's web-transfer
+// case study (§6.4): short request/response flows (12 B request, 50 KB
+// response) over a 200 ms-RTT path with the Google study's bursty loss
+// model. It reproduces the mechanisms that create the paper's latency tail
+// — handshake retransmission timers, slow start, fast retransmit/SACK-style
+// recovery, and RTO exponential backoff — and hosts a pluggable J-QoS shim
+// that repairs lost segments below the transport (the prototype's "client
+// ACKs recovered packets, hiding the loss from TCP").
+package tcpsim
+
+import (
+	"math/rand"
+	"time"
+
+	"jqos/internal/core"
+	"jqos/internal/netem"
+)
+
+// SegmentKind classifies packets for the recovery shim: selective
+// duplication policies act on kinds (§6.4 duplicates only SYN-ACKs).
+type SegmentKind uint8
+
+// Segment kinds.
+const (
+	KindSYN SegmentKind = iota
+	KindSYNACK
+	KindRequest
+	KindData
+	KindACK
+)
+
+// String implements fmt.Stringer.
+func (k SegmentKind) String() string {
+	switch k {
+	case KindSYN:
+		return "SYN"
+	case KindSYNACK:
+		return "SYN-ACK"
+	case KindRequest:
+		return "request"
+	case KindData:
+		return "data"
+	case KindACK:
+		return "ack"
+	default:
+		return "segment?"
+	}
+}
+
+// Recovery is the J-QoS shim consulted when a segment is lost on the
+// direct path. It reports the extra delay after which J-QoS delivers the
+// segment anyway, or ok=false when the loss stands (Internet baseline,
+// or a kind outside the duplication policy).
+type Recovery interface {
+	Recover(now core.Time, kind SegmentKind, r *rand.Rand) (extra core.Time, ok bool)
+}
+
+// NoRecovery is the plain-Internet baseline.
+type NoRecovery struct{}
+
+// Recover implements Recovery.
+func (NoRecovery) Recover(core.Time, SegmentKind, *rand.Rand) (core.Time, bool) { return 0, false }
+
+// CRWAN models full J-QoS coding-service protection: every lost segment is
+// repaired PRecover of the time, Detect+Repair after it would have arrived
+// (detection via the receiver's timers plus cooperative recovery around
+// the nearby DC — §6.4 uses 30 ms host↔DC RTTs).
+type CRWAN struct {
+	Detect   core.Time // loss-detection latency (small timer / gap)
+	Repair   core.Time // NACK + cooperative recovery + delivery
+	PRecover float64   // fraction of losses repaired (paper: ~0.92–0.99)
+}
+
+// DefaultCRWAN returns the §6.4 testbed parameters: 25 ms detection and a
+// repair round over 15 ms host↔DC one-way latency (NACK + coop request +
+// response + delivery ≈ 4δ).
+func DefaultCRWAN() CRWAN {
+	return CRWAN{Detect: 25 * time.Millisecond, Repair: 60 * time.Millisecond, PRecover: 0.97}
+}
+
+// Recover implements Recovery.
+func (c CRWAN) Recover(_ core.Time, _ SegmentKind, r *rand.Rand) (core.Time, bool) {
+	if r.Float64() >= c.PRecover {
+		return 0, false
+	}
+	return c.Detect + c.Repair, true
+}
+
+// SelectiveDup models duplication of selected segment kinds over the cloud
+// path: duplicated kinds are never lost, only delayed by the overlay detour
+// (§6.4's SYN-ACK-only experiment).
+type SelectiveDup struct {
+	Kinds map[SegmentKind]bool
+	// Extra is the overlay detour cost relative to the direct path.
+	Extra core.Time
+}
+
+// Recover implements Recovery.
+func (s SelectiveDup) Recover(_ core.Time, kind SegmentKind, _ *rand.Rand) (core.Time, bool) {
+	if !s.Kinds[kind] {
+		return 0, false
+	}
+	return s.Extra, true
+}
+
+// Config parameterizes one connection.
+type Config struct {
+	// OneWay is the client↔server one-way latency (paper: 100 ms).
+	OneWay core.Time
+	// MSS is the segment payload size.
+	MSS int
+	// RespBytes is the response size (paper: 50 KB).
+	RespBytes int
+	// InitCwnd is the initial congestion window in segments.
+	InitCwnd int
+	// MinRTO / HandshakeRTO clamp the retransmission timers.
+	MinRTO       core.Time
+	HandshakeRTO core.Time
+	// MaxRTO caps exponential backoff.
+	MaxRTO core.Time
+	// DataLoss and AckLoss shape each direction (nil = lossless). The
+	// models are owned by the connection (stateful burst processes).
+	DataLoss netem.LossModel
+	AckLoss  netem.LossModel
+	// Shim is the J-QoS recovery model (nil = NoRecovery).
+	Shim Recovery
+	// GiveUp aborts the connection (counted as a tail event at that
+	// FCT) if it has not completed by this time.
+	GiveUp core.Time
+}
+
+// DefaultConfig returns the §6.4 testbed parameters.
+func DefaultConfig() Config {
+	return Config{
+		OneWay:       100 * time.Millisecond,
+		MSS:          1460,
+		RespBytes:    50 * 1024,
+		InitCwnd:     10,
+		MinRTO:       200 * time.Millisecond,
+		HandshakeRTO: time.Second,
+		MaxRTO:       16 * time.Second,
+		GiveUp:       30 * time.Second,
+	}
+}
+
+// Result summarizes one request/response exchange.
+type Result struct {
+	FCT             core.Time // request start → last response byte
+	Timeouts        int       // RTO firings (handshake + data)
+	FastRetransmits int
+	Retransmits     int
+	Recovered       int // segments repaired by the J-QoS shim
+	Completed       bool
+}
+
+// Conn simulates one connection on a netem.Simulator. Create with New,
+// call Start, then run the simulator; the callback receives the Result.
+type Conn struct {
+	sim *netem.Simulator
+	cfg Config
+	rng *rand.Rand
+
+	totalSegs int
+	received  []bool
+	cumRcvd   int // first index not yet received (receiver view)
+	acked     int // first index not yet cumulatively acked (sender view)
+	sacked    []bool
+	nextSend  int
+	cwnd      float64
+	ssthresh  float64
+	dupacks   int
+	inFastRec bool
+
+	srtt, rttvar core.Time
+	rto          core.Time
+	rtoGen       uint64
+	hsGen        uint64
+
+	start  core.Time
+	res    Result
+	onDone func(Result)
+	done   bool
+}
+
+// New builds a connection. onDone fires exactly once.
+func New(sim *netem.Simulator, cfg Config, onDone func(Result)) *Conn {
+	if cfg.Shim == nil {
+		cfg.Shim = NoRecovery{}
+	}
+	if cfg.MSS <= 0 {
+		cfg.MSS = 1460
+	}
+	total := (cfg.RespBytes + cfg.MSS - 1) / cfg.MSS
+	if total < 1 {
+		total = 1
+	}
+	return &Conn{
+		sim:       sim,
+		cfg:       cfg,
+		rng:       sim.Fork(),
+		totalSegs: total,
+		received:  make([]bool, total),
+		sacked:    make([]bool, total),
+		cwnd:      float64(cfg.InitCwnd),
+		ssthresh:  1e9,
+		rto:       cfg.HandshakeRTO,
+		onDone:    onDone,
+	}
+}
+
+// Start begins the exchange (SYN → SYN-ACK → request → response).
+func (c *Conn) Start() {
+	c.start = c.sim.Now()
+	if c.cfg.GiveUp > 0 {
+		c.sim.At(c.start+c.cfg.GiveUp, func() { c.finish(false) })
+	}
+	c.sendSYN(c.cfg.HandshakeRTO)
+}
+
+func (c *Conn) finish(completed bool) {
+	if c.done {
+		return
+	}
+	c.done = true
+	c.res.FCT = c.sim.Now() - c.start
+	c.res.Completed = completed
+	if c.onDone != nil {
+		c.onDone(c.res)
+	}
+}
+
+// transit models one direction: loss model, then the J-QoS shim, then
+// propagation. Returns false if the segment truly vanished.
+func (c *Conn) transit(kind SegmentKind, lm netem.LossModel, deliver func()) bool {
+	extra := core.Time(0)
+	if lm != nil && lm.Lose(c.sim.Now(), c.rng) {
+		e, ok := c.cfg.Shim.Recover(c.sim.Now(), kind, c.rng)
+		if !ok {
+			return false
+		}
+		c.res.Recovered++
+		extra = e
+	}
+	c.sim.After(c.cfg.OneWay+extra, deliver)
+	return true
+}
+
+// --- handshake ---
+
+func (c *Conn) sendSYN(rto core.Time) {
+	if c.done {
+		return
+	}
+	c.hsGen++
+	gen := c.hsGen
+	c.transit(KindSYN, c.cfg.AckLoss, func() { c.onServerSYN() })
+	c.sim.After(rto, func() {
+		if c.hsGen == gen && !c.done && c.acked == 0 && c.nextSend == 0 {
+			c.res.Timeouts++
+			next := rto * 2
+			if next > c.cfg.MaxRTO {
+				next = c.cfg.MaxRTO
+			}
+			c.sendSYN(next)
+		}
+	})
+}
+
+func (c *Conn) onServerSYN() {
+	if c.done {
+		return
+	}
+	// SYN-ACK back; the client answers with the request. Handshake
+	// losses are retried by the client's SYN timer above.
+	c.transit(KindSYNACK, c.cfg.DataLoss, func() { c.onClientSYNACK() })
+}
+
+func (c *Conn) onClientSYNACK() {
+	if c.done || c.nextSend > 0 {
+		return // request already in flight (duplicate SYN-ACK)
+	}
+	c.transit(KindRequest, c.cfg.AckLoss, func() { c.onServerRequest() })
+}
+
+func (c *Conn) onServerRequest() {
+	if c.done || c.nextSend > 0 {
+		return // duplicate request
+	}
+	// Handshake done: seed the RTT estimator with the true RTT (the
+	// server measured SYN→request).
+	c.updateRTT(2 * c.cfg.OneWay)
+	c.hsGen++ // cancel handshake timer
+	c.sendWindow()
+	c.armRTO()
+}
+
+// --- server data transfer ---
+
+func (c *Conn) inflight() int {
+	n := c.nextSend - c.acked
+	for i := c.acked; i < c.nextSend && i < c.totalSegs; i++ {
+		if c.sacked[i] {
+			n--
+		}
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+func (c *Conn) sendWindow() {
+	for c.nextSend < c.totalSegs && c.inflight() < int(c.cwnd) {
+		c.sendSegment(c.nextSend)
+		c.nextSend++
+	}
+}
+
+func (c *Conn) sendSegment(idx int) {
+	if c.done {
+		return
+	}
+	c.transit(KindData, c.cfg.DataLoss, func() { c.onClientData(idx) })
+}
+
+// --- client receive / ACK ---
+
+func (c *Conn) onClientData(idx int) {
+	if c.done {
+		return
+	}
+	if !c.received[idx] {
+		c.received[idx] = true
+		for c.cumRcvd < c.totalSegs && c.received[c.cumRcvd] {
+			c.cumRcvd++
+		}
+	}
+	if c.cumRcvd >= c.totalSegs {
+		c.finish(true)
+		return
+	}
+	// Cumulative ACK with a SACK snapshot (copied: the ACK is a packet
+	// in flight, not a view of live state).
+	cum := c.cumRcvd
+	sack := append([]bool(nil), c.received...)
+	c.transit(KindACK, c.cfg.AckLoss, func() { c.onServerACK(cum, sack) })
+}
+
+// --- server ACK processing / congestion control ---
+
+func (c *Conn) updateRTT(sample core.Time) {
+	if c.srtt == 0 {
+		c.srtt = sample
+		c.rttvar = sample / 2
+	} else {
+		d := c.srtt - sample
+		if d < 0 {
+			d = -d
+		}
+		c.rttvar = (3*c.rttvar + d) / 4
+		c.srtt = (7*c.srtt + sample) / 8
+	}
+	c.rto = c.srtt + 4*c.rttvar
+	if c.rto < c.cfg.MinRTO {
+		c.rto = c.cfg.MinRTO
+	}
+	if c.rto > c.cfg.MaxRTO {
+		c.rto = c.cfg.MaxRTO
+	}
+}
+
+func (c *Conn) onServerACK(cum int, sack []bool) {
+	if c.done {
+		return
+	}
+	copy(c.sacked, sack)
+	if cum > c.acked {
+		c.acked = cum
+		c.dupacks = 0
+		c.updateRTT(2 * c.cfg.OneWay)
+		if c.inFastRec && c.acked >= c.nextSend {
+			c.inFastRec = false
+		}
+		// cwnd growth: slow start below ssthresh, else AIMD.
+		if c.cwnd < c.ssthresh {
+			c.cwnd++
+		} else {
+			c.cwnd += 1 / c.cwnd
+		}
+		c.armRTO()
+		c.sendWindow()
+		return
+	}
+	// Duplicate ACK.
+	c.dupacks++
+	if c.dupacks >= 3 && !c.inFastRec {
+		c.inFastRec = true
+		c.res.FastRetransmits++
+		c.ssthresh = c.cwnd / 2
+		if c.ssthresh < 2 {
+			c.ssthresh = 2
+		}
+		c.cwnd = c.ssthresh
+		// SACK-based recovery: retransmit every hole below nextSend.
+		for i := c.acked; i < c.nextSend; i++ {
+			if !c.sacked[i] {
+				c.res.Retransmits++
+				c.sendSegment(i)
+			}
+		}
+		c.armRTO()
+	}
+}
+
+func (c *Conn) armRTO() {
+	c.rtoGen++
+	gen := c.rtoGen
+	c.sim.After(c.rto, func() { c.onRTO(gen) })
+}
+
+func (c *Conn) onRTO(gen uint64) {
+	if c.done || gen != c.rtoGen || c.acked >= c.totalSegs {
+		return
+	}
+	if c.nextSend == 0 {
+		return // handshake phase; its own timer rules
+	}
+	c.res.Timeouts++
+	c.ssthresh = c.cwnd / 2
+	if c.ssthresh < 2 {
+		c.ssthresh = 2
+	}
+	c.cwnd = 1
+	c.dupacks = 0
+	c.inFastRec = false
+	// Go-back: retransmit the first hole.
+	for i := c.acked; i < c.nextSend; i++ {
+		if !c.sacked[i] {
+			c.res.Retransmits++
+			c.sendSegment(i)
+			break
+		}
+	}
+	c.rto *= 2
+	if c.rto > c.cfg.MaxRTO {
+		c.rto = c.cfg.MaxRTO
+	}
+	c.armRTO()
+}

@@ -1,0 +1,205 @@
+// Package wire defines the J-QoS binary message formats: the fixed
+// encapsulation header that logically sits between transport and network
+// (§5 of the paper), plus the sub-messages used by the caching and coding
+// services (coded batches, NACK/pull, cooperative recovery).
+//
+// Encoding follows the gopacket DecodingLayerParser discipline: callers
+// decode into preallocated structs and marshal into caller-provided
+// buffers, so the hot path performs no allocation.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"jqos/internal/core"
+)
+
+// Magic identifies J-QoS datagrams ("JQ").
+const Magic = 0x4A51
+
+// Version is the current wire version.
+const Version = 1
+
+// HeaderLen is the fixed size of the common header.
+const HeaderLen = 40
+
+// Compile-time check that the accounting constant in core matches the real
+// header size.
+var _ [0]struct{} = [HeaderLen - core.HeaderOverhead]struct{}{}
+
+// MsgType enumerates J-QoS message kinds.
+type MsgType uint8
+
+const (
+	// TypeData carries one application segment.
+	TypeData MsgType = iota + 1
+	// TypeCoded carries one coded (parity) packet and its batch metadata.
+	TypeCoded
+	// TypeNACK is the receiver's loss report to its nearby DC (§3.4).
+	TypeNACK
+	// TypePull asks the caching service for a stored packet (§3.2).
+	TypePull
+	// TypePullResp returns a cached packet to the receiver.
+	TypePullResp
+	// TypeCoopReq asks a helper receiver for a data packet needed to
+	// decode a batch (§4.4 step 2).
+	TypeCoopReq
+	// TypeCoopResp returns a helper's data packet to DC2 (§4.4 step 3).
+	TypeCoopResp
+	// TypeRecovered delivers a decoded packet to the requesting receiver
+	// (§4.4 step 4).
+	TypeRecovered
+	// TypeVerify asks the receiver whether a NACK is still wanted —
+	// DC2's spurious-recovery check at burst boundaries (§3.4).
+	TypeVerify
+	// TypeVerifyResp answers a TypeVerify probe.
+	TypeVerifyResp
+	// TypeCtrl carries JSON control-channel payloads (registration,
+	// delivery stats, service selection) — the TCP channel in §5.
+	TypeCtrl
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case TypeData:
+		return "data"
+	case TypeCoded:
+		return "coded"
+	case TypeNACK:
+		return "nack"
+	case TypePull:
+		return "pull"
+	case TypePullResp:
+		return "pullresp"
+	case TypeCoopReq:
+		return "coopreq"
+	case TypeCoopResp:
+		return "coopresp"
+	case TypeRecovered:
+		return "recovered"
+	case TypeVerify:
+		return "verify"
+	case TypeVerifyResp:
+		return "verifyresp"
+	case TypeCtrl:
+		return "ctrl"
+	default:
+		return fmt.Sprintf("msgtype(%d)", uint8(t))
+	}
+}
+
+// Header flag bits.
+const (
+	// FlagDup marks a duplicated copy sent on the cloud path while the
+	// original used the Internet path (selective duplication, §6.4).
+	FlagDup uint16 = 1 << iota
+	// FlagWantVerify on a NACK asks DC2 to verify before recovering.
+	FlagWantVerify
+	// FlagStillWanted on a VerifyResp confirms the recovery should run.
+	FlagStillWanted
+	// FlagEndOfBurst marks the last packet of an application burst, a
+	// hint the receiver's Markov timer uses to switch states early.
+	FlagEndOfBurst
+	// FlagDrain on a TypePull asks the caching service for every cached
+	// packet of the flow with sequence greater than Seq — the mobility
+	// rendezvous pull (Figure 3e).
+	FlagDrain
+)
+
+// Errors returned by decoding.
+var (
+	ErrShort      = errors.New("wire: buffer too short")
+	ErrBadMagic   = errors.New("wire: bad magic")
+	ErrBadVersion = errors.New("wire: unsupported version")
+	ErrBadCount   = errors.New("wire: entry count out of range")
+)
+
+// Header is the fixed J-QoS encapsulation header. Src and Dst are overlay
+// node IDs, not IP addresses; the transport runtime maps them to sockets.
+type Header struct {
+	Type    MsgType
+	Flags   uint16
+	Service core.Service
+	Flow    core.FlowID
+	Seq     core.Seq
+	TS      core.Time
+	Src     core.NodeID
+	Dst     core.NodeID
+}
+
+// ID returns the packet identity named by the header.
+func (h *Header) ID() core.PacketID { return core.PacketID{Flow: h.Flow, Seq: h.Seq} }
+
+// Marshal writes the header into buf, which must be at least HeaderLen
+// bytes, and returns HeaderLen.
+func (h *Header) Marshal(buf []byte) int {
+	_ = buf[HeaderLen-1] // bounds hint
+	binary.BigEndian.PutUint16(buf[0:], Magic)
+	buf[2] = Version
+	buf[3] = byte(h.Type)
+	binary.BigEndian.PutUint16(buf[4:], h.Flags)
+	buf[6] = byte(h.Service)
+	buf[7] = 0
+	binary.BigEndian.PutUint64(buf[8:], uint64(h.Flow))
+	binary.BigEndian.PutUint64(buf[16:], uint64(h.Seq))
+	binary.BigEndian.PutUint64(buf[24:], uint64(h.TS))
+	binary.BigEndian.PutUint32(buf[32:], uint32(h.Src))
+	binary.BigEndian.PutUint32(buf[36:], uint32(h.Dst))
+	return HeaderLen
+}
+
+// Unmarshal parses the header from buf and returns the number of bytes
+// consumed (HeaderLen).
+func (h *Header) Unmarshal(buf []byte) (int, error) {
+	if len(buf) < HeaderLen {
+		return 0, fmt.Errorf("%w: header needs %d bytes, have %d", ErrShort, HeaderLen, len(buf))
+	}
+	if binary.BigEndian.Uint16(buf[0:]) != Magic {
+		return 0, ErrBadMagic
+	}
+	if buf[2] != Version {
+		return 0, fmt.Errorf("%w: %d", ErrBadVersion, buf[2])
+	}
+	h.Type = MsgType(buf[3])
+	h.Flags = binary.BigEndian.Uint16(buf[4:])
+	h.Service = core.Service(buf[6])
+	h.Flow = core.FlowID(binary.BigEndian.Uint64(buf[8:]))
+	h.Seq = core.Seq(binary.BigEndian.Uint64(buf[16:]))
+	h.TS = core.Time(binary.BigEndian.Uint64(buf[24:]))
+	h.Src = core.NodeID(binary.BigEndian.Uint32(buf[32:]))
+	h.Dst = core.NodeID(binary.BigEndian.Uint32(buf[36:]))
+	return HeaderLen, nil
+}
+
+// AppendMessage marshals header+payload onto dst and returns the extended
+// slice. This is the single send-side entry point used by both runtimes.
+func AppendMessage(dst []byte, h *Header, payload []byte) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, HeaderLen)...)
+	h.Marshal(dst[off:])
+	return append(dst, payload...)
+}
+
+// SplitMessage parses one datagram into header and payload. The payload
+// slice aliases buf (NoCopy); callers that retain it must copy.
+func SplitMessage(h *Header, buf []byte) ([]byte, error) {
+	n, err := h.Unmarshal(buf)
+	if err != nil {
+		return nil, err
+	}
+	return buf[n:], nil
+}
+
+// RewriteDst patches the destination field of an already-marshaled message
+// in place. Multicast fan-out uses it to address each member copy without
+// re-encoding the whole datagram.
+func RewriteDst(msg []byte, dst core.NodeID) error {
+	if len(msg) < HeaderLen {
+		return ErrShort
+	}
+	binary.BigEndian.PutUint32(msg[36:], uint32(dst))
+	return nil
+}

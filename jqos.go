@@ -1,0 +1,364 @@
+// Package jqos is a from-scratch implementation of J-QoS — "Judicious QoS
+// using Cloud Overlays" (Haq, Doucette, Byers, Dogar; CoNEXT 2020) — a
+// framework that augments the best-effort Internet with three cloud-based
+// reliability services at different cost/latency trade-offs:
+//
+//   - forwarding: relay packets over the cloud overlay (cost 2c),
+//   - caching: store copies at the DC near the receiver and serve pulls on
+//     loss (cost c),
+//   - coding (CR-WAN): ship a small number of cross-stream coded packets
+//     over the cloud and repair losses via cooperative recovery (cost α·c).
+//
+// Applications Register a destination and latency budget; the framework
+// picks the cheapest service whose predicted delivery latency fits (§3.5)
+// and upgrades the service when observed deliveries violate the budget.
+//
+// The package wires the protocol engines (internal/coding,
+// internal/recovery, internal/cache, internal/forward) onto a deterministic
+// discrete-event network emulator (internal/netem), so whole wide-area
+// deployments run in-process and reproducibly. The same engines run over
+// real UDP sockets via internal/transport and cmd/jqos-relay.
+//
+// # Quick start
+//
+//	dep := jqos.NewDeployment(42)
+//	dc1 := dep.AddDC("us-east", dataset.RegionUSEast)
+//	dc2 := dep.AddDC("eu-west", dataset.RegionEU)
+//	dep.ConnectDCs(dc1, dc2, 40*time.Millisecond)
+//	src := dep.AddHost(dc1, 5*time.Millisecond)
+//	dst := dep.AddHost(dc2, 8*time.Millisecond)
+//	dep.SetDirectPath(src, dst,
+//	    netem.UniformJitter{Base: 50 * time.Millisecond, Jitter: 2 * time.Millisecond},
+//	    &netem.GilbertElliott{PGoodToBad: 0.001, PBadToGood: 0.3, LossBad: 0.9})
+//	flow, _ := dep.Register(src, dst, 200*time.Millisecond)
+//	flow.Send([]byte("hello"))
+//	dep.Run(time.Second)
+package jqos
+
+import (
+	"fmt"
+	"time"
+
+	"jqos/internal/coding"
+	"jqos/internal/core"
+	"jqos/internal/dataset"
+	"jqos/internal/netem"
+	"jqos/internal/overlay"
+)
+
+// Re-exported identity types so example code rarely needs internal imports.
+type (
+	// NodeID identifies a host or DC.
+	NodeID = core.NodeID
+	// FlowID identifies a registered stream.
+	FlowID = core.FlowID
+	// Seq is a per-flow sequence number.
+	Seq = core.Seq
+	// Service is a J-QoS reliability service.
+	Service = core.Service
+	// Delivery is a packet surfaced to a receiving endpoint.
+	Delivery = core.Delivery
+)
+
+// Services, re-exported.
+const (
+	ServiceInternet   = core.ServiceInternet
+	ServiceCoding     = core.ServiceCoding
+	ServiceCaching    = core.ServiceCaching
+	ServiceForwarding = core.ServiceForwarding
+)
+
+// Config bundles the deployment-wide engine parameters.
+type Config struct {
+	// Encoder configures the CR-WAN DC1 engines.
+	Encoder coding.EncoderConfig
+	// Recoverer configures the CR-WAN DC2 engines.
+	Recoverer coding.RecovererConfig
+	// CacheTTL is the caching service's packet lifetime.
+	CacheTTL time.Duration
+	// CacheBytes bounds each DC cache (0 = unbounded).
+	CacheBytes uint64
+	// SmallTimeout is the receivers' in-burst loss-detection timer.
+	SmallTimeout time.Duration
+	// NACKRetry / MaxNACKs configure receiver re-NACK escalation.
+	// NACKRetry 0 means auto (a quarter of the flow's RTT); negative
+	// disables retries.
+	NACKRetry time.Duration
+	MaxNACKs  int
+	// SingleTimer disables the two-state Markov model on receivers
+	// (ablation).
+	SingleTimer bool
+	// UpgradeInterval is how often flows re-evaluate their service
+	// against the budget (0 disables upgrades).
+	UpgradeInterval time.Duration
+	// UpgradeOnTime is the fraction of recent deliveries that must meet
+	// the budget; below it the flow upgrades to the next service.
+	UpgradeOnTime float64
+}
+
+// DefaultConfig returns the paper's deployment defaults.
+func DefaultConfig() Config {
+	return Config{
+		Encoder:         coding.DefaultEncoderConfig(),
+		Recoverer:       coding.DefaultRecovererConfig(),
+		CacheTTL:        2 * time.Second,
+		SmallTimeout:    25 * time.Millisecond,
+		MaxNACKs:        3,
+		UpgradeInterval: 5 * time.Second,
+		UpgradeOnTime:   0.95,
+	}
+}
+
+// Deployment is one emulated J-QoS world: a simulator, a network, a cloud
+// topology, DC nodes running the services, and host endpoints.
+type Deployment struct {
+	cfg  Config
+	sim  *netem.Simulator
+	net  *netem.Network
+	topo *overlay.Topology
+
+	nextNode core.NodeID
+	nextFlow core.FlowID
+
+	dcs   map[core.NodeID]*DCNode
+	hosts map[core.NodeID]*Host
+	flows map[core.FlowID]*Flow
+
+	// Accounting: bytes that crossed cloud egress links, for cost
+	// reporting (§6.6). Keyed by the sending DC.
+	egressBytes map[core.NodeID]uint64
+}
+
+// NewDeployment creates an empty deployment with default config.
+func NewDeployment(seed int64) *Deployment {
+	return NewDeploymentWithConfig(seed, DefaultConfig())
+}
+
+// NewDeploymentWithConfig creates an empty deployment.
+func NewDeploymentWithConfig(seed int64, cfg Config) *Deployment {
+	sim := netem.NewSimulator(seed)
+	d := &Deployment{
+		cfg:         cfg,
+		sim:         sim,
+		net:         netem.NewNetwork(sim),
+		topo:        overlay.NewTopology(),
+		nextNode:    1,
+		nextFlow:    1,
+		dcs:         make(map[core.NodeID]*DCNode),
+		hosts:       make(map[core.NodeID]*Host),
+		flows:       make(map[core.FlowID]*Flow),
+		egressBytes: make(map[core.NodeID]uint64),
+	}
+	d.net.Tap = func(from, to core.NodeID, size int) {
+		if _, isDC := d.dcs[from]; isDC {
+			d.egressBytes[from] += uint64(size)
+		}
+	}
+	return d
+}
+
+// Sim exposes the simulator (clock, scheduling, RNG).
+func (d *Deployment) Sim() *netem.Simulator { return d.sim }
+
+// Network exposes the emulated fabric (for custom link shaping in tests
+// and experiments).
+func (d *Deployment) Network() *netem.Network { return d.net }
+
+// Topology exposes the latency/cost model used for service selection.
+func (d *Deployment) Topology() *overlay.Topology { return d.topo }
+
+// Now returns current virtual time.
+func (d *Deployment) Now() time.Duration { return d.sim.Now() }
+
+// Run advances the deployment by dur of virtual time.
+func (d *Deployment) Run(dur time.Duration) { d.sim.RunFor(dur) }
+
+// RunUntilQuiet runs until no events remain (all timers drained).
+func (d *Deployment) RunUntilQuiet() { d.sim.Run() }
+
+func (d *Deployment) allocNode() core.NodeID {
+	id := d.nextNode
+	d.nextNode++
+	return id
+}
+
+// AllocGroupID reserves a node ID usable as a multicast group address.
+func (d *Deployment) AllocGroupID() core.NodeID { return d.allocNode() }
+
+// AddDC creates a data center node running all three services.
+func (d *Deployment) AddDC(name string, region dataset.Region) core.NodeID {
+	id := d.allocNode()
+	dc := newDCNode(d, id)
+	d.dcs[id] = dc
+	d.topo.AddDC(overlay.DC{ID: id, Name: name, Region: region})
+	d.net.AddNode(id, dc.handle)
+	return id
+}
+
+// DC returns the DC node (panics on unknown ID — deployment wiring bug).
+func (d *Deployment) DC(id core.NodeID) *DCNode {
+	dc, ok := d.dcs[id]
+	if !ok {
+		panic(fmt.Sprintf("jqos: %v is not a DC", id))
+	}
+	return dc
+}
+
+// ConnectDCs links two DCs with the tight, reliable inter-DC path
+// (one-way latency x, sub-ms jitter, lossless — §2's cloud-path model).
+func (d *Deployment) ConnectDCs(a, b core.NodeID, x time.Duration) {
+	d.topo.SetInterDC(a, b, x)
+	d.net.ConnectBidirectional(a, b, func() *netem.Link {
+		return netem.NewLink(d.sim, netem.UniformJitter{Base: x, Jitter: x / 50}, nil)
+	})
+}
+
+// HostOption customizes AddHost.
+type HostOption func(*hostParams)
+
+type hostParams struct {
+	jitter     time.Duration
+	accessLoss float64
+	lossModel  netem.LossModel
+	delayModel netem.DelayModel
+}
+
+// WithAccessDelay installs an explicit delay process on the host↔DC links
+// (both directions, independent state via the same model instance). Used
+// to model overloaded endpoints whose responses straggle (§4.4).
+func WithAccessDelay(m netem.DelayModel) HostOption {
+	return func(h *hostParams) { h.delayModel = m }
+}
+
+// WithAccessJitter adds jitter to the host↔DC link.
+func WithAccessJitter(j time.Duration) HostOption {
+	return func(p *hostParams) { p.jitter = j }
+}
+
+// WithAccessLoss sets a random loss rate on the host→DC uplink (the paper
+// found ~98% of access losses on source→DC1 segments).
+func WithAccessLoss(p float64) HostOption {
+	return func(h *hostParams) { h.accessLoss = p }
+}
+
+// WithAccessLossModel installs an explicit loss process on the host→DC
+// uplink — e.g. a netem.SharedFate shared with the direct path to model a
+// common first mile.
+func WithAccessLossModel(m netem.LossModel) HostOption {
+	return func(h *hostParams) { h.lossModel = m }
+}
+
+// AddHost creates an endpoint attached to dc with one-way latency delta.
+func (d *Deployment) AddHost(dc core.NodeID, delta time.Duration, opts ...HostOption) core.NodeID {
+	var p hostParams
+	for _, o := range opts {
+		o(&p)
+	}
+	id := d.allocNode()
+	h := newHost(d, id, dc)
+	d.hosts[id] = h
+	d.topo.AttachHost(id, dc, delta)
+	d.net.AddNode(id, h.handle)
+	mkDelay := func() netem.DelayModel {
+		if p.delayModel != nil {
+			return p.delayModel
+		}
+		if p.jitter > 0 {
+			return netem.UniformJitter{Base: delta, Jitter: p.jitter}
+		}
+		return netem.FixedDelay(delta)
+	}
+	up := netem.NewLink(d.sim, mkDelay(), nil)
+	if p.lossModel != nil {
+		up.SetLoss(p.lossModel)
+	} else if p.accessLoss > 0 {
+		up.SetLoss(netem.Bernoulli{P: p.accessLoss})
+	}
+	d.net.Connect(id, dc, up)
+	d.net.Connect(dc, id, netem.NewLink(d.sim, mkDelay(), nil))
+	// Routing rule: every other DC reaches this host via its nearest DC.
+	for dcID, node := range d.dcs {
+		if dcID != dc {
+			node.fwd.SetRoute(id, dc)
+		}
+	}
+	return id
+}
+
+// Host returns the endpoint wrapper (panics on unknown ID).
+func (d *Deployment) Host(id core.NodeID) *Host {
+	h, ok := d.hosts[id]
+	if !ok {
+		panic(fmt.Sprintf("jqos: %v is not a host", id))
+	}
+	return h
+}
+
+// SetDirectPath installs the best-effort Internet path between two hosts
+// (both directions share the delay model family but have independent state;
+// loss applies to the forward direction only unless SetDirectPathAsym is
+// used). It also seeds the topology's direct-latency estimate with the
+// model's base delay at registration time.
+func (d *Deployment) SetDirectPath(src, dst core.NodeID, delay netem.DelayModel, loss netem.LossModel) {
+	d.net.Connect(src, dst, netem.NewLink(d.sim, delay, loss))
+	// Reverse path: same delay family, lossless (NACK/control traffic in
+	// the paper's experiments flows receiver→DC, not receiver→sender,
+	// so the reverse direct path is rarely exercised).
+	d.net.Connect(dst, src, netem.NewLink(d.sim, delay, nil))
+	d.seedDirectEstimate(src, dst, delay)
+}
+
+// SetDirectPathAsym installs each direction explicitly.
+func (d *Deployment) SetDirectPathAsym(src, dst core.NodeID, fwd, rev *netem.Link) {
+	d.net.Connect(src, dst, fwd)
+	d.net.Connect(dst, src, rev)
+}
+
+// seedDirectEstimate samples the delay model to estimate y for service
+// selection (§3.5's "initially assumed to be average values").
+func (d *Deployment) seedDirectEstimate(src, dst core.NodeID, delay netem.DelayModel) {
+	if delay == nil {
+		return
+	}
+	rng := d.sim.Fork()
+	var sum time.Duration
+	const n = 64
+	for i := 0; i < n; i++ {
+		sum += delay.Delay(0, rng)
+	}
+	d.topo.SetDirect(src, dst, sum/n)
+}
+
+// AddGroup installs a multicast group on a DC's forwarder.
+func (d *Deployment) AddGroup(dc core.NodeID, group core.NodeID, members ...core.NodeID) {
+	d.DC(dc).fwd.SetGroup(group, members...)
+}
+
+// EgressBytes reports cloud egress volume per DC (cost accounting).
+func (d *Deployment) EgressBytes(dc core.NodeID) uint64 { return d.egressBytes[dc] }
+
+// TotalEgressBytes sums egress across all DCs.
+func (d *Deployment) TotalEgressBytes() uint64 {
+	var t uint64
+	for _, b := range d.egressBytes {
+		t += b
+	}
+	return t
+}
+
+// CloudCostPerGB converts accumulated egress into dollars under the
+// default price model.
+func (d *Deployment) CloudCost() float64 {
+	return float64(d.TotalEgressBytes()) / 1e9 * overlay.DefaultCostModel.EgressPerGB
+}
+
+// Flows returns all registered flows (ordered by ID).
+func (d *Deployment) Flows() []*Flow {
+	out := make([]*Flow, 0, len(d.flows))
+	for id := core.FlowID(1); id < d.nextFlow; id++ {
+		if f, ok := d.flows[id]; ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}
