@@ -56,14 +56,22 @@ func (n *DCNode) Recoverer() *coding.Recoverer { return n.rec }
 // Dropped counts datagrams the DC could not parse.
 func (n *DCNode) Dropped() uint64 { return n.drop }
 
-// transmit sends engine emits into the network.
+// transmit sends engine emits into the network. The pushed next-hop table
+// outranks a direct link: on a healthy mesh both agree (the next hop to an
+// adjacent DC IS that DC), but after a failure the controller has moved
+// the route off the dead link while the link object still exists — so the
+// table, not link presence, decides.
 func (n *DCNode) transmit(emits []core.Emit) {
 	for _, em := range emits {
+		if via, ok := n.fwd.Route(em.To); ok && via != n.id && n.d.net.HasRoute(n.id, via) {
+			n.d.net.Send(n.id, via, em.Msg)
+			continue
+		}
 		if n.d.net.HasRoute(n.id, em.To) {
 			n.d.net.Send(n.id, em.To, em.Msg)
 			continue
 		}
-		// No direct link: relay via the recipient's nearest DC.
+		// Last resort: relay via the recipient's nearest DC.
 		if via, ok := n.d.topo.NearestDC(em.To); ok && via != n.id && n.d.net.HasRoute(n.id, via) {
 			n.d.net.Send(n.id, via, em.Msg)
 			continue
@@ -85,6 +93,10 @@ func (n *DCNode) handle(from, to core.NodeID, data []byte) {
 	// (e.g. a helper's CoopResp transiting its own DC toward DC2).
 	relay := hdr.Dst != n.id
 	switch hdr.Type {
+	case wire.TypeProbe:
+		n.onProbe(&hdr)
+	case wire.TypeProbeAck:
+		n.onProbeAck(now, &hdr)
 	case wire.TypeData:
 		n.onData(now, &hdr, body, data)
 	case wire.TypeCoded:

@@ -48,7 +48,6 @@ func main() {
 	// once regardless of group size).
 	group := dep.AllocGroupID()
 	dep.AddGroup(dc2, group, members...)
-	dep.DC(dc1).Forwarder().SetRoute(group, dc2)
 	flow, err := dep.RegisterMulticast(src, group, members, 400*time.Millisecond,
 		jqos.WithService(jqos.ServiceCaching))
 	if err != nil {

@@ -1,0 +1,120 @@
+// Reroute: a forwarding flow crosses a sparse 4-DC overlay (a diamond —
+// no direct link between the sender's and receiver's DCs). Mid-flow, the
+// primary inter-DC link dies. The routing control plane's link monitor
+// detects the probe losses, marks the link down, recomputes paths, and
+// pushes new next-hop tables — packets shift to the alternate path with
+// no sender involvement, and shift back when the link heals.
+//
+//	go run ./examples/reroute
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"jqos"
+	"jqos/internal/core"
+	"jqos/internal/dataset"
+)
+
+func main() {
+	cfg := jqos.DefaultConfig()
+	cfg.UpgradeInterval = 0
+	cfg.Monitor.ProbeInterval = 100 * time.Millisecond
+	dep := jqos.NewDeploymentWithConfig(7, cfg)
+
+	// Diamond overlay: primary dc1→dc2→dc4 (30 ms), backup dc1→dc3→dc4
+	// (50 ms). dc1 and dc4 have NO direct link — the seed's full-mesh
+	// assumption would have refused this deployment outright.
+	dc1 := dep.AddDC("us-east", dataset.RegionUSEast)
+	dc2 := dep.AddDC("us-west", dataset.RegionUSWest)
+	dc3 := dep.AddDC("eu-west", dataset.RegionEU)
+	dc4 := dep.AddDC("ap-south", dataset.RegionAsia)
+	dep.ConnectDCs(dc1, dc2, 15*time.Millisecond)
+	dep.ConnectDCs(dc2, dc4, 15*time.Millisecond)
+	dep.ConnectDCs(dc1, dc3, 25*time.Millisecond)
+	dep.ConnectDCs(dc3, dc4, 25*time.Millisecond)
+
+	src := dep.AddHost(dc1, 5*time.Millisecond)
+	dst := dep.AddHost(dc4, 8*time.Millisecond)
+
+	for i, p := range dep.Routing().Paths(dc1, dc4, 2) {
+		kind := "primary "
+		if i > 0 {
+			kind = "alternate"
+		}
+		fmt.Printf("%s path dc1→dc4: %v  (%v one-way)\n", kind, p.Nodes, p.Cost)
+	}
+
+	// Register purely against routed overlay latency (no direct Internet
+	// path exists between src and dst).
+	flow, err := dep.Register(src, dst, 300*time.Millisecond)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("selected service: %v\n\n", flow.Service())
+
+	// Bucket delivery latency per 250 ms of send time so the reroute is
+	// visible as a latency step.
+	const bucket = 250 * time.Millisecond
+	type cell struct {
+		n   int
+		sum time.Duration
+	}
+	buckets := map[int]*cell{}
+	dep.Host(dst).SetDeliveryHandler(func(del core.Delivery) {
+		b := int(del.Packet.Sent / bucket)
+		c := buckets[b]
+		if c == nil {
+			c = &cell{}
+			buckets[b] = c
+		}
+		c.n++
+		c.sum += del.At - del.Packet.Sent
+	})
+
+	// 6 s of CBR traffic; the dc2—dc4 link dies at 2 s and heals at 4 s.
+	const n, spacing = 1200, 5 * time.Millisecond
+	for i := 0; i < n; i++ {
+		at := time.Duration(i) * spacing
+		dep.Sim().At(at, func() { flow.Send([]byte("reroute demo payload")) })
+	}
+	dep.Sim().At(2*time.Second, func() {
+		fmt.Println("t=2.000s  dc2—dc4 link fails (blackhole)")
+		dep.DisconnectDCs(dc2, dc4)
+	})
+	dep.Sim().At(4*time.Second, func() {
+		fmt.Println("t=4.000s  dc2—dc4 link repaired")
+		dep.SetLinkQuality(dc2, dc4, 15*time.Millisecond, 0)
+	})
+	dep.Run(15 * time.Second)
+
+	fmt.Println("\nmean delivery latency by send time:")
+	for b := 0; b*int(bucket) < int(time.Duration(n)*spacing); b++ {
+		c := buckets[b]
+		from := time.Duration(b) * bucket
+		if c == nil || c.n == 0 {
+			fmt.Printf("  %5.2fs  (all lost — failure detection window)\n", from.Seconds())
+			continue
+		}
+		mean := c.sum / time.Duration(c.n)
+		bar := ""
+		for i := time.Duration(0); i < mean; i += 4 * time.Millisecond {
+			bar += "#"
+		}
+		fmt.Printf("  %5.2fs  %6.1fms  %-18s (%d/%d delivered)\n",
+			from.Seconds(), float64(mean)/float64(time.Millisecond), bar, c.n, int(bucket/spacing))
+	}
+
+	m := flow.Metrics()
+	st := dep.RoutingStats()
+	h, _ := dep.LinkHealth(dc2, dc4)
+	fmt.Printf("\ndelivered:   %d of %d (%.1f%% lost in the detection gap)\n",
+		m.Delivered, m.Sent, 100*m.LossRate())
+	fmt.Printf("on budget:   %d/%d (300ms)\n", m.OnTime, m.Delivered)
+	fmt.Printf("control:     %d recomputes, %d route pushes, %d reroutes\n",
+		st.Recomputes, st.Pushes, st.Reroutes)
+	fmt.Printf("link dc2—dc4: state=%v rtt=%v probes=%d lost=%d\n",
+		h.State, h.RTT.Round(time.Millisecond), h.ProbesSent, h.ProbesLost)
+	fmt.Printf("failures=%d recoveries=%d\n", st.LinkFailures, st.LinkRecoveries)
+}

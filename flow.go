@@ -101,6 +101,7 @@ func (f *Flow) Send(payload []byte) core.Seq {
 // SendFlagged is Send with explicit header flags (e.g. FlagEndOfBurst).
 func (f *Flow) SendFlagged(payload []byte, flags uint16) core.Seq {
 	f.seq++
+	f.d.noteActivity()
 	now := f.d.sim.Now()
 	hdr := wire.Header{
 		Type:    wire.TypeData,

@@ -1,0 +1,3 @@
+module jqos
+
+go 1.21

@@ -179,6 +179,7 @@ func (h *Host) PullFlow(flow core.FlowID, after core.Seq) {
 		Src:     h.id,
 		Dst:     h.dc,
 	}
+	h.d.noteActivity()
 	h.ensureReceiver(flow, 0, core.ServiceCaching)
 	h.transmit([]core.Emit{{To: h.dc, Msg: wire.AppendMessage(nil, &hdr, nil)}})
 	h.armTimer()

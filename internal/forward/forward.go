@@ -54,6 +54,13 @@ func (f *Forwarder) SetRoute(dst, via core.NodeID) { f.routes[dst] = via }
 // DeleteRoute removes the route for dst.
 func (f *Forwarder) DeleteRoute(dst core.NodeID) { delete(f.routes, dst) }
 
+// Route returns the installed next hop for dst, if any. Transmit paths use
+// it to reach nodes this DC has no direct link to (multi-hop overlays).
+func (f *Forwarder) Route(dst core.NodeID) (core.NodeID, bool) {
+	via, ok := f.routes[dst]
+	return via, ok
+}
+
 // SetGroup installs (or replaces) a multicast group. Members are stored
 // sorted so fan-out order is deterministic.
 func (f *Forwarder) SetGroup(group core.NodeID, members ...core.NodeID) {

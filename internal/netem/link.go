@@ -68,6 +68,20 @@ func (l *Link) SetLoss(m LossModel) {
 	l.loss = m
 }
 
+// SetDelay swaps the propagation delay process (used by scenario scripts
+// to degrade or repair a path mid-run). In-flight packets keep the arrival
+// times they were assigned at send.
+func (l *Link) SetDelay(m DelayModel) {
+	if m == nil {
+		m = FixedDelay(0)
+	}
+	l.delay = m
+}
+
+// Delay returns the link's current propagation delay model — used to seed
+// latency estimates from explicitly constructed links.
+func (l *Link) Delay() DelayModel { return l.delay }
+
 // Send offers a packet of size bytes to the link. If the packet survives
 // loss and queueing, deliver runs at its arrival time. Send reports whether
 // the packet was accepted (false = dropped); the result is for accounting

@@ -18,6 +18,15 @@ type DC struct {
 	Region dataset.Region
 }
 
+// PathOracle resolves DC-to-DC latency through a routing control plane:
+// the routed (possibly multi-hop) one-way latency between two DCs, with
+// ok=false when no path currently exists. routing.Controller implements
+// it; a Topology without an oracle falls back to its static inter-DC map
+// (direct links only).
+type PathOracle interface {
+	PathLatency(a, b core.NodeID) (core.Time, bool)
+}
+
 // Topology is the latency map of a deployment: which DC is near each host,
 // δ/x segment latencies, and (estimated, online-updated) direct-path
 // latencies between host pairs. All latencies are one-way.
@@ -28,6 +37,10 @@ type Topology struct {
 	nearest map[core.NodeID]core.NodeID
 	delta   map[core.NodeID]core.Time
 	direct  map[[2]core.NodeID]core.Time
+	// Oracle, when set, answers InterDC with routed path latency — so
+	// sparse (non-mesh) overlays predict delays and select services for
+	// DC pairs with no direct link, and predictions track link health.
+	Oracle PathOracle
 	// DefaultDirect seeds the direct-path estimate for pairs that have
 	// not communicated yet (§3.5: "initially assumed to be average
 	// values"). Zero means unknown.
@@ -80,9 +93,26 @@ func (t *Topology) SetInterDC(a, b core.NodeID, x core.Time) {
 
 // InterDC returns the one-way DC-to-DC latency, or (0, false) if unknown.
 // Latency between a DC and itself is zero (partial overlays use one DC).
+// With an Oracle installed the answer is the routed path latency (multi-hop
+// when no direct link exists, rerouted when links fail); the static map is
+// the fallback for oracle-less topologies.
 func (t *Topology) InterDC(a, b core.NodeID) (core.Time, bool) {
 	if a == b {
 		return 0, true
+	}
+	if t.Oracle != nil {
+		if x, ok := t.Oracle.PathLatency(a, b); ok {
+			return x, true
+		}
+		// PathLatency(n, n) is (0, true) exactly when the oracle routes
+		// n. If it routes both DCs yet found no path, the overlay is
+		// genuinely partitioned — don't fall back to a stale static
+		// entry and pretend the pair is reachable.
+		_, aKnown := t.Oracle.PathLatency(a, a)
+		_, bKnown := t.Oracle.PathLatency(b, b)
+		if aKnown && bKnown {
+			return 0, false
+		}
 	}
 	x, ok := t.interDC[[2]core.NodeID{a, b}]
 	return x, ok

@@ -140,6 +140,61 @@ func TestPredictDelayMissingInputs(t *testing.T) {
 	}
 }
 
+// fakeOracle answers PathLatency from a fixed table; nodes list which IDs
+// it claims to route.
+type fakeOracle struct {
+	nodes map[core.NodeID]bool
+	paths map[[2]core.NodeID]core.Time
+}
+
+func (o *fakeOracle) PathLatency(a, b core.NodeID) (core.Time, bool) {
+	if a == b {
+		return 0, o.nodes[a]
+	}
+	x, ok := o.paths[[2]core.NodeID{a, b}]
+	return x, ok
+}
+
+func TestInterDCDelegatesToOracle(t *testing.T) {
+	top := buildTestTopology()
+	top.AddDC(DC{ID: 3, Name: "ap-south"})
+	// No SetInterDC(1,3): without an oracle the pair is unknown.
+	if _, ok := top.InterDC(1, 3); ok {
+		t.Fatal("oracle-less sparse pair resolved")
+	}
+	oracle := &fakeOracle{
+		nodes: map[core.NodeID]bool{1: true, 2: true, 3: true},
+		paths: map[[2]core.NodeID]core.Time{
+			{1, 3}: 90 * time.Millisecond, // routed multi-hop
+			{1, 2}: 35 * time.Millisecond, // faster than the 40ms static entry
+		},
+	}
+	top.Oracle = oracle
+	// Routed latency answers sparse pairs and overrides static entries.
+	if x, ok := top.InterDC(1, 3); !ok || x != 90*time.Millisecond {
+		t.Errorf("InterDC(1,3) = %v %v, want routed 90ms", x, ok)
+	}
+	if x, ok := top.InterDC(1, 2); !ok || x != 35*time.Millisecond {
+		t.Errorf("InterDC(1,2) = %v %v, want routed 35ms", x, ok)
+	}
+	// Both DCs routed but no path → partitioned, NOT the static fallback.
+	delete(oracle.paths, [2]core.NodeID{1, 2})
+	if _, ok := top.InterDC(1, 2); ok {
+		t.Error("partitioned pair fell back to the static entry")
+	}
+	// A pair the oracle does not route falls back to the static map.
+	delete(oracle.nodes, 2)
+	if x, ok := top.InterDC(1, 2); !ok || x != 40*time.Millisecond {
+		t.Errorf("fallback InterDC(1,2) = %v %v, want static 40ms", x, ok)
+	}
+	// PredictDelay follows: forwarding over the routed path.
+	top.AttachHost(30, 3, 7*time.Millisecond)
+	top.Oracle = oracle
+	if d, ok := top.PredictDelay(core.ServiceForwarding, 10, 30); !ok || d != (5+90+7)*time.Millisecond {
+		t.Errorf("forwarding via oracle = %v %v, want 102ms", d, ok)
+	}
+}
+
 func TestSelectServicePicksCheapest(t *testing.T) {
 	top := buildTestTopology()
 	top.MedianDelta = 8 * time.Millisecond

@@ -1,0 +1,89 @@
+package routing
+
+import (
+	"testing"
+	"time"
+
+	"jqos/internal/core"
+)
+
+// benchController builds a 50-DC random sparse graph (ring + 25 chords)
+// with 100 attached hosts — the control-plane cost profile of a real
+// deployment rather than a toy mesh.
+func benchController() *Controller {
+	c := NewController(2)
+	randomSparseGraph(c, 50, 25, 42)
+	for h := 0; h < 100; h++ {
+		c.AttachHost(core.NodeID(1000+h), core.NodeID(h%50+1))
+	}
+	c.Recompute()
+	return c
+}
+
+// BenchmarkRouteCompute measures one full all-pairs recomputation + push
+// reconciliation over the 50-DC sparse graph.
+func BenchmarkRouteCompute(b *testing.B) {
+	c := benchController()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Recompute()
+	}
+}
+
+// BenchmarkReroute measures failure→converged tables: each iteration
+// fails a link on the busiest path and then restores it (two health
+// transitions, each a recompute plus delta push).
+func BenchmarkReroute(b *testing.B) {
+	c := benchController()
+	// Pick a link actually on 1→26's primary path so the failure moves
+	// routes rather than recomputing a no-op.
+	ps := c.Paths(1, 26, 1)
+	if len(ps) == 0 || len(ps[0].Nodes) < 2 {
+		b.Fatal("no path to exercise")
+	}
+	la, lb := ps[0].Nodes[0], ps[0].Nodes[1]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.SetLinkHealth(la, lb, LinkDown, 0)
+		c.SetLinkHealth(la, lb, LinkUp, 0)
+	}
+	b.StopTimer()
+	if c.Stats().Reroutes == 0 {
+		b.Fatal("bench never rerouted")
+	}
+}
+
+// BenchmarkKShortestPaths measures alternate-path computation (k=3) on
+// the sparse graph.
+func BenchmarkKShortestPaths(b *testing.B) {
+	c := benchController()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ps := c.Paths(1, 26, 3); len(ps) == 0 {
+			b.Fatal("no paths")
+		}
+	}
+}
+
+// BenchmarkMonitorProbe measures the per-probe bookkeeping cost (sent +
+// acked + state evaluation) on a healthy link.
+func BenchmarkMonitorProbe(b *testing.B) {
+	c := NewController(2)
+	c.AddDC(1, newFakeSink())
+	c.AddDC(2, newFakeSink())
+	c.SetLink(1, 2, 10*time.Millisecond)
+	m := NewMonitor(c, DefaultMonitorConfig())
+	m.Track(1, 2, 10*time.Millisecond)
+	now := core.Time(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq := uint64(i + 1)
+		m.ProbeSent(1, 2, seq, now)
+		now += 20 * time.Millisecond
+		m.ProbeAcked(1, 2, seq, now)
+	}
+}

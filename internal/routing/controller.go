@@ -1,0 +1,269 @@
+package routing
+
+import (
+	"jqos/internal/core"
+)
+
+// RouteSink receives next-hop pushes for one DC. forward.Forwarder
+// satisfies it; tests use map-backed fakes.
+type RouteSink interface {
+	SetRoute(dst, via core.NodeID)
+	DeleteRoute(dst core.NodeID)
+}
+
+// Stats counts control-plane activity.
+type Stats struct {
+	// Recomputes is the number of full table computations.
+	Recomputes uint64
+	// Pushes counts route entries written to sinks (sets + deletes).
+	Pushes uint64
+	// RouteChanges counts installed entries whose next hop moved to a
+	// different, still-valid hop.
+	RouteChanges uint64
+	// Reroutes counts recompute events that moved at least one existing
+	// destination onto a new next hop — i.e. traffic actually shifted.
+	Reroutes uint64
+	// Link health transitions reported by the monitor.
+	LinkFailures   uint64
+	LinkRecoveries uint64
+	LinkDegrades   uint64
+	// Unreachable is the number of (DC, destination) pairs with no path
+	// after the last recompute.
+	Unreachable int
+}
+
+// Controller is the centralized routing control plane: it owns the link
+// graph, recomputes all-pairs shortest paths when the graph or link health
+// changes, and pushes per-DC next-hop tables (for DC and host/group
+// destinations alike) to the registered RouteSinks.
+type Controller struct {
+	g     *Graph
+	k     int // alternate paths kept per pair (KShortestPaths default)
+	sinks map[core.NodeID]RouteSink
+	// homes maps host (or multicast-group) IDs to their home DC; hosts
+	// are routed toward their home DC's next hop.
+	homes     map[core.NodeID]core.NodeID
+	hostOrder []core.NodeID // sorted host IDs for deterministic pushes
+
+	dist      map[[2]core.NodeID]core.Time  // routed DC-pair latency
+	nextHop   map[[2]core.NodeID]core.NodeID
+	installed map[core.NodeID]map[core.NodeID]core.NodeID // per-DC pushed entries
+
+	stats Stats
+}
+
+// NewController creates an empty control plane keeping k alternate paths
+// per DC pair (k < 1 is treated as 1).
+func NewController(k int) *Controller {
+	if k < 1 {
+		k = 1
+	}
+	return &Controller{
+		g:         NewGraph(),
+		k:         k,
+		sinks:     make(map[core.NodeID]RouteSink),
+		homes:     make(map[core.NodeID]core.NodeID),
+		dist:      make(map[[2]core.NodeID]core.Time),
+		nextHop:   make(map[[2]core.NodeID]core.NodeID),
+		installed: make(map[core.NodeID]map[core.NodeID]core.NodeID),
+	}
+}
+
+// Graph exposes the link graph (read-mostly; mutate via the controller so
+// tables stay in sync).
+func (c *Controller) Graph() *Graph { return c.g }
+
+// Stats returns a copy of the counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// AddDC registers a DC vertex and the sink its routes are pushed to.
+func (c *Controller) AddDC(id core.NodeID, sink RouteSink) {
+	c.g.AddNode(id)
+	c.sinks[id] = sink
+	if c.installed[id] == nil {
+		c.installed[id] = make(map[core.NodeID]core.NodeID)
+	}
+}
+
+// AttachHost binds a host (or multicast-group) destination to its home DC
+// and pushes its routes to every DC immediately.
+func (c *Controller) AttachHost(host, home core.NodeID) {
+	c.hostOrder = insortID(c.hostOrder, host)
+	c.homes[host] = home
+	for _, dc := range c.g.Nodes() {
+		c.pushEntry(dc, host, c.desiredVia(dc, host))
+	}
+}
+
+// SetLink installs or re-bases the inter-DC link a↔b (one-way latency)
+// and recomputes tables.
+func (c *Controller) SetLink(a, b core.NodeID, base core.Time) {
+	c.g.SetLink(a, b, base)
+	c.Recompute()
+}
+
+// RemoveLink deletes the link a↔b and recomputes tables.
+func (c *Controller) RemoveLink(a, b core.NodeID) {
+	c.g.RemoveLink(a, b)
+	c.Recompute()
+}
+
+// SetLinkHealth applies a monitor verdict: the link's state and (for
+// degraded or refreshed links) its estimated one-way cost (0 keeps the
+// configured base). A change triggers incremental recomputation and a
+// route re-push.
+func (c *Controller) SetLinkHealth(a, b core.NodeID, state LinkState, est core.Time) {
+	l := c.g.Link(a, b)
+	if l == nil || (l.State == state && l.Est == est) {
+		return
+	}
+	switch {
+	case state == LinkDown && l.State != LinkDown:
+		c.stats.LinkFailures++
+	case state == LinkUp && l.State == LinkDown:
+		c.stats.LinkRecoveries++
+	case state == LinkDegraded && l.State != LinkDegraded:
+		c.stats.LinkDegrades++
+	}
+	l.State = state
+	l.Est = est
+	c.Recompute()
+}
+
+// NextHop returns the installed next hop at dc toward dst (a DC, host, or
+// group destination).
+func (c *Controller) NextHop(dc, dst core.NodeID) (core.NodeID, bool) {
+	via, ok := c.installed[dc][dst]
+	return via, ok
+}
+
+// PathLatency returns the routed one-way latency between two DCs, or
+// ok=false when no path exists. overlay.Topology uses it as its
+// inter-DC oracle, which makes service selection work on sparse graphs.
+func (c *Controller) PathLatency(a, b core.NodeID) (core.Time, bool) {
+	if a == b {
+		if c.g.HasNode(a) {
+			return 0, true
+		}
+		return 0, false
+	}
+	d, ok := c.dist[[2]core.NodeID{a, b}]
+	return d, ok
+}
+
+// Paths returns up to k alternate paths a→b (k ≤ 0 uses the controller's
+// configured alternate count).
+func (c *Controller) Paths(a, b core.NodeID, k int) []Path {
+	if k <= 0 {
+		k = c.k
+	}
+	return c.g.KShortestPaths(a, b, k)
+}
+
+// Recompute rebuilds the all-pairs tables from current link health and
+// pushes the deltas to every sink. Unchanged entries are not re-pushed.
+func (c *Controller) Recompute() {
+	c.stats.Recomputes++
+	dist := make(map[[2]core.NodeID]core.Time, len(c.dist))
+	nh := make(map[[2]core.NodeID]core.NodeID, len(c.nextHop))
+	for _, src := range c.g.Nodes() {
+		res := c.g.shortestFrom(src, nil, nil)
+		for _, dst := range c.g.Nodes() {
+			if dst == src {
+				continue
+			}
+			if d, ok := res.dist[dst]; ok {
+				dist[[2]core.NodeID{src, dst}] = d
+				if via, ok := res.nextHopFrom(src, dst); ok {
+					nh[[2]core.NodeID{src, dst}] = via
+				}
+			}
+		}
+	}
+	c.dist, c.nextHop = dist, nh
+
+	changed := 0
+	unreachable := 0
+	for _, dc := range c.g.Nodes() {
+		// DC destinations first, then hosts — both in ascending ID order.
+		for _, dst := range c.g.Nodes() {
+			if dst == dc {
+				continue
+			}
+			via, ok := c.desired(dc, dst)
+			if !ok {
+				unreachable++
+			}
+			changed += c.pushEntry(dc, dst, viaOrNone(via, ok))
+		}
+		for _, h := range c.hostOrder {
+			via := c.desiredVia(dc, h)
+			if via == 0 && c.homes[h] != dc {
+				unreachable++
+			}
+			changed += c.pushEntry(dc, h, via)
+		}
+	}
+	c.stats.Unreachable = unreachable
+	if changed > 0 {
+		c.stats.Reroutes++
+	}
+}
+
+// desired returns the next hop dc→dst for a DC destination.
+func (c *Controller) desired(dc, dst core.NodeID) (core.NodeID, bool) {
+	via, ok := c.nextHop[[2]core.NodeID{dc, dst}]
+	return via, ok
+}
+
+// desiredVia resolves a host destination to its next hop at dc: none when
+// dc is the host's home (direct delivery), otherwise the hop toward the
+// home DC. Returns 0 for "no entry".
+func (c *Controller) desiredVia(dc, host core.NodeID) core.NodeID {
+	home := c.homes[host]
+	if home == dc {
+		return 0
+	}
+	via, ok := c.nextHop[[2]core.NodeID{dc, home}]
+	if !ok {
+		return 0
+	}
+	return via
+}
+
+func viaOrNone(via core.NodeID, ok bool) core.NodeID {
+	if !ok {
+		return 0
+	}
+	return via
+}
+
+// pushEntry reconciles one (dc, dst) entry against what is installed,
+// returning 1 when an existing next hop moved to a different valid hop.
+func (c *Controller) pushEntry(dc, dst core.NodeID, via core.NodeID) int {
+	sink := c.sinks[dc]
+	if sink == nil {
+		return 0
+	}
+	tbl := c.installed[dc]
+	old, had := tbl[dst]
+	if via == 0 {
+		if had {
+			sink.DeleteRoute(dst)
+			delete(tbl, dst)
+			c.stats.Pushes++
+		}
+		return 0
+	}
+	if had && old == via {
+		return 0
+	}
+	sink.SetRoute(dst, via)
+	tbl[dst] = via
+	c.stats.Pushes++
+	if had {
+		c.stats.RouteChanges++
+		return 1
+	}
+	return 0
+}

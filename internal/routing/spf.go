@@ -1,0 +1,257 @@
+package routing
+
+import (
+	"container/heap"
+	"math"
+
+	"jqos/internal/core"
+)
+
+// Path is one loop-free route through the DC graph, endpoints included.
+type Path struct {
+	Nodes []core.NodeID
+	Cost  core.Time
+}
+
+// pqItem is one entry of the Dijkstra frontier. Ties on dist break on node
+// ID, so equal-cost multipath resolves identically on every run and
+// machine — the deterministic tie-breaking the route tables rely on.
+type pqItem struct {
+	node core.NodeID
+	dist core.Time
+}
+
+type pq []pqItem
+
+func (q pq) Len() int { return len(q) }
+func (q pq) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	return q[i].node < q[j].node
+}
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+func (q *pq) push(it pqItem)    { heap.Push(q, it) }
+func (q *pq) pop() pqItem       { return heap.Pop(q).(pqItem) }
+
+const infCost = core.Time(math.MaxInt64)
+
+// spfResult is one single-source shortest-path tree.
+type spfResult struct {
+	dist map[core.NodeID]core.Time
+	prev map[core.NodeID]core.NodeID
+}
+
+// shortestFrom runs Dijkstra from src over up-links, skipping banned edges
+// and vertices (nil = none). Tie-breaking is deterministic: the frontier
+// orders equal distances by node ID, and an equal-cost relaxation keeps
+// the lower-ID predecessor.
+func (g *Graph) shortestFrom(src core.NodeID, bannedEdge map[[2]core.NodeID]bool, bannedNode map[core.NodeID]bool) spfResult {
+	res := spfResult{
+		dist: make(map[core.NodeID]core.Time, len(g.order)),
+		prev: make(map[core.NodeID]core.NodeID, len(g.order)),
+	}
+	if !g.nodes[src] || bannedNode[src] {
+		return res
+	}
+	res.dist[src] = 0
+	frontier := make(pq, 0, len(g.order))
+	frontier.push(pqItem{node: src, dist: 0})
+	done := make(map[core.NodeID]bool, len(g.order))
+	for len(frontier) > 0 {
+		it := frontier.pop()
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		for _, nb := range g.Neighbors(it.node) {
+			if bannedNode[nb] || bannedEdge[linkKey(it.node, nb)] {
+				continue
+			}
+			l := g.Link(it.node, nb)
+			w, up := l.Cost()
+			if !up {
+				continue
+			}
+			nd := it.dist + w
+			old, seen := res.dist[nb]
+			switch {
+			case !seen || nd < old:
+				res.dist[nb] = nd
+				res.prev[nb] = it.node
+				frontier.push(pqItem{node: nb, dist: nd})
+			case nd == old && it.node < res.prev[nb]:
+				res.prev[nb] = it.node
+			}
+		}
+	}
+	return res
+}
+
+// pathTo reconstructs src→dst from a shortest-path tree (nil if dst is
+// unreachable).
+func (r spfResult) pathTo(src, dst core.NodeID) []core.NodeID {
+	if _, ok := r.dist[dst]; !ok {
+		return nil
+	}
+	var rev []core.NodeID
+	for at := dst; ; {
+		rev = append(rev, at)
+		if at == src {
+			break
+		}
+		at = r.prev[at]
+	}
+	out := make([]core.NodeID, len(rev))
+	for i, n := range rev {
+		out[len(rev)-1-i] = n
+	}
+	return out
+}
+
+// nextHopFrom extracts the first hop of src→dst (0, false if unreachable
+// or dst == src).
+func (r spfResult) nextHopFrom(src, dst core.NodeID) (core.NodeID, bool) {
+	if dst == src {
+		return 0, false
+	}
+	if _, ok := r.dist[dst]; !ok {
+		return 0, false
+	}
+	at := dst
+	for r.prev[at] != src {
+		at = r.prev[at]
+	}
+	return at, true
+}
+
+// ShortestPath returns the (deterministic) least-latency path src→dst over
+// up-links, or ok=false when none exists.
+func (g *Graph) ShortestPath(src, dst core.NodeID) (Path, bool) {
+	res := g.shortestFrom(src, nil, nil)
+	nodes := res.pathTo(src, dst)
+	if nodes == nil {
+		return Path{}, false
+	}
+	return Path{Nodes: nodes, Cost: res.dist[dst]}, true
+}
+
+// KShortestPaths returns up to k loop-free paths src→dst in ascending cost
+// order (Yen's algorithm over the health-filtered graph). The first path
+// is the primary route; the rest are the alternates a failure would fall
+// back to. Equal-cost candidates order by path length then lexicographic
+// node IDs, keeping the result deterministic.
+func (g *Graph) KShortestPaths(src, dst core.NodeID, k int) []Path {
+	if k <= 0 {
+		return nil
+	}
+	first, ok := g.ShortestPath(src, dst)
+	if !ok {
+		return nil
+	}
+	paths := []Path{first}
+	var candidates []Path
+	for len(paths) < k {
+		prev := paths[len(paths)-1].Nodes
+		// Spur from every node of the previously found path.
+		for i := 0; i < len(prev)-1; i++ {
+			spur := prev[i]
+			rootNodes := prev[:i+1]
+			rootCost := g.pathCost(rootNodes)
+			bannedEdge := make(map[[2]core.NodeID]bool)
+			for _, p := range paths {
+				if len(p.Nodes) > i && samePrefix(p.Nodes, rootNodes) {
+					bannedEdge[linkKey(p.Nodes[i], p.Nodes[i+1])] = true
+				}
+			}
+			bannedNode := make(map[core.NodeID]bool)
+			for _, n := range rootNodes[:len(rootNodes)-1] {
+				bannedNode[n] = true
+			}
+			res := g.shortestFrom(spur, bannedEdge, bannedNode)
+			spurNodes := res.pathTo(spur, dst)
+			if spurNodes == nil {
+				continue
+			}
+			total := append(append([]core.NodeID(nil), rootNodes[:len(rootNodes)-1]...), spurNodes...)
+			cand := Path{Nodes: total, Cost: rootCost + res.dist[dst]}
+			if !containsPath(paths, cand) && !containsPath(candidates, cand) {
+				candidates = append(candidates, cand)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		best := 0
+		for i := 1; i < len(candidates); i++ {
+			if pathLess(candidates[i], candidates[best]) {
+				best = i
+			}
+		}
+		paths = append(paths, candidates[best])
+		candidates = append(candidates[:best], candidates[best+1:]...)
+	}
+	return paths
+}
+
+// pathCost sums link costs along nodes (assumes all links up).
+func (g *Graph) pathCost(nodes []core.NodeID) core.Time {
+	var c core.Time
+	for i := 0; i+1 < len(nodes); i++ {
+		if w, up := g.Link(nodes[i], nodes[i+1]).Cost(); up {
+			c += w
+		}
+	}
+	return c
+}
+
+func samePrefix(p, prefix []core.NodeID) bool {
+	if len(p) < len(prefix) {
+		return false
+	}
+	for i, n := range prefix {
+		if p[i] != n {
+			return false
+		}
+	}
+	return true
+}
+
+func containsPath(ps []Path, q Path) bool {
+	for _, p := range ps {
+		if sameNodes(p.Nodes, q.Nodes) {
+			return true
+		}
+	}
+	return false
+}
+
+func sameNodes(a, b []core.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// pathLess orders candidate paths: cost, then hop count, then node IDs.
+func pathLess(a, b Path) bool {
+	if a.Cost != b.Cost {
+		return a.Cost < b.Cost
+	}
+	if len(a.Nodes) != len(b.Nodes) {
+		return len(a.Nodes) < len(b.Nodes)
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			return a.Nodes[i] < b.Nodes[i]
+		}
+	}
+	return false
+}

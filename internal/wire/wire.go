@@ -59,6 +59,12 @@ const (
 	// TypeCtrl carries JSON control-channel payloads (registration,
 	// delivery stats, service selection) — the TCP channel in §5.
 	TypeCtrl
+	// TypeProbe is a routing-control-plane link probe: sent one hop over
+	// an inter-DC link, answered with TypeProbeAck. Seq carries the probe
+	// sequence number; TS the send time, echoed back for RTT measurement.
+	TypeProbe
+	// TypeProbeAck answers a TypeProbe.
+	TypeProbeAck
 )
 
 // String implements fmt.Stringer.
@@ -86,6 +92,10 @@ func (t MsgType) String() string {
 		return "verifyresp"
 	case TypeCtrl:
 		return "ctrl"
+	case TypeProbe:
+		return "probe"
+	case TypeProbeAck:
+		return "probeack"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(t))
 	}

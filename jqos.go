@@ -19,6 +19,20 @@
 // deployments run in-process and reproducibly. The same engines run over
 // real UDP sockets via internal/transport and cmd/jqos-relay.
 //
+// # Routing control plane
+//
+// Overlays need not be full meshes: internal/routing holds the inter-DC
+// link graph, computes all-pairs shortest paths (deterministic Dijkstra,
+// plus Yen k-alternate paths), and pushes next-hop tables to every DC's
+// forwarder, so forwarded traffic crosses as many overlay hops as the
+// graph requires. A link-health monitor probes each inter-DC link
+// (Config.Monitor), maintains RTT/loss estimates, and on failure,
+// degradation past a threshold, or recovery triggers recomputation and a
+// route re-push — flows reroute around mid-path failures with no sender
+// involvement (DisconnectDCs and SetLinkQuality inject such events).
+// Service selection sees routed latencies through the topology's
+// PathOracle, so PredictDelay and Register work on sparse graphs too.
+//
 // # Quick start
 //
 //	dep := jqos.NewDeployment(42)
@@ -44,6 +58,7 @@ import (
 	"jqos/internal/dataset"
 	"jqos/internal/netem"
 	"jqos/internal/overlay"
+	"jqos/internal/routing"
 )
 
 // Re-exported identity types so example code rarely needs internal imports.
@@ -94,6 +109,12 @@ type Config struct {
 	// UpgradeOnTime is the fraction of recent deliveries that must meet
 	// the budget; below it the flow upgrades to the next service.
 	UpgradeOnTime float64
+	// KAltPaths is how many alternate overlay paths the routing control
+	// plane keeps per DC pair (≥1; the first is the primary route).
+	KAltPaths int
+	// Monitor tunes the inter-DC link-health prober. ProbeInterval 0
+	// disables active probing (routes still follow explicit graph edits).
+	Monitor routing.MonitorConfig
 }
 
 // DefaultConfig returns the paper's deployment defaults.
@@ -106,6 +127,8 @@ func DefaultConfig() Config {
 		MaxNACKs:        3,
 		UpgradeInterval: 5 * time.Second,
 		UpgradeOnTime:   0.95,
+		KAltPaths:       2,
+		Monitor:         routing.DefaultMonitorConfig(),
 	}
 }
 
@@ -116,6 +139,8 @@ type Deployment struct {
 	sim  *netem.Simulator
 	net  *netem.Network
 	topo *overlay.Topology
+	ctrl *routing.Controller
+	mon  *routing.Monitor
 
 	nextNode core.NodeID
 	nextFlow core.FlowID
@@ -123,6 +148,12 @@ type Deployment struct {
 	dcs   map[core.NodeID]*DCNode
 	hosts map[core.NodeID]*Host
 	flows map[core.FlowID]*Flow
+
+	// Link-health probing (see probe.go). activity counts application
+	// sends; probers park when it stops moving so the simulator can drain.
+	probers       []*prober
+	parkedProbers int
+	activity      uint64
 
 	// Accounting: bytes that crossed cloud egress links, for cost
 	// reporting (§6.6). Keyed by the sending DC.
@@ -142,6 +173,7 @@ func NewDeploymentWithConfig(seed int64, cfg Config) *Deployment {
 		sim:         sim,
 		net:         netem.NewNetwork(sim),
 		topo:        overlay.NewTopology(),
+		ctrl:        routing.NewController(cfg.KAltPaths),
 		nextNode:    1,
 		nextFlow:    1,
 		dcs:         make(map[core.NodeID]*DCNode),
@@ -149,6 +181,8 @@ func NewDeploymentWithConfig(seed int64, cfg Config) *Deployment {
 		flows:       make(map[core.FlowID]*Flow),
 		egressBytes: make(map[core.NodeID]uint64),
 	}
+	d.mon = routing.NewMonitor(d.ctrl, cfg.Monitor)
+	d.topo.Oracle = d.ctrl
 	d.net.Tap = func(from, to core.NodeID, size int) {
 		if _, isDC := d.dcs[from]; isDC {
 			d.egressBytes[from] += uint64(size)
@@ -166,6 +200,19 @@ func (d *Deployment) Network() *netem.Network { return d.net }
 
 // Topology exposes the latency/cost model used for service selection.
 func (d *Deployment) Topology() *overlay.Topology { return d.topo }
+
+// Routing exposes the overlay routing control plane (link graph, path
+// queries, stats).
+func (d *Deployment) Routing() *routing.Controller { return d.ctrl }
+
+// RoutingStats returns the control plane's counters (recomputes, pushes,
+// reroutes, link failures/recoveries).
+func (d *Deployment) RoutingStats() routing.Stats { return d.ctrl.Stats() }
+
+// LinkHealth returns the monitor's view of the inter-DC link a↔b.
+func (d *Deployment) LinkHealth(a, b core.NodeID) (routing.Health, bool) {
+	return d.mon.Health(a, b)
+}
 
 // Now returns current virtual time.
 func (d *Deployment) Now() time.Duration { return d.sim.Now() }
@@ -191,6 +238,7 @@ func (d *Deployment) AddDC(name string, region dataset.Region) core.NodeID {
 	dc := newDCNode(d, id)
 	d.dcs[id] = dc
 	d.topo.AddDC(overlay.DC{ID: id, Name: name, Region: region})
+	d.ctrl.AddDC(id, dc.fwd)
 	d.net.AddNode(id, dc.handle)
 	return id
 }
@@ -206,11 +254,49 @@ func (d *Deployment) DC(id core.NodeID) *DCNode {
 
 // ConnectDCs links two DCs with the tight, reliable inter-DC path
 // (one-way latency x, sub-ms jitter, lossless — §2's cloud-path model).
+// The link joins the routing control plane's graph and, when probing is
+// enabled, its health monitor; next-hop tables recompute immediately.
 func (d *Deployment) ConnectDCs(a, b core.NodeID, x time.Duration) {
 	d.topo.SetInterDC(a, b, x)
 	d.net.ConnectBidirectional(a, b, func() *netem.Link {
 		return netem.NewLink(d.sim, netem.UniformJitter{Base: x, Jitter: x / 50}, nil)
 	})
+	d.ctrl.SetLink(a, b, x)
+	d.startProber(a, b, x)
+}
+
+// DisconnectDCs blackholes the inter-DC link a↔b in both directions — a
+// mid-path failure as the data plane experiences it. The control plane is
+// NOT told directly: the link-health monitor detects the probe losses,
+// marks the link down, and reroutes affected flows onto alternate paths.
+// Restore the link with SetLinkQuality (loss 0).
+func (d *Deployment) DisconnectDCs(a, b core.NodeID) {
+	for _, pair := range [][2]core.NodeID{{a, b}, {b, a}} {
+		if l := d.net.LinkBetween(pair[0], pair[1]); l != nil {
+			l.SetLoss(netem.Bernoulli{P: 1})
+		}
+	}
+	d.boostProbers()
+}
+
+// SetLinkQuality reshapes the inter-DC link a↔b in both directions to the
+// given one-way latency and random loss rate. Like DisconnectDCs it acts
+// on the emulated links only; the monitor observes the change through its
+// probes and adjusts routing (degrade, recover, or cost refresh).
+func (d *Deployment) SetLinkQuality(a, b core.NodeID, x time.Duration, loss float64) {
+	for _, pair := range [][2]core.NodeID{{a, b}, {b, a}} {
+		l := d.net.LinkBetween(pair[0], pair[1])
+		if l == nil {
+			continue
+		}
+		l.SetDelay(netem.UniformJitter{Base: x, Jitter: x / 50})
+		if loss > 0 {
+			l.SetLoss(netem.Bernoulli{P: loss})
+		} else {
+			l.SetLoss(nil)
+		}
+	}
+	d.boostProbers()
 }
 
 // HostOption customizes AddHost.
@@ -276,12 +362,9 @@ func (d *Deployment) AddHost(dc core.NodeID, delta time.Duration, opts ...HostOp
 	}
 	d.net.Connect(id, dc, up)
 	d.net.Connect(dc, id, netem.NewLink(d.sim, mkDelay(), nil))
-	// Routing rule: every other DC reaches this host via its nearest DC.
-	for dcID, node := range d.dcs {
-		if dcID != dc {
-			node.fwd.SetRoute(id, dc)
-		}
-	}
+	// The control plane routes the host at every DC: toward the next hop
+	// on the shortest path to its home DC (multi-hop on sparse graphs).
+	d.ctrl.AttachHost(id, dc)
 	return id
 }
 
@@ -308,10 +391,14 @@ func (d *Deployment) SetDirectPath(src, dst core.NodeID, delay netem.DelayModel,
 	d.seedDirectEstimate(src, dst, delay)
 }
 
-// SetDirectPathAsym installs each direction explicitly.
+// SetDirectPathAsym installs each direction explicitly. Like
+// SetDirectPath it seeds the topology's direct-latency estimate, sampling
+// the forward link's delay model (the direction service selection
+// predicts).
 func (d *Deployment) SetDirectPathAsym(src, dst core.NodeID, fwd, rev *netem.Link) {
 	d.net.Connect(src, dst, fwd)
 	d.net.Connect(dst, src, rev)
+	d.seedDirectEstimate(src, dst, fwd.Delay())
 }
 
 // seedDirectEstimate samples the delay model to estimate y for service
@@ -329,9 +416,12 @@ func (d *Deployment) seedDirectEstimate(src, dst core.NodeID, delay netem.DelayM
 	d.topo.SetDirect(src, dst, sum/n)
 }
 
-// AddGroup installs a multicast group on a DC's forwarder.
+// AddGroup installs a multicast group on a DC's forwarder. The group
+// address is attached to the control plane like a host, so every other DC
+// routes it toward its home DC automatically.
 func (d *Deployment) AddGroup(dc core.NodeID, group core.NodeID, members ...core.NodeID) {
 	d.DC(dc).fwd.SetGroup(group, members...)
+	d.ctrl.AttachHost(group, dc)
 }
 
 // EgressBytes reports cloud egress volume per DC (cost accounting).
@@ -346,8 +436,8 @@ func (d *Deployment) TotalEgressBytes() uint64 {
 	return t
 }
 
-// CloudCostPerGB converts accumulated egress into dollars under the
-// default price model.
+// CloudCost converts accumulated egress into dollars under the default
+// price model.
 func (d *Deployment) CloudCost() float64 {
 	return float64(d.TotalEgressBytes()) / 1e9 * overlay.DefaultCostModel.EgressPerGB
 }

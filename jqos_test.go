@@ -384,9 +384,9 @@ func TestCloudMulticast(t *testing.T) {
 		d.Host(m).SetDeliveryHandler(func(del core.Delivery) { got[m]++ })
 	}
 	group := d.AllocGroupID()
+	// AddGroup attaches the group to the control plane, which routes the
+	// group address toward its home DC from everywhere.
 	d.AddGroup(dc2, group, members...)
-	// Route the group address toward its home DC from everywhere.
-	d.DC(dc1).Forwarder().SetRoute(group, dc2)
 	f, err := d.RegisterMulticast(src, group, members, 400*time.Millisecond,
 		jqos.WithService(jqos.ServiceForwarding), jqos.WithPathSwitch())
 	if err != nil {
@@ -419,7 +419,6 @@ func TestHybridMulticastCacheRepair(t *testing.T) {
 	d.SetDirectPath(src, m2, netem.FixedDelay(50*time.Millisecond), nil)
 	group := d.AllocGroupID()
 	d.AddGroup(dc2, group, m1, m2)
-	d.DC(dc1).Forwarder().SetRoute(group, dc2)
 	f, err := d.RegisterMulticast(src, group, []jqos.NodeID{m1, m2}, 400*time.Millisecond,
 		jqos.WithService(jqos.ServiceCaching))
 	if err != nil {

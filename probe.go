@@ -1,0 +1,151 @@
+package jqos
+
+import (
+	"jqos/internal/core"
+	"jqos/internal/wire"
+)
+
+// prober drives the link-health monitor for one inter-DC link: every
+// Config.Monitor.ProbeInterval it sends a TypeProbe one hop over the link
+// and times it out if no TypeProbeAck returns. Outcomes feed
+// routing.Monitor, whose fail/degrade/recover verdicts make the
+// controller recompute and re-push routes.
+//
+// Probers park themselves after two intervals without application sends so
+// an idle deployment's event heap drains (the same discipline as the
+// flow-upgrade loop); Flow.Send, DisconnectDCs, and SetLinkQuality wake
+// them again.
+type prober struct {
+	d            *Deployment
+	a, b         core.NodeID // probes travel a→b, acks b→a
+	seq          uint64
+	parked       bool
+	idle         int
+	lastActivity uint64
+}
+
+// startProber begins probing the link a↔b (no-op when probing is
+// disabled). base is the link's configured one-way latency.
+func (d *Deployment) startProber(a, b core.NodeID, base core.Time) {
+	if d.cfg.Monitor.ProbeInterval <= 0 {
+		return
+	}
+	d.mon.Track(a, b, base)
+	p := &prober{d: d, a: a, b: b}
+	d.probers = append(d.probers, p)
+	d.sim.After(d.cfg.Monitor.ProbeInterval, p.round)
+}
+
+// round sends one probe and reschedules itself.
+func (p *prober) round() {
+	d := p.d
+	if act := d.activity; act == p.lastActivity {
+		p.idle++
+	} else {
+		p.lastActivity = act
+		// Fresh traffic clears accumulated idleness but never an
+		// outstanding burst credit — a failure injected just before the
+		// last application send must still run its full detection.
+		if p.idle > 0 {
+			p.idle = 0
+		}
+	}
+	if p.idle >= 2 {
+		p.parked = true
+		d.parkedProbers++
+		return
+	}
+	now := d.sim.Now()
+	p.seq++
+	seq := p.seq
+	hdr := wire.Header{
+		Type: wire.TypeProbe,
+		Seq:  core.Seq(seq),
+		TS:   now,
+		Src:  p.a,
+		Dst:  p.b,
+	}
+	d.mon.ProbeSent(p.a, p.b, seq, now)
+	d.sendControl(p.a, p.b, wire.AppendMessage(nil, &hdr, nil))
+	// The timeout adapts to the measured RTT so a slowed-but-alive link
+	// keeps answering in time instead of reading as lossy forever.
+	d.sim.After(d.mon.CurrentTimeout(p.a, p.b), func() { d.mon.ProbeTimedOut(p.a, p.b, seq) })
+	d.sim.After(d.cfg.Monitor.ProbeInterval, p.round)
+}
+
+// burstCredit is the idle allowance that takes a link all the way through
+// failure detection or recovery (FailAfter / RecoverAfter rounds plus
+// slack) even if no application traffic accompanies it.
+func (d *Deployment) burstCredit() int {
+	return d.cfg.Monitor.FailAfter + d.cfg.Monitor.RecoverAfter + 2
+}
+
+// boost grants a prober the full detection burst, restarting it if parked.
+func (p *prober) boost() {
+	p.idle = -p.d.burstCredit()
+	if !p.parked {
+		return
+	}
+	p.parked = false
+	p.d.parkedProbers--
+	p.d.sim.After(p.d.cfg.Monitor.ProbeInterval, p.round)
+}
+
+// boostProbers gives every prober — parked or running — enough credit to
+// finish a detection: DisconnectDCs and SetLinkQuality call it so a
+// failure injected just as application traffic stops (or while the
+// deployment is idle) is still observed rather than parked over.
+func (d *Deployment) boostProbers() {
+	for _, p := range d.probers {
+		p.boost()
+	}
+}
+
+// wakeProbers restarts every parked prober (cheap when none are parked).
+func (d *Deployment) wakeProbers() {
+	if d.parkedProbers == 0 {
+		return
+	}
+	for _, p := range d.probers {
+		p.boost()
+	}
+}
+
+// noteActivity records an application send and keeps probers running.
+func (d *Deployment) noteActivity() {
+	d.activity++
+	d.wakeProbers()
+}
+
+// sendControl transmits a control-plane message (probe or ack). Control
+// traffic rides the same emulated links as data but is not billable cloud
+// egress, so its bytes are backed out of the egress accounting the
+// network tap just added.
+func (d *Deployment) sendControl(from, to core.NodeID, msg []byte) {
+	if !d.net.HasRoute(from, to) {
+		return
+	}
+	if d.net.Send(from, to, msg) {
+		if _, isDC := d.dcs[from]; isDC {
+			d.egressBytes[from] -= uint64(len(msg))
+		}
+	}
+}
+
+// onProbe answers a link probe at the receiving DC: echo Seq and TS back
+// to the sender over the reverse link.
+func (n *DCNode) onProbe(hdr *wire.Header) {
+	ack := wire.Header{
+		Type: wire.TypeProbeAck,
+		Seq:  hdr.Seq,
+		TS:   hdr.TS,
+		Src:  n.id,
+		Dst:  hdr.Src,
+	}
+	n.d.sendControl(n.id, hdr.Src, wire.AppendMessage(nil, &ack, nil))
+}
+
+// onProbeAck feeds a returned probe into the monitor.
+func (n *DCNode) onProbeAck(now core.Time, hdr *wire.Header) {
+	n.d.mon.ProbeAcked(n.id, hdr.Src, uint64(hdr.Seq), now)
+}
