@@ -165,7 +165,10 @@ func (n *DCNode) onData(now core.Time, hdr *wire.Header, payload []byte, raw []b
 			n.loopback(now, emits)
 			return
 		}
-		n.transmit(n.enc.OnData(now, dc2, hdr.Dst, hdr.Flow, hdr.Seq, payload))
+		// Parity follows the pinned path of its batch's first source
+		// flow when one exists (cheapest-path coding) — the same key
+		// transit DCs use, so a batch rides one policy end to end.
+		n.transmitCoded(n.enc.OnData(now, dc2, hdr.Dst, hdr.Flow, hdr.Seq, payload))
 	default:
 		// Internet-service data should never reach a DC; forward it on
 		// so nothing silently vanishes.
@@ -173,9 +176,10 @@ func (n *DCNode) onData(now core.Time, hdr *wire.Header, payload []byte, raw []b
 	}
 }
 
-// forwardData relays a data message toward its destination. Multicast
-// groups fan out here with per-member destination rewriting, so downstream
-// DCs route each copy as plain unicast (cloud multicast, Figure 3c).
+// forwardData relays a data message toward its destination, honoring the
+// flow's pinned path if the controller installed one here. Multicast
+// groups fan out with per-member destination rewriting, so downstream DCs
+// route each copy as plain unicast (cloud multicast, Figure 3c).
 func (n *DCNode) forwardData(hdr *wire.Header, raw []byte) {
 	if n.fwd.IsGroup(hdr.Dst) {
 		for _, m := range n.fwd.Group(hdr.Dst) {
@@ -191,7 +195,30 @@ func (n *DCNode) forwardData(hdr *wire.Header, raw []byte) {
 		}
 		return
 	}
-	n.transmit(n.fwd.Forward(hdr.Dst, raw))
+	n.forwardVia(hdr.Flow, hdr.Dst, raw)
+}
+
+// pinnedSend sends msg over flow's pinned next hop toward to, if one is
+// installed here and the link exists. The hop goes on the wire directly —
+// transmit's table lookup must not re-resolve it, or the shared route to
+// that DC would defeat the pin. Returns whether the copy left.
+func (n *DCNode) pinnedSend(flow core.FlowID, to core.NodeID, msg []byte) bool {
+	via, ok := n.fwd.FlowRoute(flow, to)
+	if !ok || via == n.id || !n.d.net.HasRoute(n.id, via) {
+		return false
+	}
+	n.d.net.Send(n.id, via, msg)
+	return true
+}
+
+// forwardVia relays raw toward dst, honoring the flow's pinned next hop
+// before the shared tables.
+func (n *DCNode) forwardVia(flow core.FlowID, dst core.NodeID, raw []byte) {
+	if n.pinnedSend(flow, dst, raw) {
+		n.fwd.NotePinnedForward()
+		return
+	}
+	n.transmit(n.fwd.Forward(dst, raw))
 }
 
 // servesDst reports whether this DC is the egress DC for dst (its nearest
@@ -205,7 +232,8 @@ func (n *DCNode) servesDst(dst core.NodeID) bool {
 }
 
 // loopback delivers emits addressed to this very node back into the
-// engines without touching the network (partial-overlay coding).
+// engines without touching the network (partial-overlay coding, where
+// DC1 and DC2 are the same DC); everything else leaves pin-aware.
 func (n *DCNode) loopback(now core.Time, emits []core.Emit) {
 	for _, em := range emits {
 		if em.To == n.id {
@@ -217,15 +245,42 @@ func (n *DCNode) loopback(now core.Time, emits []core.Emit) {
 			}
 			n.onCoded(now, &hdr, body, em.Msg)
 		} else {
-			n.transmit([]core.Emit{em})
+			n.transmitCoded([]core.Emit{em})
 		}
 	}
 }
 
+// transmitCoded sends encoder emits, pinning each coded packet by its
+// batch's first source flow — keyed identically at ingress and transit,
+// so a batch follows one flow's path policy end to end (cross-stream
+// batches mix flows; the first source stands in for the whole batch).
+func (n *DCNode) transmitCoded(emits []core.Emit) {
+	if n.fwd.FlowRouteCount() == 0 {
+		n.transmit(emits) // no pins here: skip the per-packet peek
+		return
+	}
+	for _, em := range emits {
+		var hdr wire.Header
+		if body, err := wire.SplitMessage(&hdr, em.Msg); err == nil && hdr.Type == wire.TypeCoded {
+			if flow, ok := wire.PeekCodedFlow(body); ok && n.pinnedSend(flow, em.To, em.Msg) {
+				n.fwd.NotePinnedCopy()
+				continue
+			}
+		}
+		n.transmit([]core.Emit{em})
+	}
+}
+
 // onCoded handles a parity packet: if addressed here, store it in the
-// recoverer (DC2 role); otherwise forward it along.
+// recoverer (DC2 role); otherwise forward it along — on the source flow's
+// pinned path when one is installed (cross-stream batches mix flows; the
+// batch's first source decides).
 func (n *DCNode) onCoded(now core.Time, hdr *wire.Header, body []byte, raw []byte) {
 	if hdr.Dst != n.id {
+		if flow, ok := wire.PeekCodedFlow(body); ok {
+			n.forwardVia(flow, hdr.Dst, raw)
+			return
+		}
 		n.transmit(n.fwd.Forward(hdr.Dst, raw))
 		return
 	}
@@ -317,7 +372,11 @@ func (n *DCNode) armTimer() {
 			return // superseded by a later arm
 		}
 		t := n.d.sim.Now()
-		n.transmit(n.enc.OnTimer(t))
+		// Timer-flushed batches carry parity too: route them like the
+		// batch-full flushes — through loopback, so a partial overlay's
+		// self-addressed parity reaches the local recoverer instead of
+		// being dropped, and pinned flows' parity stays on its path.
+		n.loopback(t, n.enc.OnTimer(t))
 		n.transmit(n.rec.OnTimer(t))
 		n.armTimer()
 	})

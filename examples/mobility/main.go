@@ -35,7 +35,10 @@ func main() {
 		gotAt = append(gotAt, del.At)
 	})
 
-	flow, err := dep.Register(src, dst, time.Hour, jqos.WithService(jqos.ServiceCaching))
+	flow, err := dep.RegisterFlow(jqos.FlowSpec{
+		Src: src, Dst: dst, Budget: time.Hour,
+		Service: jqos.ServiceCaching, ServiceFixed: true,
+	})
 	if err != nil {
 		panic(err)
 	}

@@ -48,8 +48,11 @@ func main() {
 	// once regardless of group size).
 	group := dep.AllocGroupID()
 	dep.AddGroup(dc2, group, members...)
-	flow, err := dep.RegisterMulticast(src, group, members, 400*time.Millisecond,
-		jqos.WithService(jqos.ServiceCaching))
+	flow, err := dep.RegisterFlow(jqos.FlowSpec{
+		Src: src, Group: group, Members: members,
+		Budget:  400 * time.Millisecond,
+		Service: jqos.ServiceCaching, ServiceFixed: true,
+	})
 	if err != nil {
 		panic(err)
 	}

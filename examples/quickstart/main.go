@@ -38,7 +38,9 @@ func main() {
 		bs := dep.AddHost(dc1, 5*time.Millisecond)
 		bd := dep.AddHost(dc2, 8*time.Millisecond)
 		dep.SetDirectPath(bs, bd, netem.FixedDelay(50*time.Millisecond), nil)
-		bg, err := dep.Register(bs, bd, 300*time.Millisecond)
+		bg, err := dep.RegisterFlow(jqos.FlowSpec{
+			Src: bs, Dst: bd, Budget: 300 * time.Millisecond,
+		})
 		if err != nil {
 			panic(err)
 		}
@@ -49,8 +51,12 @@ func main() {
 	}
 
 	// Register with a 300 ms delivery budget: selection picks the
-	// cheapest service that fits (coding, at these latencies).
-	flow, err := dep.Register(src, dst, 300*time.Millisecond)
+	// cheapest service that fits (coding, at these latencies). FlowSpec
+	// could additionally bound cost (CostCeilingPerGB), clamp the
+	// service range, pin an overlay path, or attach a FlowObserver.
+	flow, err := dep.RegisterFlow(jqos.FlowSpec{
+		Src: src, Dst: dst, Budget: 300 * time.Millisecond,
+	})
 	if err != nil {
 		panic(err)
 	}

@@ -48,7 +48,9 @@ func main() {
 
 	// Register purely against routed overlay latency (no direct Internet
 	// path exists between src and dst).
-	flow, err := dep.Register(src, dst, 300*time.Millisecond)
+	flow, err := dep.RegisterFlow(jqos.FlowSpec{
+		Src: src, Dst: dst, Budget: 300 * time.Millisecond,
+	})
 	if err != nil {
 		panic(err)
 	}

@@ -40,7 +40,13 @@ func runCall(service jqos.Service, outage bool) (good float64, psnrP10 float64) 
 		netem.NormalJitter{Base: 50 * time.Millisecond, Sigma: 2 * time.Millisecond, Floor: 40 * time.Millisecond},
 		loss)
 
-	flow, err := dep.Register(src, dst, time.Hour, jqos.WithService(service))
+	flow, err := dep.RegisterFlow(jqos.FlowSpec{
+		Src: src, Dst: dst, Budget: time.Hour,
+		Service: service, ServiceFixed: true,
+		// The baseline scenario pins plain best-effort Internet, which
+		// a fixed spec must opt into explicitly.
+		AllowInternet: service == jqos.ServiceInternet,
+	})
 	if err != nil {
 		panic(err)
 	}
@@ -52,7 +58,10 @@ func runCall(service jqos.Service, outage bool) (good float64, psnrP10 float64) 
 			bs := dep.AddHost(dc1, 5*time.Millisecond)
 			bd := dep.AddHost(dc2, 8*time.Millisecond)
 			dep.SetDirectPath(bs, bd, netem.FixedDelay(50*time.Millisecond), nil)
-			bg, err := dep.Register(bs, bd, time.Hour, jqos.WithService(jqos.ServiceCoding))
+			bg, err := dep.RegisterFlow(jqos.FlowSpec{
+				Src: bs, Dst: bd, Budget: time.Hour,
+				Service: jqos.ServiceCoding, ServiceFixed: true,
+			})
 			if err != nil {
 				panic(err)
 			}

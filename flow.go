@@ -1,7 +1,6 @@
 package jqos
 
 import (
-	"fmt"
 	"time"
 
 	"jqos/internal/core"
@@ -10,7 +9,7 @@ import (
 )
 
 // FlowMetrics aggregates per-flow delivery accounting, maintained by the
-// receiving endpoint and read by experiments and the service-upgrade loop.
+// receiving endpoint and read by experiments and the adaptation loop.
 type FlowMetrics struct {
 	Sent      uint64
 	SentBytes uint64
@@ -24,7 +23,7 @@ type FlowMetrics struct {
 	// DirectLatency samples only unrecovered (direct-path) deliveries.
 	DirectLatency *stats.Sample
 
-	// upgrade-window snapshots
+	// adaptation-window snapshots
 	winDelivered uint64
 	winOnTime    uint64
 }
@@ -56,17 +55,68 @@ type Flow struct {
 	src     core.NodeID
 	dsts    []core.NodeID // one element for unicast; members for multicast
 	cloud   core.NodeID   // cloud-copy destination (receiver or group ID)
-	budget  time.Duration
 	service core.Service
 
-	// pathSwitch suppresses the direct-path copy (VIA-style full switch
-	// to the overlay, Figure 2b). Only meaningful with forwarding.
-	pathSwitch bool
-	dupPolicy  DuplicationPolicy
+	// Declarative intent (normalized at registration) — the single
+	// source of truth for budget, floor/ceiling, fixedness, path policy,
+	// duplication, and the observer. No mirrored copies: accessors and
+	// the adaptation loop read through it.
+	spec FlowSpec
 
-	seq      core.Seq
-	metrics  *FlowMetrics
-	upgrades []core.Service
+	// activePath is the resolved overlay DC path (endpoints included):
+	// the pinned path for PathCheapest/PathPinned flows, the watched
+	// current primary for PathFastest. Nil when the flow's DCs coincide
+	// or no path exists.
+	activePath []core.NodeID
+
+	seq     core.Seq
+	metrics *FlowMetrics
+	changes []ServiceChange
+
+	// Downgrade hysteresis: dgStreak counts consecutive over-delivering
+	// windows; dgNeed is how many are required (doubles after a
+	// downgrade that had to be reversed, so flapping pairs back off,
+	// and decays once a downgrade sticks). lastDown/downAt tie a
+	// reversal to the downgrade it reverses — an upgrade long after an
+	// unrelated downgrade is not a flap.
+	dgStreak int
+	dgNeed   int
+	lastDown bool
+	downAt   time.Duration
+
+	// Adaptation-ticker state: the loop parks after two idle windows so
+	// the simulator can drain; Send re-arms it.
+	tickArmed    bool
+	tickIdle     int
+	lastTickSent uint64
+}
+
+// armAdaptTick starts (or restarts, after parking) the periodic budget
+// re-evaluation loop.
+func (f *Flow) armAdaptTick() {
+	if f.d.cfg.UpgradeInterval <= 0 || f.tickArmed {
+		return
+	}
+	f.tickArmed = true
+	f.tickIdle = 0
+	f.d.sim.After(f.d.cfg.UpgradeInterval, f.adaptTickRun)
+}
+
+// adaptTickRun is one ticker firing: evaluate, then re-arm unless the
+// flow has been dormant for two windows (Send wakes it back up).
+func (f *Flow) adaptTickRun() {
+	f.adaptTick()
+	if f.metrics.Sent == f.lastTickSent {
+		f.tickIdle++
+	} else {
+		f.tickIdle = 0
+	}
+	f.lastTickSent = f.metrics.Sent
+	if f.tickIdle < 2 {
+		f.d.sim.After(f.d.cfg.UpgradeInterval, f.adaptTickRun)
+		return
+	}
+	f.tickArmed = false // parked; the next Send re-arms
 }
 
 // ID returns the flow identity.
@@ -76,17 +126,44 @@ func (f *Flow) ID() core.FlowID { return f.id }
 func (f *Flow) Service() core.Service { return f.service }
 
 // Budget returns the registered latency budget.
-func (f *Flow) Budget() time.Duration { return f.budget }
+func (f *Flow) Budget() time.Duration { return f.spec.Budget }
+
+// Spec returns the normalized registration intent (defensively copied —
+// mutating the result does not affect the flow).
+func (f *Flow) Spec() FlowSpec {
+	sp := f.spec
+	sp.Members = append([]NodeID(nil), sp.Members...)
+	return sp
+}
+
+// Path returns the flow's resolved overlay DC path (endpoints included):
+// the pinned path for PathCheapest/PathPinned flows, the primary at the
+// last (re)resolution for PathFastest. Nil when the flow's DCs coincide
+// or no path exists.
+func (f *Flow) Path() []NodeID { return append([]NodeID(nil), f.activePath...) }
 
 // Metrics returns the live metrics (owned by the deployment; read-only
 // for callers).
 func (f *Flow) Metrics() *FlowMetrics { return f.metrics }
 
-// Upgrades lists services this flow was upgraded to, in order.
-func (f *Flow) Upgrades() []core.Service { return f.upgrades }
+// Upgrades lists services this flow was upgraded to, in order (derived
+// from Changes, which records every transition).
+func (f *Flow) Upgrades() []core.Service {
+	var ups []core.Service
+	for _, ch := range f.changes {
+		if ch.To > ch.From {
+			ups = append(ups, ch.To)
+		}
+	}
+	return ups
+}
+
+// Changes lists every adaptation transition (upgrades and downgrades)
+// with virtual timestamps and reasons.
+func (f *Flow) Changes() []ServiceChange { return append([]ServiceChange(nil), f.changes...) }
 
 // SetDuplicationPolicy installs selective duplication.
-func (f *Flow) SetDuplicationPolicy(p DuplicationPolicy) { f.dupPolicy = p }
+func (f *Flow) SetDuplicationPolicy(p DuplicationPolicy) { f.spec.Duplication = p }
 
 // NextSeq previews the sequence number Send will use next.
 func (f *Flow) NextSeq() core.Seq { return f.seq + 1 }
@@ -99,9 +176,12 @@ func (f *Flow) Send(payload []byte) core.Seq {
 }
 
 // SendFlagged is Send with explicit header flags (e.g. FlagEndOfBurst).
+// The message is encoded once; per-destination copies only rewrite the
+// destination (and, for the cloud copy, the flags) in place.
 func (f *Flow) SendFlagged(payload []byte, flags uint16) core.Seq {
 	f.seq++
 	f.d.noteActivity()
+	f.armAdaptTick()
 	now := f.d.sim.Now()
 	hdr := wire.Header{
 		Type:    wire.TypeData,
@@ -115,24 +195,44 @@ func (f *Flow) SendFlagged(payload []byte, flags uint16) core.Seq {
 	f.metrics.Sent++
 	f.metrics.SentBytes += uint64(len(payload)) + wire.HeaderLen
 
-	// Direct path copies.
-	if !(f.service == core.ServiceForwarding && f.pathSwitch) {
+	// Direct path copies. The first destination encodes the message and
+	// keeps the buffer; later recipients each get a clone with Dst
+	// patched. Reading `encoded` after handing it to the emulator is
+	// safe because delivery is deferred and receive paths never mutate
+	// a delivered buffer in place (DC fan-out clones before RewriteDst);
+	// if that convention ever changes, clone before the first send too.
+	var encoded []byte
+	if !(f.service == core.ServiceForwarding && f.spec.PathSwitch) {
 		for _, dst := range f.dsts {
-			hdr.Dst = dst
-			msg := wire.AppendMessage(nil, &hdr, payload)
-			if f.d.net.HasRoute(f.src, dst) {
-				f.d.net.Send(f.src, dst, msg)
+			if !f.d.net.HasRoute(f.src, dst) {
+				continue
 			}
+			if encoded == nil {
+				hdr.Dst = dst
+				encoded = wire.AppendMessage(nil, &hdr, payload)
+				f.d.net.Send(f.src, dst, encoded)
+				continue
+			}
+			msg := append([]byte(nil), encoded...)
+			wire.RewriteDst(msg, dst)
+			f.d.net.Send(f.src, dst, msg)
 		}
 	}
 
 	// Cloud copy toward DC1.
 	if f.service != core.ServiceInternet {
-		if f.dupPolicy == nil || f.dupPolicy(f.seq, payload) {
-			hdr.Dst = f.cloud
-			hdr.Flags = flags | wire.FlagDup
-			msg := wire.AppendMessage(nil, &hdr, payload)
+		if f.spec.Duplication == nil || f.spec.Duplication(f.seq, payload) {
 			if dc1, ok := f.d.topo.NearestDC(f.src); ok {
+				var msg []byte
+				if encoded != nil {
+					msg = append([]byte(nil), encoded...)
+					wire.RewriteDst(msg, f.cloud)
+					wire.RewriteFlags(msg, flags|wire.FlagDup)
+				} else {
+					hdr.Dst = f.cloud
+					hdr.Flags = flags | wire.FlagDup
+					msg = wire.AppendMessage(nil, &hdr, payload)
+				}
 				f.d.net.Send(f.src, dc1, msg)
 			}
 		}
@@ -156,26 +256,25 @@ func (f *Flow) recordDelivery(del core.Delivery) {
 	if !del.Recovered {
 		m.DirectLatency.Add(float64(lat) / float64(time.Millisecond))
 	}
-	if time.Duration(lat) <= f.budget {
+	if time.Duration(lat) <= f.spec.Budget {
 		m.OnTime++
+	}
+	if f.spec.Observer != nil && f.spec.DeliverySample > 0 &&
+		m.Delivered%f.spec.DeliverySample == 0 {
+		f.spec.Observer.OnDelivery(f, del)
 	}
 }
 
-// upgrade moves the flow to the next more expensive service.
-func (f *Flow) upgrade() {
-	next := f.service
-	switch f.service {
-	case core.ServiceInternet:
-		next = core.ServiceCoding
-	case core.ServiceCoding:
-		next = core.ServiceCaching
-	case core.ServiceCaching:
-		next = core.ServiceForwarding
-	default:
-		return // already at the top
+// setService moves the flow to svc, retunes the receivers, and notifies
+// the observer.
+func (f *Flow) setService(next core.Service, reason ServiceChangeReason) {
+	old := f.service
+	if next == old {
+		return
 	}
 	f.service = next
-	f.upgrades = append(f.upgrades, next)
+	ch := ServiceChange{At: f.d.sim.Now(), From: old, To: next, Reason: reason}
+	f.changes = append(f.changes, ch)
 	for _, dst := range f.dsts {
 		if h, ok := f.d.hosts[dst]; ok {
 			if r := h.Receiver(f.id); r != nil {
@@ -183,16 +282,125 @@ func (f *Flow) upgrade() {
 			}
 		}
 	}
+	if f.spec.Observer != nil {
+		f.spec.Observer.OnServiceChange(f, ch)
+	}
 }
 
-// upgradeTick evaluates recent delivery quality against the budget and
-// upgrades when it falls short (§3.5's stats-driven upgrade loop). It also
+// withinCostCeiling reports whether a service's egress price respects
+// the spec's cost ceiling (always true without one).
+func (f *Flow) withinCostCeiling(svc core.Service) bool {
+	if f.spec.CostCeilingPerGB <= 0 {
+		return true
+	}
+	return f.d.costPerGB(svc) <= f.spec.CostCeilingPerGB
+}
+
+// predictDelay prices a service on the path the flow actually rides:
+// the pinned path's current cost for Cheapest/Pinned policies, the
+// oracle's primary otherwise.
+func (f *Flow) predictDelay(svc core.Service) (core.Time, bool) {
+	if f.spec.Path.Kind != PathFastest && len(f.activePath) >= 2 {
+		if x, ok := f.d.ctrl.PathCost(f.activePath); ok {
+			return f.d.topo.PredictDelayOnPath(svc, f.src, f.dsts[0], x)
+		}
+	}
+	return f.d.topo.PredictDelay(svc, f.src, f.dsts[0])
+}
+
+// upgrade moves the flow to the next more expensive service that honors
+// the spec's service ceiling AND its cost ceiling — a budget violation
+// never buys a service the caller declared too expensive (tiers priced
+// past the ceiling are skipped; with none left the flow stays put, and
+// the OnBudgetViolation event already told the observer why).
+func (f *Flow) upgrade() {
+	if f.spec.ServiceFixed {
+		return
+	}
+	next := f.service
+	for next < f.spec.ServiceCeiling && next < core.ServiceForwarding {
+		next++
+		if f.withinCostCeiling(next) {
+			break
+		}
+	}
+	if next == f.service || !f.withinCostCeiling(next) {
+		return
+	}
+	f.setService(next, ReasonBudgetViolation)
+	if f.lastDown {
+		// A downgrade that had to be reversed was premature: double the
+		// over-delivery streak required before trying again.
+		if f.dgNeed < 8*f.d.cfg.DowngradeAfter {
+			f.dgNeed *= 2
+		}
+		f.lastDown = false
+	}
+}
+
+// flapWindow bounds how long after a downgrade an upgrade still counts
+// as reversing it.
+func (f *Flow) flapWindow() time.Duration {
+	return time.Duration(2*f.d.cfg.DowngradeAfter) * f.d.cfg.UpgradeInterval
+}
+
+// downgrade steps the flow to the nearest cheaper tier that the floor,
+// the Internet policy, and the cost ceiling allow AND whose predicted
+// delay fits the budget. Tiers failing either check are skipped, not
+// stopped at — neither price nor latency is monotonic in tier order
+// (coding can out-price caching at high α, and can predict slower than
+// plain Internet), so a failing intermediate tier must not wall off a
+// viable cheaper one. Returns whether a downgrade happened.
+func (f *Flow) downgrade() bool {
+	if f.spec.ServiceFixed {
+		return false
+	}
+	for next := f.service; next > f.spec.ServiceFloor; {
+		next--
+		if next == core.ServiceInternet && (!f.spec.AllowInternet || !f.d.internetViable(f.src, f.dsts)) {
+			// Dropping the cloud copy would cut off any destination
+			// without a direct route — the prediction below only speaks
+			// for dsts[0].
+			return false
+		}
+		if !f.withinCostCeiling(next) {
+			continue
+		}
+		// Don't step down into a predicted violation — over-delivery on
+		// the current service says nothing about the cheaper one.
+		if d, ok := f.predictDelay(next); !ok || d > f.spec.Budget {
+			continue
+		}
+		f.setService(next, ReasonOverDelivery)
+		f.lastDown = true
+		f.downAt = f.d.sim.Now()
+		return true
+	}
+	return false
+}
+
+// adaptTick evaluates recent delivery quality against the budget: windows
+// that miss the on-time target upgrade the flow (§3.5's stats-driven
+// loop); windows that sustain over-delivery for the hysteresis streak
+// step it back down toward the cheapest fitting service. It also
 // refreshes the topology's direct-latency estimate from observations.
-func (f *Flow) upgradeTick() {
+func (f *Flow) adaptTick() {
 	m := f.metrics
 	if m.DirectLatency.Len() > 0 && len(f.dsts) == 1 {
 		med := m.DirectLatency.Median()
 		f.d.topo.SetDirect(f.src, f.dsts[0], time.Duration(med*float64(time.Millisecond)))
+	}
+	// A downgrade that outlived the flap window stuck: clear the flap
+	// state (a much later upgrade is new congestion, not a reversal) and
+	// decay the backed-off streak requirement toward its base.
+	if f.lastDown && f.d.sim.Now()-f.downAt > f.flapWindow() {
+		f.lastDown = false
+		if base := f.d.cfg.DowngradeAfter; f.dgNeed > base {
+			f.dgNeed /= 2
+			if f.dgNeed < base {
+				f.dgNeed = base
+			}
+		}
 	}
 	delivered := m.Delivered - m.winDelivered
 	onTime := m.OnTime - m.winOnTime
@@ -200,120 +408,106 @@ func (f *Flow) upgradeTick() {
 	if delivered < 20 {
 		return // not enough signal this window
 	}
-	if float64(onTime)/float64(delivered) < f.d.cfg.UpgradeOnTime {
+	cfg := f.d.cfg
+	frac := float64(onTime) / float64(delivered)
+	if frac < cfg.UpgradeOnTime {
+		f.dgStreak = 0
+		// Telemetry fires even for fixed flows — pinning a service is
+		// exactly when budget-compliance monitoring matters; only the
+		// service change itself is disabled (upgrade no-ops on fixed).
+		if f.spec.Observer != nil {
+			f.spec.Observer.OnBudgetViolation(f, frac, delivered)
+		}
 		f.upgrade()
+		return
+	}
+	if cfg.DowngradeAfter <= 0 || f.spec.ServiceFixed {
+		return
+	}
+	if frac >= cfg.DowngradeOnTime {
+		f.dgStreak++
+	} else {
+		f.dgStreak = 0
+	}
+	if f.dgStreak >= f.dgNeed && f.downgrade() {
+		f.dgStreak = 0
 	}
 }
 
-// RegisterOption customizes Register.
-type RegisterOption func(*regOpts)
+// RegisterOption customizes the deprecated Register forms by mutating the
+// FlowSpec they build.
+//
+// Deprecated: construct a FlowSpec and call RegisterFlow directly.
+type RegisterOption func(*FlowSpec)
 
-type regOpts struct {
-	forceService core.Service
-	forced       bool
-	allowNet     bool
-	pathSwitch   bool
-	dupPolicy    DuplicationPolicy
-}
-
-// WithService pins the flow to a service, bypassing selection.
+// WithService pins the flow to a service, bypassing selection and
+// disabling adaptation. Note this tightens the historical contract: the
+// old upgrade ticker could silently move a "pinned" flow up-tier on
+// budget violations; a pin now means exactly what it says. Callers that
+// want a starting service the loop may still raise should set
+// FlowSpec.ServiceFloor instead.
+//
+// Deprecated: set FlowSpec.Service with ServiceFixed, or bound adaptation
+// with ServiceFloor/ServiceCeiling.
 func WithService(s core.Service) RegisterOption {
-	return func(o *regOpts) { o.forceService = s; o.forced = true }
+	return func(sp *FlowSpec) {
+		sp.Service = s
+		sp.ServiceFixed = true
+		// The historical API accepted pinning plain Internet; the spec
+		// requires that to be opted into, so the shim opts in.
+		if s == core.ServiceInternet {
+			sp.AllowInternet = true
+		}
+	}
 }
 
 // WithInternetAllowed lets selection pick plain best-effort when it fits
 // the budget (default: J-QoS always provides a recovery service).
+//
+// Deprecated: set FlowSpec.AllowInternet.
 func WithInternetAllowed() RegisterOption {
-	return func(o *regOpts) { o.allowNet = true }
+	return func(sp *FlowSpec) { sp.AllowInternet = true }
 }
 
 // WithPathSwitch sends only over the overlay (no direct copy) when the
 // forwarding service is selected.
+//
+// Deprecated: set FlowSpec.PathSwitch.
 func WithPathSwitch() RegisterOption {
-	return func(o *regOpts) { o.pathSwitch = true }
+	return func(sp *FlowSpec) { sp.PathSwitch = true }
 }
 
 // WithDuplication installs a selective duplication policy at registration.
+//
+// Deprecated: set FlowSpec.Duplication.
 func WithDuplication(p DuplicationPolicy) RegisterOption {
-	return func(o *regOpts) { o.dupPolicy = p }
+	return func(sp *FlowSpec) { sp.Duplication = p }
 }
 
 // Register creates a flow from src to dst under a latency budget, picking
 // the cheapest service whose predicted delivery latency fits (§3.5).
+//
+// Deprecated: Register is a compatibility shim over RegisterFlow; new
+// code should build a FlowSpec, which can additionally express cost
+// ceilings, service floors/ceilings, path policies, and observers.
 func (d *Deployment) Register(src, dst core.NodeID, budget time.Duration, opts ...RegisterOption) (*Flow, error) {
-	return d.register(src, dst, []core.NodeID{dst}, budget, opts...)
+	spec := FlowSpec{Src: src, Dst: dst, Budget: budget}
+	for _, o := range opts {
+		o(&spec)
+	}
+	return d.RegisterFlow(spec)
 }
 
 // RegisterMulticast creates a flow from src to a member set. The cloud
 // copy is addressed to group (installed with AddGroup); direct copies go
 // to each member.
+//
+// Deprecated: RegisterMulticast is a compatibility shim over
+// RegisterFlow (FlowSpec.Group + FlowSpec.Members).
 func (d *Deployment) RegisterMulticast(src, group core.NodeID, members []core.NodeID, budget time.Duration, opts ...RegisterOption) (*Flow, error) {
-	if len(members) == 0 {
-		return nil, fmt.Errorf("jqos: multicast flow needs members")
+	spec := FlowSpec{Src: src, Group: group, Members: members, Budget: budget}
+	for _, o := range opts {
+		o(&spec)
 	}
-	return d.register(src, group, members, budget, opts...)
-}
-
-func (d *Deployment) register(src, cloudDst core.NodeID, dsts []core.NodeID, budget time.Duration, opts ...RegisterOption) (*Flow, error) {
-	var o regOpts
-	for _, op := range opts {
-		op(&o)
-	}
-	if _, ok := d.hosts[src]; !ok {
-		return nil, fmt.Errorf("jqos: source %v is not a host", src)
-	}
-	svc := o.forceService
-	if !o.forced {
-		// Select against the first destination (multicast members are
-		// assumed latency-similar, as in the paper's hybrid multicast).
-		s, _, ok := d.topo.SelectService(src, dsts[0], budget, !o.allowNet)
-		if !ok {
-			return nil, fmt.Errorf("jqos: no service can meet budget %v for %v→%v", budget, src, dsts[0])
-		}
-		svc = s
-	}
-	f := &Flow{
-		id:         d.nextFlow,
-		d:          d,
-		src:        src,
-		dsts:       append([]core.NodeID(nil), dsts...),
-		cloud:      cloudDst,
-		budget:     budget,
-		service:    svc,
-		pathSwitch: o.pathSwitch,
-		dupPolicy:  o.dupPolicy,
-		metrics:    newFlowMetrics(),
-	}
-	d.nextFlow++
-	d.flows[f.id] = f
-
-	// Pre-create receiver engines with the right RTT estimate so the
-	// first loss is already covered.
-	for _, dst := range dsts {
-		if h, ok := d.hosts[dst]; ok {
-			rtt := 2 * d.topo.Direct(src, dst)
-			h.ensureReceiver(f.id, rtt, svc)
-		}
-	}
-	// Periodic budget re-evaluation. The loop parks itself once the flow
-	// goes dormant (two idle windows) so the simulator can drain.
-	if d.cfg.UpgradeInterval > 0 {
-		lastSent := uint64(0)
-		idle := 0
-		var tick func()
-		tick = func() {
-			f.upgradeTick()
-			if f.metrics.Sent == lastSent {
-				idle++
-			} else {
-				idle = 0
-			}
-			lastSent = f.metrics.Sent
-			if idle < 2 {
-				d.sim.After(d.cfg.UpgradeInterval, tick)
-			}
-		}
-		d.sim.After(d.cfg.UpgradeInterval, tick)
-	}
-	return f, nil
+	return d.RegisterFlow(spec)
 }

@@ -1,0 +1,486 @@
+package jqos
+
+import (
+	"fmt"
+	"time"
+
+	"jqos/internal/core"
+	"jqos/internal/overlay"
+	"jqos/internal/routing"
+)
+
+// PathPolicyKind selects how a flow's overlay path is chosen among the
+// routing controller's k-alternate paths between its two DCs.
+type PathPolicyKind uint8
+
+const (
+	// PathFastest follows the controller's shared next-hop tables (the
+	// least-latency path, rerouted automatically on failures). This is
+	// the default.
+	PathFastest PathPolicyKind = iota
+	// PathCheapest pins the flow to the fewest-hop path among the
+	// controller's k-alternate paths (Config.KAltPaths; raise it to
+	// widen the search) — each inter-DC hop is a billable egress event,
+	// so fewest hops is cheapest under the egress price model. Latency
+	// breaks ties. A cheaper path outside the k lowest-latency
+	// alternates is not considered.
+	PathCheapest
+	// PathPinned pins the flow to the k-th alternate path (PathPolicy.
+	// Alternate; 0 is the primary). When the pinned path dies the flow
+	// re-resolves the policy against the surviving alternates.
+	PathPinned
+)
+
+// String implements fmt.Stringer.
+func (k PathPolicyKind) String() string {
+	switch k {
+	case PathFastest:
+		return "fastest"
+	case PathCheapest:
+		return "cheapest"
+	case PathPinned:
+		return "pinned"
+	default:
+		return fmt.Sprintf("pathpolicy(%d)", uint8(k))
+	}
+}
+
+// PathPolicy is a flow's declarative route preference over the overlay.
+// It governs the flow's own data and cache traffic exactly; coded parity
+// is batched across flows (cross-stream coding), and a parity packet can
+// only take one path — each batch follows its first source flow's
+// policy, so flows sharing an encoder may see each other's parity route.
+type PathPolicy struct {
+	Kind PathPolicyKind
+	// Alternate indexes the controller's k-alternate paths for
+	// PathPinned (0 = primary; clamped to the available alternates).
+	Alternate int
+}
+
+// ServiceChangeReason says why the adaptation loop moved a flow.
+type ServiceChangeReason uint8
+
+const (
+	// ReasonBudgetViolation: the recent delivery window fell below the
+	// configured on-time fraction; the flow upgraded.
+	ReasonBudgetViolation ServiceChangeReason = iota + 1
+	// ReasonOverDelivery: the flow sustained over-delivery for the
+	// hysteresis streak and stepped down to a cheaper service.
+	ReasonOverDelivery
+)
+
+// String implements fmt.Stringer.
+func (r ServiceChangeReason) String() string {
+	switch r {
+	case ReasonBudgetViolation:
+		return "budget-violation"
+	case ReasonOverDelivery:
+		return "over-delivery"
+	default:
+		return fmt.Sprintf("reason(%d)", uint8(r))
+	}
+}
+
+// ServiceChange records one adaptation transition of a flow.
+type ServiceChange struct {
+	At       time.Duration // virtual time of the change
+	From, To Service
+	Reason   ServiceChangeReason
+}
+
+// FlowObserver receives a flow's lifecycle events, replacing polling of
+// Metrics(). Callbacks run synchronously inside the simulator (or
+// transport) event that caused them — keep them short and do not call
+// back into the deployment from them.
+type FlowObserver interface {
+	// OnServiceChange fires when the adaptation loop moves the flow to
+	// a different service (either direction).
+	OnServiceChange(f *Flow, change ServiceChange)
+	// OnReroute fires when the flow's overlay path changes: a pinned
+	// path died and was re-resolved, or (for PathFastest flows) the
+	// controller moved the primary path. Either slice may be nil when
+	// no path existed on that side.
+	OnReroute(f *Flow, old, next []NodeID)
+	// OnBudgetViolation fires when a delivery window misses the on-time
+	// target, just before the resulting upgrade attempt.
+	OnBudgetViolation(f *Flow, onTime float64, delivered uint64)
+	// OnDelivery fires for sampled deliveries (every
+	// FlowSpec.DeliverySample-th; never when DeliverySample is 0).
+	OnDelivery(f *Flow, del Delivery)
+}
+
+// FlowEvents is a no-op FlowObserver for embedding, so observers
+// implement only the events they care about.
+type FlowEvents struct{}
+
+// OnServiceChange implements FlowObserver.
+func (FlowEvents) OnServiceChange(*Flow, ServiceChange) {}
+
+// OnReroute implements FlowObserver.
+func (FlowEvents) OnReroute(*Flow, []NodeID, []NodeID) {}
+
+// OnBudgetViolation implements FlowObserver.
+func (FlowEvents) OnBudgetViolation(*Flow, float64, uint64) {}
+
+// OnDelivery implements FlowObserver.
+func (FlowEvents) OnDelivery(*Flow, Delivery) {}
+
+// FlowSpec is the declarative registration intent of one application
+// stream: where it goes, what latency it needs, what it may cost, which
+// services and overlay paths are acceptable, and who hears about its
+// lifecycle. The zero values mean "no constraint" everywhere except Src,
+// Dst/Members, and Budget, which are required.
+type FlowSpec struct {
+	// Src is the sending host.
+	Src NodeID
+	// Dst is the unicast destination host. Leave zero for multicast.
+	Dst NodeID
+	// Group is the multicast group address (AllocGroupID + AddGroup);
+	// required when Members is set. The cloud copy is addressed to it.
+	Group NodeID
+	// Members are the multicast destinations (direct copies go to each).
+	Members []NodeID
+
+	// Budget is the delivery-latency budget (required and positive,
+	// except with ServiceFixed, where selection has nothing to fit and
+	// a zero budget merely marks every delivery late in the metrics).
+	Budget time.Duration
+
+	// Service pins the flow to one service when ServiceFixed is set:
+	// selection is bypassed and the adaptation loop never changes the
+	// service (the Observer still receives OnBudgetViolation telemetry).
+	// This is what the deprecated WithService option maps to.
+	Service      Service
+	ServiceFixed bool
+
+	// ServiceFloor / ServiceCeiling bound both initial selection and the
+	// adaptation loop: the flow never runs below the floor or above the
+	// ceiling. Zero ceiling means no ceiling (ServiceForwarding).
+	ServiceFloor   Service
+	ServiceCeiling Service
+
+	// AllowInternet lets selection (and downgrades) use plain
+	// best-effort Internet when it fits the budget; by default J-QoS
+	// always provides a recovery service.
+	AllowInternet bool
+
+	// CostCeilingPerGB bounds the selected service's egress cost per GB
+	// of application data under overlay.DefaultCostModel (see
+	// overlay.CostModel.EgressPerAppGB). Zero = unbounded.
+	CostCeilingPerGB float64
+
+	// Path chooses the overlay route among the controller's k-alternate
+	// paths (per-flow pinning). The zero value follows the shared
+	// fastest-path tables.
+	Path PathPolicy
+
+	// PathSwitch suppresses the direct-path copy when the forwarding
+	// service is active (VIA-style full switch to the overlay).
+	PathSwitch bool
+
+	// Duplication selects which packets get a cloud copy (selective
+	// duplication, §6.4). Nil duplicates everything.
+	Duplication DuplicationPolicy
+
+	// Observer receives lifecycle events; nil disables them.
+	Observer FlowObserver
+	// DeliverySample invokes Observer.OnDelivery every N-th delivery
+	// (0 disables delivery sampling).
+	DeliverySample uint64
+}
+
+// RegisterFlow creates a flow from declarative intent: it validates the
+// spec, picks the cheapest service satisfying budget, floor/ceiling, and
+// cost ceiling (§3.5, cost-extended), resolves the path policy against
+// the routing controller's k-alternates, seeds the receivers, and starts
+// the bidirectional adaptation loop.
+func (d *Deployment) RegisterFlow(spec FlowSpec) (*Flow, error) {
+	if _, ok := d.hosts[spec.Src]; !ok {
+		return nil, fmt.Errorf("jqos: source %v is not a host", spec.Src)
+	}
+	multicast := len(spec.Members) > 0
+	var dsts []core.NodeID
+	cloud := core.NodeID(spec.Dst)
+	switch {
+	case multicast:
+		if spec.Group == 0 {
+			return nil, fmt.Errorf("jqos: multicast flow needs a Group address (AllocGroupID + AddGroup)")
+		}
+		if spec.Dst != 0 {
+			return nil, fmt.Errorf("jqos: Dst and Members are mutually exclusive (unicast destinations go in Members)")
+		}
+		dsts = append([]core.NodeID(nil), spec.Members...)
+		cloud = spec.Group
+	case spec.Group != 0:
+		return nil, fmt.Errorf("jqos: multicast flow needs members")
+	case spec.Dst == 0:
+		return nil, fmt.Errorf("jqos: flow needs a destination")
+	default:
+		dsts = []core.NodeID{spec.Dst}
+	}
+	// A fixed service needs no budget to select against — the historical
+	// forced-service API accepted budget 0 (OnTime accounting simply
+	// counts everything late), and the shims must keep doing so.
+	if spec.Budget <= 0 && !spec.ServiceFixed {
+		return nil, fmt.Errorf("jqos: flow needs a positive latency budget, got %v", spec.Budget)
+	}
+	floor, ceiling := spec.ServiceFloor, spec.ServiceCeiling
+	if ceiling == 0 {
+		ceiling = core.ServiceForwarding
+	}
+	if floor > ceiling {
+		return nil, fmt.Errorf("jqos: service floor %v above ceiling %v", floor, ceiling)
+	}
+	// A non-default path policy must be resolvable now, not silently
+	// dropped: the cloud destination needs a known home DC (for
+	// multicast that means AddGroup before RegisterFlow). The chosen
+	// path's latency also feeds service selection below — a flow pinned
+	// to a slow alternate must not select against the fastest path.
+	var policyPath *routing.Path
+	var policyPathLat core.Time
+	if spec.Path.Kind != PathFastest {
+		home, homeOK := d.cloudHomeOf(multicast, cloud)
+		if !homeOK {
+			return nil, fmt.Errorf("jqos: path policy %v needs a resolvable cloud destination for %v (AddGroup before RegisterFlow)", spec.Path.Kind, cloud)
+		}
+		if dcA, ok := d.topo.NearestDC(spec.Src); ok && dcA != home {
+			if p := d.choosePolicyPath(spec.Path, dcA, home); p != nil {
+				policyPath = p
+				policyPathLat = p.Cost
+			}
+		}
+	}
+	svc := spec.Service
+	if svc != core.ServiceInternet && !spec.ServiceFixed {
+		return nil, fmt.Errorf("jqos: Service %v set without ServiceFixed — pin it with ServiceFixed, or bias selection with ServiceFloor", svc)
+	}
+	if spec.ServiceFixed {
+		// Guard the zero-value trap: Service's zero value IS
+		// ServiceInternet, so an accidental {ServiceFixed: true} would
+		// silently strip all cloud recovery. Pinning to plain Internet
+		// must be spelled out with AllowInternet.
+		if svc == core.ServiceInternet && !spec.AllowInternet {
+			return nil, fmt.Errorf("jqos: ServiceFixed with ServiceInternet needs AllowInternet (set Service explicitly to pin a recovery service)")
+		}
+		if svc < spec.ServiceFloor || (spec.ServiceCeiling != 0 && svc > spec.ServiceCeiling) {
+			return nil, fmt.Errorf("jqos: fixed service %v outside floor/ceiling [%v, %v]", svc, spec.ServiceFloor, spec.ServiceCeiling)
+		}
+		if spec.CostCeilingPerGB > 0 {
+			if per := d.costPerGB(svc); per > spec.CostCeilingPerGB {
+				return nil, fmt.Errorf("jqos: fixed service %v costs $%.4f/GB, above the spec's $%.4f/GB ceiling", svc, per, spec.CostCeilingPerGB)
+			}
+		}
+		floor, ceiling = svc, svc
+	} else {
+		// Select against the first destination (multicast members are
+		// assumed latency-similar, as in the paper's hybrid multicast).
+		// Internet eligibility uses the same every-member guard as the
+		// downgrade loop; predictions use the policy path's latency.
+		s, _, ok := d.topo.SelectServiceWith(spec.Src, dsts[0], overlay.ServicePolicy{
+			Budget:           spec.Budget,
+			RequireRecovery:  !spec.AllowInternet || !d.internetViable(spec.Src, dsts),
+			Floor:            floor,
+			Ceiling:          ceiling,
+			CostCeilingPerGB: spec.CostCeilingPerGB,
+			Alpha:            d.cfg.Encoder.Alpha(),
+			PathLatency:      policyPathLat,
+		})
+		if !ok {
+			return nil, fmt.Errorf("jqos: no service can meet budget %v for %v→%v under the spec's constraints",
+				spec.Budget, spec.Src, dsts[0])
+		}
+		svc = s
+	}
+	// Store the spec normalized so Spec() reflects the effective policy:
+	// defaulted ceiling, collapsed fixed range, owned member slice.
+	spec.ServiceFloor, spec.ServiceCeiling = floor, ceiling
+	if multicast {
+		spec.Members = dsts
+	}
+	f := &Flow{
+		id:      d.nextFlow,
+		d:       d,
+		src:     spec.Src,
+		dsts:    dsts,
+		cloud:   cloud,
+		service: svc,
+		spec:    spec,
+		metrics: newFlowMetrics(),
+		dgNeed:  d.cfg.DowngradeAfter,
+	}
+	d.nextFlow++
+	d.flows[f.id] = f
+
+	// Pre-create receiver engines with the right RTT estimate so the
+	// first loss is already covered.
+	for _, dst := range dsts {
+		if h, ok := d.hosts[dst]; ok {
+			h.ensureReceiver(f.id, d.receiverRTT(spec.Src, dst), svc)
+		}
+	}
+
+	// The policy path was already computed for selection above; hand it
+	// to resolution so registration runs Yen's algorithm once, not twice.
+	f.resolvePathWith(policyPath)
+	f.armAdaptTick()
+	return f, nil
+}
+
+// costPerGB returns the egress $/GB of a service under the deployment's
+// coding overhead — the single basis every cost-ceiling check shares
+// (registration validation and the adaptation loop must not diverge).
+func (d *Deployment) costPerGB(svc core.Service) float64 {
+	return overlay.DefaultCostModel.EgressPerAppGB(svc, d.cfg.Encoder.Alpha(), 0)
+}
+
+// internetViable reports whether plain best-effort Internet can reach
+// every destination — without the cloud copy, one lacking a direct route
+// receives nothing. Registration and the downgrade loop share this
+// eligibility rule.
+func (d *Deployment) internetViable(src core.NodeID, dsts []core.NodeID) bool {
+	for _, dst := range dsts {
+		if !d.net.HasRoute(src, dst) {
+			return false
+		}
+	}
+	return true
+}
+
+// choosePolicyPath returns the path a Cheapest/Pinned policy picks
+// between two DCs against the controller's current alternates (nil when
+// none exist or the policy is the default). Registration pricing and
+// resolvePath share this choice.
+func (d *Deployment) choosePolicyPath(p PathPolicy, dcA, dcB core.NodeID) *routing.Path {
+	if p.Kind == PathFastest || dcA == dcB {
+		return nil
+	}
+	alts := d.ctrl.Paths(dcA, dcB, 0)
+	if len(alts) == 0 {
+		return nil
+	}
+	if p.Kind == PathCheapest {
+		return cheapestPath(alts)
+	}
+	i := p.Alternate
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(alts) {
+		i = len(alts) - 1
+	}
+	return &alts[i]
+}
+
+// receiverRTT seeds a receiver's loss-detection timer: twice the direct
+// estimate when one exists (measured reality is trusted as-is); else
+// twice the routed overlay latency — the old 2×Direct seed degenerated
+// to zero when no direct path was installed — floored at 2× the small
+// timeout so the fallback timer is never shorter than in-burst
+// detection itself. Zero (nothing known) defers to the receiver's own
+// default.
+func (d *Deployment) receiverRTT(src, dst core.NodeID) time.Duration {
+	if rtt := 2 * d.topo.Direct(src, dst); rtt > 0 {
+		return rtt
+	}
+	var rtt time.Duration
+	if ov, ok := d.topo.PredictDelay(core.ServiceForwarding, src, dst); ok {
+		rtt = 2 * ov
+	}
+	if floor := 2 * d.cfg.SmallTimeout; rtt > 0 && rtt < floor {
+		rtt = floor
+	}
+	return rtt
+}
+
+// cloudHomeOf resolves the DC a flow's cloud copies egress from: the
+// multicast group's home, or the receiver's nearest DC. Registration
+// pricing and runtime re-resolution share this rule.
+func (d *Deployment) cloudHomeOf(multicast bool, cloud core.NodeID) (core.NodeID, bool) {
+	if multicast {
+		return d.ctrl.Home(cloud)
+	}
+	return d.topo.NearestDC(cloud)
+}
+
+func (f *Flow) cloudHome() (core.NodeID, bool) {
+	return f.d.cloudHomeOf(len(f.spec.Members) > 0, f.cloud)
+}
+
+// resolvePath applies the spec's path policy against the controller's
+// current alternates: PathFastest records and watches the primary;
+// PathCheapest / PathPinned choose an alternate and pin the flow to it.
+// Called at registration and whenever the controller reports the pinned
+// path dead.
+func (f *Flow) resolvePath() { f.resolvePathWith(nil) }
+
+// resolvePathWith is resolvePath with an optional pre-computed policy
+// path (registration passes the one it already priced selection on).
+func (f *Flow) resolvePathWith(chosen *routing.Path) {
+	d := f.d
+	dcA, okA := d.topo.NearestDC(f.src)
+	dcB, okB := f.cloudHome()
+	if !okA || !okB || dcA == dcB {
+		return
+	}
+	switch f.spec.Path.Kind {
+	case PathFastest:
+		// Watch unconditionally so Path() tracks the live primary even
+		// without an observer (onFlowPath only fires the callback when
+		// one listens); the watch's own SPF seeds the initial path.
+		f.activePath = append([]core.NodeID(nil), d.ctrl.WatchFlow(f.id, dcA, dcB)...)
+	case PathCheapest, PathPinned:
+		if chosen == nil {
+			chosen = d.choosePolicyPath(f.spec.Path, dcA, dcB)
+		}
+		if chosen == nil {
+			// No path at all: unpin, and watch the pair so a future
+			// recompute that brings a path back re-applies the policy
+			// (onFlowPath re-enters resolvePath for pinned policies).
+			d.ctrl.UnpinFlow(f.id)
+			d.ctrl.WatchFlow(f.id, dcA, dcB)
+			f.activePath = nil
+			return
+		}
+		d.ctrl.UnwatchFlow(f.id)
+		d.ctrl.PinFlow(f.id, f.cloud, *chosen)
+		f.activePath = append([]core.NodeID(nil), chosen.Nodes...)
+	}
+}
+
+// cheapestPath picks the alternate with the fewest inter-DC hops (each
+// hop bills one egress), breaking ties on latency then original order.
+func cheapestPath(alts []routing.Path) *routing.Path {
+	best := 0
+	for i := 1; i < len(alts); i++ {
+		switch {
+		case len(alts[i].Nodes) < len(alts[best].Nodes):
+			best = i
+		case len(alts[i].Nodes) == len(alts[best].Nodes) && alts[i].Cost < alts[best].Cost:
+			best = i
+		}
+	}
+	return &alts[best]
+}
+
+// onFlowPath is the routing controller's notification hook: pinned paths
+// that died re-resolve against the surviving alternates; watched flows
+// record their new primary — except pinned-policy flows parked on a
+// fallback watch (no path existed), which re-apply their policy now that
+// one might. Observers hear all of it as OnReroute.
+func (d *Deployment) onFlowPath(flow core.FlowID, old, next []core.NodeID, broken bool) {
+	f, ok := d.flows[flow]
+	if !ok {
+		return
+	}
+	switch {
+	case broken, f.spec.Path.Kind != PathFastest:
+		f.resolvePath()
+	default:
+		f.activePath = append([]core.NodeID(nil), next...)
+	}
+	if f.spec.Observer != nil {
+		// Copies: observers must not be able to mutate the flow's live
+		// path state through the callback arguments.
+		f.spec.Observer.OnReroute(f, append([]NodeID(nil), old...), f.Path())
+	}
+}

@@ -157,7 +157,10 @@ func runFig8Group(seed int64, prm fig8Params, group []dataset.PLPath) []*pathOut
 		d.SetDirectPath(src, dst,
 			netem.NormalJitter{Base: time.Duration(p.OneWay), Sigma: time.Duration(p.Jitter), Floor: time.Duration(p.OneWay) / 2},
 			loss)
-		flow, err := d.Register(src, dst, time.Hour, jqos.WithService(jqos.ServiceCoding))
+		flow, err := d.RegisterFlow(jqos.FlowSpec{
+			Src: src, Dst: dst, Budget: time.Hour,
+			Service: jqos.ServiceCoding, ServiceFixed: true,
+		})
 		if err != nil {
 			panic("experiments: " + err.Error())
 		}

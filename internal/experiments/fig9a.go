@@ -98,11 +98,14 @@ func runVideoScenarioInner(seed int64, sc videoScenario, quick bool, t interface
 	}
 	d.SetDirectPath(src, dst, jitter, loss)
 
-	opts := []jqos.RegisterOption{jqos.WithService(sc.service)}
-	if sc.pathSwitch {
-		opts = append(opts, jqos.WithPathSwitch())
-	}
-	flow, err := d.Register(src, dst, time.Hour, opts...)
+	flow, err := d.RegisterFlow(jqos.FlowSpec{
+		Src: src, Dst: dst, Budget: time.Hour,
+		Service: sc.service, ServiceFixed: true,
+		// The baseline scenario pins plain best-effort Internet, which
+		// a fixed spec must opt into explicitly.
+		AllowInternet: sc.service == core.ServiceInternet,
+		PathSwitch:    sc.pathSwitch,
+	})
 	if err != nil {
 		panic("experiments: " + err.Error())
 	}
@@ -114,7 +117,10 @@ func runVideoScenarioInner(seed int64, sc videoScenario, quick bool, t interface
 			bs := d.AddHost(dc1, 5*time.Millisecond)
 			bd := d.AddHost(dc2, 8*time.Millisecond)
 			d.SetDirectPath(bs, bd, netem.FixedDelay(50*time.Millisecond), nil)
-			bg, err := d.Register(bs, bd, time.Hour, jqos.WithService(jqos.ServiceCoding))
+			bg, err := d.RegisterFlow(jqos.FlowSpec{
+				Src: bs, Dst: bd, Budget: time.Hour,
+				Service: jqos.ServiceCoding, ServiceFixed: true,
+			})
 			if err != nil {
 				panic("experiments: " + err.Error())
 			}

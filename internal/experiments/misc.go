@@ -77,7 +77,10 @@ func runK20(o Options) (Result, error) {
 		d.SetDirectPath(src, dst,
 			netem.NormalJitter{Base: 50 * time.Millisecond, Sigma: time.Millisecond, Floor: 40 * time.Millisecond},
 			netem.NewGoogleBurst())
-		f, err := d.Register(src, dst, time.Hour, jqos.WithService(jqos.ServiceCoding))
+		f, err := d.RegisterFlow(jqos.FlowSpec{
+			Src: src, Dst: dst, Budget: time.Hour,
+			Service: jqos.ServiceCoding, ServiceFixed: true,
+		})
 		if err != nil {
 			return Result{}, err
 		}

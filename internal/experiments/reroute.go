@@ -47,7 +47,10 @@ func runReroute(o Options) (Result, error) {
 	failAt := span / 3
 	healAt := 2 * span / 3
 
-	flow, err := d.Register(src, dst, 300*time.Millisecond, jqos.WithService(jqos.ServiceForwarding))
+	flow, err := d.RegisterFlow(jqos.FlowSpec{
+		Src: src, Dst: dst, Budget: 300 * time.Millisecond,
+		Service: jqos.ServiceForwarding, ServiceFixed: true,
+	})
 	if err != nil {
 		return Result{}, err
 	}

@@ -18,6 +18,17 @@ type Stats struct {
 	Multicast uint64 // packets fanned out to a group
 	Copies    uint64 // total copies emitted
 	NoRoute   uint64 // packets dropped for lack of a route
+	// FlowPinned counts copies that followed a per-flow pinned next hop
+	// instead of the shared table (path-pinned flows).
+	FlowPinned uint64
+}
+
+// flowKey names one per-flow pinned entry: the flow plus the destination
+// the pin applies to (pins are directional — reverse traffic of the same
+// flow rides the shared tables).
+type flowKey struct {
+	flow core.FlowID
+	dst  core.NodeID
 }
 
 // Forwarder is the forwarding state of one DC node.
@@ -27,6 +38,10 @@ type Forwarder struct {
 	// without an entry are delivered directly (the overlay is small and
 	// every DC can reach every endpoint it serves).
 	routes map[core.NodeID]core.NodeID
+	// flowRoutes maps (flow, destination) to a pinned next hop that
+	// outranks the shared table — the routing controller pushes these for
+	// flows with a path policy (Cheapest / Pinned-to-kth-alternate).
+	flowRoutes map[flowKey]core.NodeID
 	// groups maps a multicast group ID to its member endpoints.
 	groups map[core.NodeID][]core.NodeID
 	stats  Stats
@@ -35,9 +50,10 @@ type Forwarder struct {
 // New creates a forwarder for the DC with identity self.
 func New(self core.NodeID) *Forwarder {
 	return &Forwarder{
-		self:   self,
-		routes: make(map[core.NodeID]core.NodeID),
-		groups: make(map[core.NodeID][]core.NodeID),
+		self:       self,
+		routes:     make(map[core.NodeID]core.NodeID),
+		flowRoutes: make(map[flowKey]core.NodeID),
+		groups:     make(map[core.NodeID][]core.NodeID),
 	}
 }
 
@@ -60,6 +76,27 @@ func (f *Forwarder) Route(dst core.NodeID) (core.NodeID, bool) {
 	via, ok := f.routes[dst]
 	return via, ok
 }
+
+// SetFlowRoute pins the next hop for one flow's traffic toward dst,
+// outranking the shared table. Routing controllers push these entries for
+// flows with an explicit path policy.
+func (f *Forwarder) SetFlowRoute(flow core.FlowID, dst, via core.NodeID) {
+	f.flowRoutes[flowKey{flow, dst}] = via
+}
+
+// DeleteFlowRoute removes a pinned entry.
+func (f *Forwarder) DeleteFlowRoute(flow core.FlowID, dst core.NodeID) {
+	delete(f.flowRoutes, flowKey{flow, dst})
+}
+
+// FlowRoute returns the pinned next hop for (flow, dst), if any.
+func (f *Forwarder) FlowRoute(flow core.FlowID, dst core.NodeID) (core.NodeID, bool) {
+	via, ok := f.flowRoutes[flowKey{flow, dst}]
+	return via, ok
+}
+
+// FlowRouteCount returns the number of pinned entries (diagnostics).
+func (f *Forwarder) FlowRouteCount() int { return len(f.flowRoutes) }
 
 // SetGroup installs (or replaces) a multicast group. Members are stored
 // sorted so fan-out order is deterministic.
@@ -114,6 +151,26 @@ func (f *Forwarder) Forward(dst core.NodeID, msg []byte) []core.Emit {
 	}
 	f.stats.Copies += uint64(len(out))
 	return out
+}
+
+// NotePinnedForward counts one data copy relayed over a per-flow pinned
+// hop — the pinned analogue of a unicast Forward, counted identically so
+// per-DC copy totals compare across pinned and unpinned flows. The
+// hosting DC resolves pins itself (FlowRoute) so the chosen hop is sent
+// on the wire directly rather than re-resolved through the shared table,
+// and calls this once the copy actually left.
+func (f *Forwarder) NotePinnedForward() {
+	f.stats.FlowPinned++
+	f.stats.Unicast++
+	f.stats.Copies++
+}
+
+// NotePinnedCopy counts one engine emit (coded parity) sent over a
+// per-flow pinned hop. Only FlowPinned moves: unpinned engine emits
+// bypass the forwarder entirely, so counting Copies here would make
+// pinned and unpinned DCs report different totals for identical volume.
+func (f *Forwarder) NotePinnedCopy() {
+	f.stats.FlowPinned++
 }
 
 // String implements fmt.Stringer for debugging.

@@ -116,3 +116,38 @@ func TestStringer(t *testing.T) {
 		t.Errorf("String = %q", s)
 	}
 }
+
+func TestFlowRoutes(t *testing.T) {
+	f := New(1)
+	f.SetRoute(9, 2)        // shared table: via DC 2
+	f.SetFlowRoute(7, 9, 3) // flow 7 pinned via DC 3
+	if via, ok := f.FlowRoute(7, 9); !ok || via != 3 {
+		t.Fatalf("FlowRoute = %v %v", via, ok)
+	}
+	// Pins are scoped: other flows, and the same flow toward other
+	// destinations, see no entry (and fall back to the shared table).
+	if _, ok := f.FlowRoute(8, 9); ok {
+		t.Error("pin leaked to another flow")
+	}
+	if _, ok := f.FlowRoute(7, 5); ok {
+		t.Error("pin leaked to another destination")
+	}
+	if via, _ := f.Route(9); via != 2 {
+		t.Error("shared table clobbered by the pin")
+	}
+	// Pinned data counts like a unicast Forward; pinned engine emits
+	// count only the FlowPinned marker (their unpinned twins bypass the
+	// forwarder entirely).
+	f.NotePinnedForward()
+	f.NotePinnedCopy()
+	if st := f.Stats(); st.FlowPinned != 2 || st.Copies != 1 || st.Unicast != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+	f.DeleteFlowRoute(7, 9)
+	if f.FlowRouteCount() != 0 {
+		t.Error("flow route not deleted")
+	}
+	if _, ok := f.FlowRoute(7, 9); ok {
+		t.Error("deleted pin still resolves")
+	}
+}

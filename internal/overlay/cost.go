@@ -46,6 +46,14 @@ func (m CostModel) BandwidthCostPerHour(svc core.Service, gbPerHour, alpha, loss
 	}
 }
 
+// EgressPerAppGB returns the $/GB egress cost of shipping one GB of
+// application data through a service — BandwidthCostPerHour at unit
+// volume. Flow policies use it as the per-flow cost knob: a FlowSpec cost
+// ceiling bounds this number.
+func (m CostModel) EgressPerAppGB(svc core.Service, alpha, lossRate float64) float64 {
+	return m.BandwidthCostPerHour(svc, 1, alpha, lossRate)
+}
+
 // TotalCostPerHour adds compute for the given number of encoding threads.
 func (m CostModel) TotalCostPerHour(svc core.Service, gbPerHour, alpha, lossRate float64, threads int) float64 {
 	c := m.BandwidthCostPerHour(svc, gbPerHour, alpha, lossRate)

@@ -189,6 +189,18 @@ func (t *Topology) medianHostDelta() core.Time {
 // The second return is false when the topology lacks the inputs (host not
 // attached, no inter-DC entry).
 func (t *Topology) PredictDelay(svc core.Service, src, dst core.NodeID) (core.Time, bool) {
+	return t.predictDelay(svc, src, dst, 0, false)
+}
+
+// PredictDelayOnPath is PredictDelay with an explicit inter-DC latency x
+// in place of the oracle's primary-path answer — the prediction a flow
+// pinned to an alternate path must use, since its cloud traffic does not
+// ride the fastest route.
+func (t *Topology) PredictDelayOnPath(svc core.Service, src, dst core.NodeID, x core.Time) (core.Time, bool) {
+	return t.predictDelay(svc, src, dst, x, true)
+}
+
+func (t *Topology) predictDelay(svc core.Service, src, dst core.NodeID, xOverride core.Time, haveX bool) (core.Time, bool) {
 	y := t.Direct(src, dst)
 	if svc == core.ServiceInternet {
 		return y, y > 0
@@ -200,9 +212,13 @@ func (t *Topology) PredictDelay(svc core.Service, src, dst core.NodeID) (core.Ti
 	}
 	dS, _ := t.Delta(src)
 	dR, _ := t.Delta(dst)
-	x, okX := t.InterDC(dc1, dc2)
-	if !okX {
-		return 0, false
+	x := xOverride
+	if !haveX {
+		var okX bool
+		x, okX = t.InterDC(dc1, dc2)
+		if !okX {
+			return 0, false
+		}
 	}
 	switch svc {
 	case core.ServiceForwarding:
@@ -235,12 +251,68 @@ func (t *Topology) PredictDelay(svc core.Service, src, dst core.NodeID) (core.Ti
 // cloud recovery, which is the caller's policy; here Internet is skipped
 // whenever requireRecovery is set.
 func (t *Topology) SelectService(src, dst core.NodeID, budget core.Time, requireRecovery bool) (core.Service, core.Time, bool) {
+	return t.SelectServiceWith(src, dst, ServicePolicy{
+		Budget:          budget,
+		RequireRecovery: requireRecovery,
+	})
+}
+
+// ServicePolicy constrains SelectServiceWith beyond the plain latency
+// budget: a service floor and ceiling, and an egress-dollar ceiling under
+// a cost model — the declarative knobs a FlowSpec exposes.
+type ServicePolicy struct {
+	// Budget is the delivery-latency budget a service's prediction must
+	// fit.
+	Budget core.Time
+	// RequireRecovery skips plain best-effort Internet even when it fits.
+	RequireRecovery bool
+	// Floor is the cheapest service selection may return.
+	Floor core.Service
+	// Ceiling is the most expensive service selection may return; the
+	// zero value means no ceiling (ServiceForwarding).
+	Ceiling core.Service
+	// CostCeilingPerGB bounds the service's egress cost per GB of
+	// application data (EgressPerAppGB under Cost). Zero = unbounded.
+	CostCeilingPerGB float64
+	// Cost is the price model for the ceiling check (zero value: the
+	// package default).
+	Cost CostModel
+	// Alpha is the coding overhead ratio used in the cost estimate.
+	Alpha float64
+	// LossRate is the expected direct-path loss used in the caching cost
+	// estimate (pull responses are billed egress).
+	LossRate float64
+	// PathLatency, when positive, replaces the oracle's inter-DC latency
+	// in delay predictions — flows pinned to an alternate path select
+	// against the latency of the path they will actually ride.
+	PathLatency core.Time
+}
+
+// SelectServiceWith returns the cheapest service satisfying the policy:
+// within [Floor, Ceiling], under the cost ceiling, and with a predicted
+// delivery latency that fits the budget.
+func (t *Topology) SelectServiceWith(src, dst core.NodeID, p ServicePolicy) (core.Service, core.Time, bool) {
+	ceiling := p.Ceiling
+	if ceiling == 0 {
+		ceiling = core.ServiceForwarding
+	}
+	cost := p.Cost
+	if cost == (CostModel{}) {
+		cost = DefaultCostModel
+	}
 	for _, svc := range core.Services {
-		if svc == core.ServiceInternet && requireRecovery {
+		if svc == core.ServiceInternet && p.RequireRecovery {
 			continue
 		}
-		d, ok := t.PredictDelay(svc, src, dst)
-		if ok && d <= budget {
+		if svc < p.Floor || svc > ceiling {
+			continue
+		}
+		if p.CostCeilingPerGB > 0 &&
+			cost.EgressPerAppGB(svc, p.Alpha, p.LossRate) > p.CostCeilingPerGB {
+			continue
+		}
+		d, ok := t.predictDelay(svc, src, dst, p.PathLatency, p.PathLatency > 0)
+		if ok && d <= p.Budget {
 			return svc, d, true
 		}
 	}

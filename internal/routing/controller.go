@@ -1,6 +1,8 @@
 package routing
 
 import (
+	"sort"
+
 	"jqos/internal/core"
 )
 
@@ -9,6 +11,15 @@ import (
 type RouteSink interface {
 	SetRoute(dst, via core.NodeID)
 	DeleteRoute(dst core.NodeID)
+}
+
+// FlowRouteSink is the optional per-flow extension of RouteSink: sinks
+// that implement it (forward.Forwarder does) receive pinned next-hop
+// entries for flows with an explicit path policy. Sinks without it simply
+// never see pins — pinned flows there fall back to the shared tables.
+type FlowRouteSink interface {
+	SetFlowRoute(flow core.FlowID, dst, via core.NodeID)
+	DeleteFlowRoute(flow core.FlowID, dst core.NodeID)
 }
 
 // Stats counts control-plane activity.
@@ -45,11 +56,39 @@ type Controller struct {
 	homes     map[core.NodeID]core.NodeID
 	hostOrder []core.NodeID // sorted host IDs for deterministic pushes
 
-	dist      map[[2]core.NodeID]core.Time  // routed DC-pair latency
+	dist      map[[2]core.NodeID]core.Time // routed DC-pair latency
 	nextHop   map[[2]core.NodeID]core.NodeID
 	installed map[core.NodeID]map[core.NodeID]core.NodeID // per-DC pushed entries
 
+	// pins holds per-flow pinned paths; watches tracks flows that follow
+	// the shared tables but asked to hear about primary-path moves.
+	pins    map[core.FlowID]*flowPin
+	watches map[core.FlowID]*flowWatch
+
+	// OnFlowPath, when set, is invoked after each recompute for every
+	// pinned flow whose path died (next == nil, broken == true) and every
+	// watched flow whose primary path moved (broken == false). Handlers
+	// may re-pin or unpin from inside the callback.
+	OnFlowPath func(flow core.FlowID, old, next []core.NodeID, broken bool)
+
 	stats Stats
+}
+
+// flowPin is one flow's pinned path and the sink entries installed for it.
+type flowPin struct {
+	dst     core.NodeID   // the flow's cloud destination (host or group)
+	path    []core.NodeID // DC path, endpoints included
+	entries []pinEntry    // what was pushed, for clean removal
+}
+
+type pinEntry struct {
+	dc, dst core.NodeID
+}
+
+// flowWatch tracks the primary path of an unpinned flow between its DCs.
+type flowWatch struct {
+	a, b core.NodeID
+	last []core.NodeID
 }
 
 // NewController creates an empty control plane keeping k alternate paths
@@ -66,6 +105,8 @@ func NewController(k int) *Controller {
 		dist:      make(map[[2]core.NodeID]core.Time),
 		nextHop:   make(map[[2]core.NodeID]core.NodeID),
 		installed: make(map[core.NodeID]map[core.NodeID]core.NodeID),
+		pins:      make(map[core.FlowID]*flowPin),
+		watches:   make(map[core.FlowID]*flowWatch),
 	}
 }
 
@@ -160,6 +201,191 @@ func (c *Controller) Paths(a, b core.NodeID, k int) []Path {
 	return c.g.KShortestPaths(a, b, k)
 }
 
+// Home returns the home DC a host or group was attached to.
+func (c *Controller) Home(host core.NodeID) (core.NodeID, bool) {
+	home, ok := c.homes[host]
+	return home, ok
+}
+
+// PinFlow installs per-flow next-hop entries for flow along path, so its
+// traffic toward dst (its cloud destination — receiver host or multicast
+// group) rides exactly that DC path regardless of the shared tables. An
+// extra entry per transit DC keys on the egress DC itself, so service
+// traffic addressed to the DC (coded parity, for example) follows the pin
+// too. Re-pinning replaces the previous path's entries.
+func (c *Controller) PinFlow(flow core.FlowID, dst core.NodeID, path Path) {
+	c.UnpinFlow(flow)
+	if len(path.Nodes) < 2 {
+		return
+	}
+	pin := &flowPin{dst: dst, path: append([]core.NodeID(nil), path.Nodes...)}
+	egress := path.Nodes[len(path.Nodes)-1]
+	for i := 0; i+1 < len(path.Nodes); i++ {
+		sink, ok := c.sinks[path.Nodes[i]].(FlowRouteSink)
+		if !ok {
+			continue
+		}
+		via := path.Nodes[i+1]
+		sink.SetFlowRoute(flow, dst, via)
+		pin.entries = append(pin.entries, pinEntry{path.Nodes[i], dst})
+		c.stats.Pushes++
+		if egress != dst {
+			sink.SetFlowRoute(flow, egress, via)
+			pin.entries = append(pin.entries, pinEntry{path.Nodes[i], egress})
+			c.stats.Pushes++
+		}
+	}
+	c.pins[flow] = pin
+}
+
+// UnpinFlow removes a flow's pinned entries (no-op when not pinned).
+func (c *Controller) UnpinFlow(flow core.FlowID) {
+	pin, ok := c.pins[flow]
+	if !ok {
+		return
+	}
+	for _, e := range pin.entries {
+		if sink, ok := c.sinks[e.dc].(FlowRouteSink); ok {
+			sink.DeleteFlowRoute(flow, e.dst)
+			c.stats.Pushes++
+		}
+	}
+	delete(c.pins, flow)
+}
+
+// PinnedPath returns a flow's pinned DC path, if any (copied — callers
+// must not be able to corrupt the controller's path-death detection).
+func (c *Controller) PinnedPath(flow core.FlowID) ([]core.NodeID, bool) {
+	pin, ok := c.pins[flow]
+	if !ok {
+		return nil, false
+	}
+	return append([]core.NodeID(nil), pin.path...), true
+}
+
+// WatchFlow subscribes an unpinned flow to primary-path changes between
+// its two DCs: after any recompute that moves the shortest a→b path,
+// OnFlowPath fires with the old and new paths. Returns the current
+// primary (nil when none exists) so callers seed their own path state
+// without a second SPF.
+func (c *Controller) WatchFlow(flow core.FlowID, a, b core.NodeID) []core.NodeID {
+	// Seed from the same table walk the change detector uses — a
+	// source-rooted SPF can disagree with the installed hop-by-hop route
+	// on equal-cost topologies, which would mislabel the first recompute
+	// as a reroute.
+	w := &flowWatch{a: a, b: b, last: c.primaryFromTables(a, b)}
+	c.watches[flow] = w
+	// Copy: a caller mutating the result must not corrupt the watch's
+	// change detection.
+	return append([]core.NodeID(nil), w.last...)
+}
+
+// UnwatchFlow cancels a WatchFlow subscription.
+func (c *Controller) UnwatchFlow(flow core.FlowID) { delete(c.watches, flow) }
+
+// pathDead reports whether any link of a pinned path is missing or down.
+func (c *Controller) pathDead(path []core.NodeID) bool {
+	for i := 0; i+1 < len(path); i++ {
+		l := c.g.Link(path[i], path[i+1])
+		if l == nil || l.State == LinkDown {
+			return true
+		}
+	}
+	return false
+}
+
+// PathCost returns the current one-way latency along an explicit DC path
+// (endpoints included), or ok=false when any link is missing or down.
+// Pinned flows price their predictions on this, not the primary path.
+func (c *Controller) PathCost(path []core.NodeID) (core.Time, bool) {
+	if len(path) < 2 {
+		return 0, len(path) == 1
+	}
+	var sum core.Time
+	for i := 0; i+1 < len(path); i++ {
+		l := c.g.Link(path[i], path[i+1])
+		if l == nil {
+			return 0, false
+		}
+		w, up := l.Cost()
+		if !up {
+			return 0, false
+		}
+		sum += w
+	}
+	return sum, true
+}
+
+// notifyFlowPaths runs after a recompute: it collects every pinned flow
+// whose path died and every watched flow whose primary moved, then fires
+// OnFlowPath for each (outside the iteration, so handlers may re-pin).
+func (c *Controller) notifyFlowPaths() {
+	if c.OnFlowPath == nil {
+		return
+	}
+	type note struct {
+		flow      core.FlowID
+		old, next []core.NodeID
+		broken    bool
+	}
+	var notes []note
+	for _, flow := range sortedFlowIDs(c.pins) {
+		if pin := c.pins[flow]; c.pathDead(pin.path) {
+			notes = append(notes, note{flow, pin.path, nil, true})
+		}
+	}
+	// Many flows often watch the same DC pair; walk the freshly built
+	// next-hop tables (O(hops) per pair) instead of re-running SPF.
+	primaries := make(map[[2]core.NodeID][]core.NodeID)
+	for _, flow := range sortedFlowIDs(c.watches) {
+		w := c.watches[flow]
+		pair := [2]core.NodeID{w.a, w.b}
+		cur, seen := primaries[pair]
+		if !seen {
+			cur = c.primaryFromTables(w.a, w.b)
+			primaries[pair] = cur
+		}
+		if !sameNodes(cur, w.last) {
+			old := w.last
+			w.last = append([]core.NodeID(nil), cur...)
+			notes = append(notes, note{flow, old, cur, false})
+		}
+	}
+	for _, n := range notes {
+		c.OnFlowPath(n.flow, n.old, n.next, n.broken)
+	}
+}
+
+// primaryFromTables reconstructs the primary a→b path by walking the
+// next-hop tables Recompute just rebuilt — O(hops), no extra SPF. Nil
+// when no route exists (or the tables are inconsistent mid-walk).
+func (c *Controller) primaryFromTables(a, b core.NodeID) []core.NodeID {
+	if a == b {
+		return nil
+	}
+	path := []core.NodeID{a}
+	for at := a; at != b; {
+		via, ok := c.nextHop[[2]core.NodeID{at, b}]
+		if !ok || len(path) > len(c.g.order) {
+			return nil
+		}
+		path = append(path, via)
+		at = via
+	}
+	return path
+}
+
+// sortedFlowIDs returns map keys in ascending order, for deterministic
+// notification order.
+func sortedFlowIDs[V any](m map[core.FlowID]V) []core.FlowID {
+	out := make([]core.FlowID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Recompute rebuilds the all-pairs tables from current link health and
 // pushes the deltas to every sink. Unchanged entries are not re-pushed.
 func (c *Controller) Recompute() {
@@ -208,6 +434,7 @@ func (c *Controller) Recompute() {
 	if changed > 0 {
 		c.stats.Reroutes++
 	}
+	c.notifyFlowPaths()
 }
 
 // desired returns the next hop dc→dst for a DC destination.

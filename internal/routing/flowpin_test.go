@@ -1,0 +1,162 @@
+package routing
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"jqos/internal/core"
+)
+
+// flowSink extends fakeSink with the per-flow pin surface.
+type flowSink struct {
+	fakeSink
+	flows map[[2]uint64]core.NodeID // (flow, dst) → via
+}
+
+func newFlowSink() *flowSink {
+	return &flowSink{
+		fakeSink: fakeSink{routes: make(map[core.NodeID]core.NodeID)},
+		flows:    make(map[[2]uint64]core.NodeID),
+	}
+}
+
+func (s *flowSink) SetFlowRoute(flow core.FlowID, dst, via core.NodeID) {
+	s.flows[[2]uint64{uint64(flow), uint64(dst)}] = via
+}
+func (s *flowSink) DeleteFlowRoute(flow core.FlowID, dst core.NodeID) {
+	delete(s.flows, [2]uint64{uint64(flow), uint64(dst)})
+}
+
+// buildFlowDiamond wires 1—2—4 (20 ms) and 1—3—4 (40 ms) with flow-aware
+// sinks and a host 100 at DC 4.
+func buildFlowDiamond() (*Controller, map[core.NodeID]*flowSink) {
+	c := NewController(2)
+	sinks := make(map[core.NodeID]*flowSink)
+	for id := core.NodeID(1); id <= 4; id++ {
+		s := newFlowSink()
+		sinks[id] = s
+		c.AddDC(id, s)
+	}
+	c.SetLink(1, 2, 10*time.Millisecond)
+	c.SetLink(2, 4, 10*time.Millisecond)
+	c.SetLink(1, 3, 20*time.Millisecond)
+	c.SetLink(3, 4, 20*time.Millisecond)
+	c.AttachHost(100, 4)
+	return c, sinks
+}
+
+func TestPinFlowInstallsAndRemovesEntries(t *testing.T) {
+	c, sinks := buildFlowDiamond()
+	alts := c.Paths(1, 4, 2)
+	if len(alts) != 2 {
+		t.Fatalf("alternates = %d, want 2", len(alts))
+	}
+	// Pin flow 7 to the backup path 1→3→4 toward host 100.
+	c.PinFlow(7, 100, alts[1])
+	if got, ok := c.PinnedPath(7); !ok || !reflect.DeepEqual(got, []core.NodeID{1, 3, 4}) {
+		t.Fatalf("PinnedPath = %v %v", got, ok)
+	}
+	// DC1 and DC3 carry entries for the host AND the egress DC; DC2 has
+	// none; the egress DC itself has none.
+	if via := sinks[1].flows[[2]uint64{7, 100}]; via != 3 {
+		t.Errorf("dc1 pin via %v, want 3", via)
+	}
+	if via := sinks[1].flows[[2]uint64{7, 4}]; via != 3 {
+		t.Errorf("dc1 egress pin via %v, want 3", via)
+	}
+	if via := sinks[3].flows[[2]uint64{7, 100}]; via != 4 {
+		t.Errorf("dc3 pin via %v, want 4", via)
+	}
+	if len(sinks[2].flows) != 0 {
+		t.Errorf("dc2 got pin entries: %v", sinks[2].flows)
+	}
+	if len(sinks[4].flows) != 0 {
+		t.Errorf("egress DC got pin entries: %v", sinks[4].flows)
+	}
+	// Re-pinning to the primary replaces the old entries.
+	c.PinFlow(7, 100, alts[0])
+	if len(sinks[3].flows) != 0 {
+		t.Errorf("stale entries after re-pin: %v", sinks[3].flows)
+	}
+	if via := sinks[2].flows[[2]uint64{7, 100}]; via != 4 {
+		t.Errorf("dc2 pin after re-pin via %v, want 4", via)
+	}
+	c.UnpinFlow(7)
+	if len(sinks[1].flows)+len(sinks[2].flows) != 0 {
+		t.Error("entries survived UnpinFlow")
+	}
+	if _, ok := c.PinnedPath(7); ok {
+		t.Error("PinnedPath after UnpinFlow")
+	}
+}
+
+func TestBrokenPinNotifies(t *testing.T) {
+	c, _ := buildFlowDiamond()
+	alts := c.Paths(1, 4, 2)
+	c.PinFlow(7, 100, alts[1]) // 1→3→4
+
+	type event struct {
+		flow   core.FlowID
+		old    []core.NodeID
+		broken bool
+	}
+	var events []event
+	c.OnFlowPath = func(flow core.FlowID, old, next []core.NodeID, broken bool) {
+		events = append(events, event{flow, old, broken})
+		// Handlers may re-pin from inside the callback.
+		if broken {
+			if ps := c.Paths(1, 4, 2); len(ps) > 0 {
+				c.PinFlow(flow, 100, ps[0])
+			}
+		}
+	}
+	// Killing the unused primary link does not break the pin.
+	c.SetLinkHealth(1, 2, LinkDown, 0)
+	if len(events) != 0 {
+		t.Fatalf("unrelated failure notified: %+v", events)
+	}
+	c.SetLinkHealth(1, 2, LinkUp, 0)
+	// Killing a pinned link does.
+	c.SetLinkHealth(3, 4, LinkDown, 0)
+	if len(events) != 1 || !events[0].broken || events[0].flow != 7 {
+		t.Fatalf("broken-pin events = %+v", events)
+	}
+	if !reflect.DeepEqual(events[0].old, []core.NodeID{1, 3, 4}) {
+		t.Errorf("old path = %v", events[0].old)
+	}
+	// The handler re-pinned onto the surviving primary.
+	if got, ok := c.PinnedPath(7); !ok || !reflect.DeepEqual(got, []core.NodeID{1, 2, 4}) {
+		t.Errorf("re-pinned path = %v %v", got, ok)
+	}
+}
+
+func TestWatchFlowNotifiesPrimaryMoves(t *testing.T) {
+	c, _ := buildFlowDiamond()
+	c.WatchFlow(9, 1, 4)
+	var moves [][2][]core.NodeID
+	c.OnFlowPath = func(flow core.FlowID, old, next []core.NodeID, broken bool) {
+		if broken {
+			t.Fatalf("watch reported broken")
+		}
+		moves = append(moves, [2][]core.NodeID{old, next})
+	}
+	c.SetLinkHealth(2, 4, LinkDown, 0)
+	if len(moves) != 1 {
+		t.Fatalf("moves = %d, want 1", len(moves))
+	}
+	if !reflect.DeepEqual(moves[0][0], []core.NodeID{1, 2, 4}) ||
+		!reflect.DeepEqual(moves[0][1], []core.NodeID{1, 3, 4}) {
+		t.Errorf("move = %v → %v", moves[0][0], moves[0][1])
+	}
+	// A recompute that does not move the primary stays silent.
+	c.SetLinkHealth(1, 3, LinkDegraded, 25*time.Millisecond)
+	if len(moves) != 1 {
+		t.Fatalf("silent recompute notified: %d", len(moves))
+	}
+	c.UnwatchFlow(9)
+	c.SetLinkHealth(2, 4, LinkUp, 0)
+	if len(moves) != 1 {
+		t.Error("unwatched flow still notified")
+	}
+}

@@ -30,11 +30,11 @@ func (q pq) Less(i, j int) bool {
 	}
 	return q[i].node < q[j].node
 }
-func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
-func (q *pq) push(it pqItem)    { heap.Push(q, it) }
-func (q *pq) pop() pqItem       { return heap.Pop(q).(pqItem) }
+func (q pq) Swap(i, j int)   { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)     { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any       { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+func (q *pq) push(it pqItem) { heap.Push(q, it) }
+func (q *pq) pop() pqItem    { return heap.Pop(q).(pqItem) }
 
 const infCost = core.Time(math.MaxInt64)
 

@@ -114,6 +114,20 @@ func (c *Coded) Unmarshal(buf []byte) ([]byte, error) {
 	return shard[:c.ShardLen], nil
 }
 
+// PeekCodedFlow reads the first source flow of coded metadata without a
+// full unmarshal. Transit DCs relaying parity use it to honor per-flow
+// pinned paths: the batch's first source stands in for the whole batch
+// (cross-stream batches mix flows; any one of them decides the route).
+func PeekCodedFlow(body []byte) (core.FlowID, bool) {
+	if len(body) < codedFixedLen+sourceRefLen {
+		return 0, false
+	}
+	if binary.BigEndian.Uint16(body[14:]) == 0 {
+		return 0, false
+	}
+	return core.FlowID(binary.BigEndian.Uint64(body[codedFixedLen:])), true
+}
+
 // CoopRef identifies one batch recovery in flight; it rides in CoopReq and
 // CoopResp payloads so responses can be matched to pending recoveries.
 type CoopRef struct {

@@ -213,3 +213,14 @@ func RewriteDst(msg []byte, dst core.NodeID) error {
 	binary.BigEndian.PutUint32(msg[36:], uint32(dst))
 	return nil
 }
+
+// RewriteFlags patches the flags field of an already-marshaled message in
+// place. Senders reuse one encoded buffer across the direct and cloud
+// copies of a packet, rewriting Dst and Flags instead of re-marshaling.
+func RewriteFlags(msg []byte, flags uint16) error {
+	if len(msg) < HeaderLen {
+		return ErrShort
+	}
+	binary.BigEndian.PutUint16(msg[4:], flags)
+	return nil
+}

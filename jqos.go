@@ -9,9 +9,12 @@
 //   - coding (CR-WAN): ship a small number of cross-stream coded packets
 //     over the cloud and repair losses via cooperative recovery (cost α·c).
 //
-// Applications Register a destination and latency budget; the framework
-// picks the cheapest service whose predicted delivery latency fits (§3.5)
-// and upgrades the service when observed deliveries violate the budget.
+// Applications register a FlowSpec — destination, latency budget, and
+// optional policy (cost ceiling, service floor/ceiling, overlay path
+// preference, lifecycle observer); the framework picks the cheapest
+// service whose predicted delivery latency fits (§3.5), upgrades the
+// service when observed deliveries violate the budget, and steps back
+// down (with hysteresis) after sustained over-delivery.
 //
 // The package wires the protocol engines (internal/coding,
 // internal/recovery, internal/cache, internal/forward) onto a deterministic
@@ -33,6 +36,23 @@
 // Service selection sees routed latencies through the topology's
 // PathOracle, so PredictDelay and Register work on sparse graphs too.
 //
+// # Flow API
+//
+// Deployment.RegisterFlow takes a FlowSpec. Beyond the classic
+// destination+budget pair it can bound the service range
+// (ServiceFloor/ServiceCeiling), cap egress spend (CostCeilingPerGB),
+// choose the overlay path among the controller's k-alternates
+// (PathPolicy: fastest, cheapest, or pinned to the k-th alternate —
+// enforced per flow in the DC forwarders), and attach a FlowObserver
+// whose OnServiceChange / OnReroute / OnBudgetViolation / OnDelivery
+// callbacks replace polling Metrics(). Flows with a pinned path are
+// re-resolved automatically when the routing controller observes the
+// path die.
+//
+// The positional Register / RegisterMulticast forms and their
+// RegisterOptions remain as deprecated compatibility shims over
+// RegisterFlow.
+//
 // # Quick start
 //
 //	dep := jqos.NewDeployment(42)
@@ -44,7 +64,10 @@
 //	dep.SetDirectPath(src, dst,
 //	    netem.UniformJitter{Base: 50 * time.Millisecond, Jitter: 2 * time.Millisecond},
 //	    &netem.GilbertElliott{PGoodToBad: 0.001, PBadToGood: 0.3, LossBad: 0.9})
-//	flow, _ := dep.Register(src, dst, 200*time.Millisecond)
+//	flow, _ := dep.RegisterFlow(jqos.FlowSpec{
+//	    Src: src, Dst: dst,
+//	    Budget: 200 * time.Millisecond,
+//	})
 //	flow.Send([]byte("hello"))
 //	dep.Run(time.Second)
 package jqos
@@ -104,11 +127,21 @@ type Config struct {
 	// (ablation).
 	SingleTimer bool
 	// UpgradeInterval is how often flows re-evaluate their service
-	// against the budget (0 disables upgrades).
+	// against the budget (0 disables adaptation entirely).
 	UpgradeInterval time.Duration
 	// UpgradeOnTime is the fraction of recent deliveries that must meet
 	// the budget; below it the flow upgrades to the next service.
 	UpgradeOnTime float64
+	// DowngradeAfter is how many consecutive over-delivering windows a
+	// flow must sustain before stepping down to a cheaper service
+	// (hysteresis; 0 disables downgrades). The requirement doubles for
+	// a flow whose downgrade had to be reversed, so flapping backs off.
+	DowngradeAfter int
+	// DowngradeOnTime is the on-time fraction a window must reach to
+	// count toward the downgrade streak. Zero defaults to 0.99; values
+	// below UpgradeOnTime are clamped up to it (a window cannot count
+	// as over-delivering while also counting as a violation).
+	DowngradeOnTime float64
 	// KAltPaths is how many alternate overlay paths the routing control
 	// plane keeps per DC pair (≥1; the first is the primary route).
 	KAltPaths int
@@ -127,6 +160,8 @@ func DefaultConfig() Config {
 		MaxNACKs:        3,
 		UpgradeInterval: 5 * time.Second,
 		UpgradeOnTime:   0.95,
+		DowngradeAfter:  3,
+		DowngradeOnTime: 0.99,
 		KAltPaths:       2,
 		Monitor:         routing.DefaultMonitorConfig(),
 	}
@@ -158,6 +193,11 @@ type Deployment struct {
 	// Accounting: bytes that crossed cloud egress links, for cost
 	// reporting (§6.6). Keyed by the sending DC.
 	egressBytes map[core.NodeID]uint64
+
+	// linkShape remembers each inter-DC link's configured one-way
+	// latency so ReconnectDCs can restore a disconnected link without
+	// the caller re-specifying it.
+	linkShape map[[2]core.NodeID]time.Duration
 }
 
 // NewDeployment creates an empty deployment with default config.
@@ -167,6 +207,12 @@ func NewDeployment(seed int64) *Deployment {
 
 // NewDeploymentWithConfig creates an empty deployment.
 func NewDeploymentWithConfig(seed int64, cfg Config) *Deployment {
+	if cfg.DowngradeOnTime == 0 {
+		cfg.DowngradeOnTime = 0.99
+	}
+	if cfg.DowngradeOnTime < cfg.UpgradeOnTime {
+		cfg.DowngradeOnTime = cfg.UpgradeOnTime
+	}
 	sim := netem.NewSimulator(seed)
 	d := &Deployment{
 		cfg:         cfg,
@@ -180,9 +226,11 @@ func NewDeploymentWithConfig(seed int64, cfg Config) *Deployment {
 		hosts:       make(map[core.NodeID]*Host),
 		flows:       make(map[core.FlowID]*Flow),
 		egressBytes: make(map[core.NodeID]uint64),
+		linkShape:   make(map[[2]core.NodeID]time.Duration),
 	}
 	d.mon = routing.NewMonitor(d.ctrl, cfg.Monitor)
 	d.topo.Oracle = d.ctrl
+	d.ctrl.OnFlowPath = d.onFlowPath
 	d.net.Tap = func(from, to core.NodeID, size int) {
 		if _, isDC := d.dcs[from]; isDC {
 			d.egressBytes[from] += uint64(size)
@@ -261,15 +309,23 @@ func (d *Deployment) ConnectDCs(a, b core.NodeID, x time.Duration) {
 	d.net.ConnectBidirectional(a, b, func() *netem.Link {
 		return netem.NewLink(d.sim, netem.UniformJitter{Base: x, Jitter: x / 50}, nil)
 	})
+	d.linkShape[dcPairKey(a, b)] = x
 	d.ctrl.SetLink(a, b, x)
 	d.startProber(a, b, x)
+}
+
+func dcPairKey(a, b core.NodeID) [2]core.NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]core.NodeID{a, b}
 }
 
 // DisconnectDCs blackholes the inter-DC link a↔b in both directions — a
 // mid-path failure as the data plane experiences it. The control plane is
 // NOT told directly: the link-health monitor detects the probe losses,
 // marks the link down, and reroutes affected flows onto alternate paths.
-// Restore the link with SetLinkQuality (loss 0).
+// Restore the link with ReconnectDCs (or reshape it with SetLinkQuality).
 func (d *Deployment) DisconnectDCs(a, b core.NodeID) {
 	for _, pair := range [][2]core.NodeID{{a, b}, {b, a}} {
 		if l := d.net.LinkBetween(pair[0], pair[1]); l != nil {
@@ -297,6 +353,20 @@ func (d *Deployment) SetLinkQuality(a, b core.NodeID, x time.Duration, loss floa
 		}
 	}
 	d.boostProbers()
+}
+
+// ReconnectDCs restores a disconnected (or reshaped) inter-DC link a↔b to
+// the shape ConnectDCs originally gave it — the latency the deployment
+// recorded, lossless. Like DisconnectDCs it acts on the emulated links;
+// the monitor observes the recovery through its probes and brings the
+// link back into routing. Panics when a↔b was never connected (a
+// deployment wiring bug, like DC on a host ID).
+func (d *Deployment) ReconnectDCs(a, b core.NodeID) {
+	x, ok := d.linkShape[dcPairKey(a, b)]
+	if !ok {
+		panic(fmt.Sprintf("jqos: ReconnectDCs(%v, %v): DCs were never connected", a, b))
+	}
+	d.SetLinkQuality(a, b, x, 0)
 }
 
 // HostOption customizes AddHost.

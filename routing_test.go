@@ -12,11 +12,11 @@ import (
 
 // buildDiamond wires the 4-DC diamond used by the reroute tests:
 //
-//	        dc2
-//	   15ms/   \15ms        primary dc1→dc4: 30 ms (via dc2)
-//	 dc1        dc4         backup  dc1→dc4: 50 ms (via dc3)
-//	   25ms\   /25ms
-//	        dc3
+//	       dc2
+//	  15ms/   \15ms        primary dc1→dc4: 30 ms (via dc2)
+//	dc1        dc4         backup  dc1→dc4: 50 ms (via dc3)
+//	  25ms\   /25ms
+//	       dc3
 //
 // src hangs off dc1 (5 ms), dst off dc4 (8 ms). No host pair has a direct
 // Internet path — everything rides the overlay.
