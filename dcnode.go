@@ -64,19 +64,32 @@ func (n *DCNode) Dropped() uint64 { return n.drop }
 func (n *DCNode) transmit(emits []core.Emit) {
 	for _, em := range emits {
 		if via, ok := n.fwd.Route(em.To); ok && via != n.id && n.d.net.HasRoute(n.id, via) {
-			n.d.net.Send(n.id, via, em.Msg)
+			n.send(via, em.Msg)
 			continue
 		}
 		if n.d.net.HasRoute(n.id, em.To) {
-			n.d.net.Send(n.id, em.To, em.Msg)
+			n.send(em.To, em.Msg)
 			continue
 		}
 		// Last resort: relay via the recipient's nearest DC.
 		if via, ok := n.d.topo.NearestDC(em.To); ok && via != n.id && n.d.net.HasRoute(n.id, via) {
-			n.d.net.Send(n.id, via, em.Msg)
+			n.send(via, em.Msg)
 			continue
 		}
 		n.drop++
+	}
+}
+
+// send puts one message on the wire toward hop and feeds the egress
+// telemetry: the forwarder's per-class counters and the per-link rate
+// meters utilization-aware routing consumes (inter-DC hops only; the
+// registry ignores DC→host egress). Control probes bypass this path
+// (sendControl), so telemetry sees data-plane bytes only.
+func (n *DCNode) send(hop core.NodeID, msg []byte) {
+	n.d.net.Send(n.id, hop, msg)
+	if cls, ok := wire.PeekService(msg); ok {
+		n.fwd.NoteEgress(cls, len(msg))
+		n.d.loadReg.Record(n.d.sim.Now(), n.id, hop, cls, len(msg))
 	}
 }
 
@@ -207,7 +220,7 @@ func (n *DCNode) pinnedSend(flow core.FlowID, to core.NodeID, msg []byte) bool {
 	if !ok || via == n.id || !n.d.net.HasRoute(n.id, via) {
 		return false
 	}
-	n.d.net.Send(n.id, via, msg)
+	n.send(via, msg)
 	return true
 }
 

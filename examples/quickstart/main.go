@@ -48,6 +48,7 @@ func main() {
 			at := time.Duration(k) * 5 * time.Millisecond
 			dep.Sim().At(at, func() { bg.Send(make([]byte, 300)) })
 		}
+		defer bg.Close()
 	}
 
 	// Register with a 300 ms delivery budget: selection picks the
@@ -81,4 +82,9 @@ func main() {
 	rec := dep.DC(dc2).Recoverer().Stats()
 	fmt.Printf("DC2:         %d NACKs, %d cooperative recoveries, %d in-stream serves\n",
 		rec.NACKs, rec.CoopRecovered, rec.InStreamServed)
+
+	// Tear the flow down: unpins it from the routing controller and frees
+	// the receiver-side recovery state — the discipline short-lived flows
+	// must follow.
+	flow.Close()
 }

@@ -4,6 +4,8 @@ import (
 	"time"
 
 	"jqos/internal/core"
+	"jqos/internal/load"
+	"jqos/internal/overlay"
 	"jqos/internal/stats"
 	"jqos/internal/wire"
 )
@@ -16,6 +18,14 @@ type FlowMetrics struct {
 	Delivered uint64
 	Recovered uint64
 	OnTime    uint64
+	// AdmissionDropped counts cloud copies the flow's token-bucket
+	// contract refused; AdmissionShaped counts copies it decided to
+	// delay into conformance instead (FlowSpec.AdmissionShape) —
+	// counted at the shaping decision, so a copy still in the shaper
+	// when the flow closes is counted here though it never hits the
+	// wire. Both stay zero for flows without a Rate contract.
+	AdmissionDropped uint64
+	AdmissionShaped  uint64
 	// ByService counts deliveries by the service that produced them.
 	ByService map[core.Service]uint64
 	// Latency samples end-to-end delivery latency in milliseconds.
@@ -69,6 +79,25 @@ type Flow struct {
 	// or no path exists.
 	activePath []core.NodeID
 
+	// bucket polices the spec's admission contract (nil without one).
+	bucket *load.Bucket
+
+	// Settled loss estimate for cost pricing, updated once per
+	// adaptation tick from that window's delta counters: the fraction of
+	// packets whose copy never ARRIVED over the direct path (receiver
+	// DirectArrivals, which counts direct copies even when an
+	// overlay-duplicated copy won the delivery race and the direct one
+	// deduplicated away). Unlike raw LossRate (cumulative
+	// Delivered/Sent), the windowed ratio neither counts in-flight
+	// packets as lost nor lets recovery or forwarding mask wire loss.
+	lossSentMark uint64
+	lossDirMark  uint64
+	lossEst      float64
+
+	// closed marks a torn-down flow: Send is a no-op, the adaptation
+	// ticker stops, and the deployment no longer tracks it.
+	closed bool
+
 	seq     core.Seq
 	metrics *FlowMetrics
 	changes []ServiceChange
@@ -94,7 +123,7 @@ type Flow struct {
 // armAdaptTick starts (or restarts, after parking) the periodic budget
 // re-evaluation loop.
 func (f *Flow) armAdaptTick() {
-	if f.d.cfg.UpgradeInterval <= 0 || f.tickArmed {
+	if f.d.cfg.UpgradeInterval <= 0 || f.tickArmed || f.closed {
 		return
 	}
 	f.tickArmed = true
@@ -105,6 +134,10 @@ func (f *Flow) armAdaptTick() {
 // adaptTickRun is one ticker firing: evaluate, then re-arm unless the
 // flow has been dormant for two windows (Send wakes it back up).
 func (f *Flow) adaptTickRun() {
+	if f.closed {
+		f.tickArmed = false
+		return
+	}
 	f.adaptTick()
 	if f.metrics.Sent == f.lastTickSent {
 		f.tickIdle++
@@ -121,6 +154,46 @@ func (f *Flow) adaptTickRun() {
 
 // ID returns the flow identity.
 func (f *Flow) ID() core.FlowID { return f.id }
+
+// Closed reports whether the flow was torn down.
+func (f *Flow) Closed() bool { return f.closed }
+
+// Close tears the flow down: the routing controller unpins/unwatches it
+// (per-flow forwarder entries are removed), every receiving endpoint
+// frees its recovery state, the adaptation ticker stops, and further
+// Sends are no-ops. Metrics and Changes stay readable, but the
+// deployment no longer lists the flow and late in-flight packets are no
+// longer tracked (receivers recreate transient state for them and the
+// observer hears nothing). Close is idempotent — the prerequisite for
+// workloads of millions of short-lived flows.
+func (f *Flow) Close() {
+	if f.closed {
+		return
+	}
+	f.closed = true
+	d := f.d
+	d.ctrl.UnpinFlow(f.id)
+	d.ctrl.UnwatchFlow(f.id)
+	// Free exactly the hosts that ever built receiver state for this
+	// flow (the deployment indexes them at creation): destinations,
+	// mid-join multicast members, and mobility hand-off targets alike —
+	// without an O(#hosts) sweep per teardown.
+	for _, id := range d.recvHosts[f.id] {
+		if h, ok := d.hosts[id]; ok {
+			h.dropReceiver(f.id)
+		}
+	}
+	delete(d.recvHosts, f.id)
+	// DC1-side encoder state (in-stream queue, cross-queue cursor) must
+	// go too, or flow churn grows every encoder map without bound. Any
+	// DC may have played DC1 for this flow over its lifetime, and DCs
+	// are few — sweep them all.
+	for _, dc := range d.dcs {
+		dc.enc.ForgetFlow(f.id)
+	}
+	delete(d.flows, f.id)
+	f.activePath = nil
+}
 
 // Service returns the currently selected service.
 func (f *Flow) Service() core.Service { return f.service }
@@ -145,6 +218,14 @@ func (f *Flow) Path() []NodeID { return append([]NodeID(nil), f.activePath...) }
 // Metrics returns the live metrics (owned by the deployment; read-only
 // for callers).
 func (f *Flow) Metrics() *FlowMetrics { return f.metrics }
+
+// ObservedLoss returns the flow's settled direct-path loss estimate:
+// the windowed fraction of packets the direct path failed to deliver,
+// whether a recovery service repaired them or an overlay-forwarded copy
+// delivered them anyway. This — not the residual LossRate, which
+// working recovery drives to zero — is what cost-ceiling checks price
+// caching's pull-response egress with.
+func (f *Flow) ObservedLoss() float64 { return f.lossEst }
 
 // Upgrades lists services this flow was upgraded to, in order (derived
 // from Changes, which records every transition).
@@ -177,8 +258,12 @@ func (f *Flow) Send(payload []byte) core.Seq {
 
 // SendFlagged is Send with explicit header flags (e.g. FlagEndOfBurst).
 // The message is encoded once; per-destination copies only rewrite the
-// destination (and, for the cloud copy, the flags) in place.
+// destination (and, for the cloud copy, the flags) in place. Sending on
+// a closed flow is a no-op returning 0.
 func (f *Flow) SendFlagged(payload []byte, flags uint16) core.Seq {
+	if f.closed {
+		return 0
+	}
 	f.seq++
 	f.d.noteActivity()
 	f.armAdaptTick()
@@ -219,7 +304,7 @@ func (f *Flow) SendFlagged(payload []byte, flags uint16) core.Seq {
 		}
 	}
 
-	// Cloud copy toward DC1.
+	// Cloud copy toward DC1, policed by the admission contract.
 	if f.service != core.ServiceInternet {
 		if f.spec.Duplication == nil || f.spec.Duplication(f.seq, payload) {
 			if dc1, ok := f.d.topo.NearestDC(f.src); ok {
@@ -233,11 +318,68 @@ func (f *Flow) SendFlagged(payload []byte, flags uint16) core.Seq {
 					hdr.Flags = flags | wire.FlagDup
 					msg = wire.AppendMessage(nil, &hdr, payload)
 				}
-				f.d.net.Send(f.src, dc1, msg)
+				f.sendCloud(now, dc1, msg)
 			}
 		}
 	}
 	return f.seq
+}
+
+// sendCloud puts one packet's cloud copy on the uplink, subject to the
+// flow's admission contract: no contract sends immediately, a policing
+// contract drops the excess, a shaping contract delays it into
+// conformance (bounded by the budget — a copy later than that cannot
+// help and drops like policed excess).
+func (f *Flow) sendCloud(now core.Time, dc1 core.NodeID, msg []byte) {
+	if f.bucket == nil {
+		f.d.net.Send(f.src, dc1, msg)
+		return
+	}
+	n := len(msg)
+	if !f.spec.AdmissionShape {
+		if !f.bucket.Admit(now, n) {
+			f.noteAdmissionDrop(n)
+			return
+		}
+		f.d.net.Send(f.src, dc1, msg)
+		return
+	}
+	// The shaping horizon is the budget MINUS the cloud path's predicted
+	// delay: a copy held longer than that arrives past the budget, so
+	// admitting it would spend contract tokens and billable egress on a
+	// delivery that cannot help.
+	limit := f.spec.Budget
+	if limit <= 0 {
+		limit = 100 * time.Millisecond // fixed-service flows may have no budget
+	}
+	if d, ok := f.predictDelay(f.service); ok {
+		limit -= d
+		if limit < 0 {
+			limit = 0 // only already-conformant copies pass
+		}
+	}
+	wait, ok := f.bucket.ReserveWithin(now, n, limit)
+	switch {
+	case !ok:
+		f.noteAdmissionDrop(n)
+	case wait == 0:
+		f.d.net.Send(f.src, dc1, msg)
+	default:
+		f.metrics.AdmissionShaped++
+		f.d.sim.After(wait, func() {
+			if !f.closed {
+				f.d.net.Send(f.src, dc1, msg)
+			}
+		})
+	}
+}
+
+// noteAdmissionDrop accounts one contract-refused cloud copy.
+func (f *Flow) noteAdmissionDrop(n int) {
+	f.metrics.AdmissionDropped++
+	if f.spec.Observer != nil {
+		f.spec.Observer.OnAdmissionDrop(f, f.seq, n)
+	}
 }
 
 // recordDelivery updates metrics from the receiving endpoint.
@@ -275,6 +417,11 @@ func (f *Flow) setService(next core.Service, reason ServiceChangeReason) {
 	f.service = next
 	ch := ServiceChange{At: f.d.sim.Now(), From: old, To: next, Reason: reason}
 	f.changes = append(f.changes, ch)
+	// Reset the loss-estimate window: epochs under different services
+	// have different direct-copy behavior (path-switched forwarding
+	// sends none at all), and a window straddling the change would read
+	// the mix as phantom loss.
+	f.lossSentMark, f.lossDirMark = f.metrics.Sent, f.directArrivals()
 	for _, dst := range f.dsts {
 		if h, ok := f.d.hosts[dst]; ok {
 			if r := h.Receiver(f.id); r != nil {
@@ -287,13 +434,26 @@ func (f *Flow) setService(next core.Service, reason ServiceChangeReason) {
 	}
 }
 
-// withinCostCeiling reports whether a service's egress price respects
-// the spec's cost ceiling (always true without one).
+// costPerGB prices a service's egress for this flow using its observed
+// loss rate: lost packets become billable pull responses under caching,
+// so a lossy flow's caching price rises above the zero-loss estimate
+// registration used (no observations existed then). The settled estimate
+// (see lossMark/lossEst) is used rather than raw LossRate, which counts
+// in-flight packets as lost and would inflate the price with phantom
+// loss right after a burst. Registration-time checks share the formula
+// through Deployment.costPerGB at loss 0.
+func (f *Flow) costPerGB(svc core.Service) float64 {
+	return overlay.DefaultCostModel.EgressPerAppGB(svc, f.d.cfg.Encoder.Alpha(), f.lossEst)
+}
+
+// withinCostCeiling reports whether a service's egress price — at the
+// flow's observed loss rate — respects the spec's cost ceiling (always
+// true without one).
 func (f *Flow) withinCostCeiling(svc core.Service) bool {
 	if f.spec.CostCeilingPerGB <= 0 {
 		return true
 	}
-	return f.d.costPerGB(svc) <= f.spec.CostCeilingPerGB
+	return f.costPerGB(svc) <= f.spec.CostCeilingPerGB
 }
 
 // predictDelay prices a service on the path the flow actually rides:
@@ -336,6 +496,20 @@ func (f *Flow) upgrade() {
 		}
 		f.lastDown = false
 	}
+}
+
+// directArrivals totals the receivers' direct-path arrival counters
+// across the flow's destinations (the loss estimator's raw signal).
+func (f *Flow) directArrivals() uint64 {
+	var n uint64
+	for _, dst := range f.dsts {
+		if h, ok := f.d.hosts[dst]; ok {
+			if r := h.Receiver(f.id); r != nil {
+				n += r.Stats().DirectArrivals
+			}
+		}
+	}
+	return n
 }
 
 // flapWindow bounds how long after a downgrade an upgrade still counts
@@ -386,6 +560,35 @@ func (f *Flow) downgrade() bool {
 // refreshes the topology's direct-latency estimate from observations.
 func (f *Flow) adaptTick() {
 	m := f.metrics
+	// Settle the loss estimate from direct-path ARRIVALS at the
+	// receivers — counted even for copies that deduplicated away after
+	// an overlay copy won the race, so neither recovery nor forwarding
+	// distorts the wire-loss reading in either direction; arrivals are
+	// normalized per destination so multicast fan-out does not mask
+	// loss. The marks only advance when a window settles (≥20 packets),
+	// so low-rate flows accumulate signal across ticks instead of
+	// discarding sub-threshold windows — which would freeze a stale
+	// estimate forever. Smoothing halves the boundary error of packets
+	// sent just before a tick and arriving just after: phantom loss in
+	// one window, clamped over-arrival in the next, converging on the
+	// true rate.
+	if !(f.service == core.ServiceForwarding && f.spec.PathSwitch) {
+		if sentWin := m.Sent - f.lossSentMark; sentWin >= 20 {
+			arrivals := f.directArrivals()
+			directWin := arrivals - f.lossDirMark
+			est := 1 - float64(directWin)/float64(len(f.dsts))/float64(sentWin)
+			if est < 0 {
+				est = 0
+			}
+			f.lossEst = (est + f.lossEst) / 2
+			f.lossSentMark, f.lossDirMark = m.Sent, arrivals
+		}
+	} else {
+		// Path-switched forwarding sends no direct copies: no signal,
+		// keep the previous estimate — but advance the marks so this
+		// epoch's packets never enter a later window as phantom loss.
+		f.lossSentMark, f.lossDirMark = m.Sent, f.directArrivals()
+	}
 	if m.DirectLatency.Len() > 0 && len(f.dsts) == 1 {
 		med := m.DirectLatency.Median()
 		f.d.topo.SetDirect(f.src, f.dsts[0], time.Duration(med*float64(time.Millisecond)))

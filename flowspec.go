@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"jqos/internal/core"
+	"jqos/internal/load"
 	"jqos/internal/overlay"
 	"jqos/internal/routing"
 )
@@ -107,6 +108,12 @@ type FlowObserver interface {
 	// OnDelivery fires for sampled deliveries (every
 	// FlowSpec.DeliverySample-th; never when DeliverySample is 0).
 	OnDelivery(f *Flow, del Delivery)
+	// OnAdmissionDrop fires when the flow's token-bucket contract
+	// (FlowSpec.Rate) drops a packet's cloud copy — the packet exceeded
+	// the contract and, with AdmissionShape, could not be delayed into
+	// conformance either. The direct Internet copy, if any, was still
+	// sent: admission polices cloud resources only.
+	OnAdmissionDrop(f *Flow, seq Seq, size int)
 }
 
 // FlowEvents is a no-op FlowObserver for embedding, so observers
@@ -124,6 +131,9 @@ func (FlowEvents) OnBudgetViolation(*Flow, float64, uint64) {}
 
 // OnDelivery implements FlowObserver.
 func (FlowEvents) OnDelivery(*Flow, Delivery) {}
+
+// OnAdmissionDrop implements FlowObserver.
+func (FlowEvents) OnAdmissionDrop(*Flow, Seq, int) {}
 
 // FlowSpec is the declarative registration intent of one application
 // stream: where it goes, what latency it needs, what it may cost, which
@@ -178,6 +188,29 @@ type FlowSpec struct {
 	// service is active (VIA-style full switch to the overlay).
 	PathSwitch bool
 
+	// Rate, when positive, is the flow's admission contract: its cloud
+	// copies are policed at the ingress by a token bucket refilling at
+	// Rate bytes/second with Burst bytes of depth. Packets exceeding the
+	// contract lose their cloud copy (dropped, with
+	// Observer.OnAdmissionDrop and FlowMetrics.AdmissionDropped) or —
+	// with AdmissionShape — are delayed into conformance. The direct
+	// Internet copy is never policed: admission governs cloud resources
+	// only, so one greedy flow cannot starve the overlay (§2's judicious
+	// use). Zero disables admission — the exact pre-contract behavior.
+	Rate int64
+	// Burst is the admission token-bucket depth in bytes. Zero with a
+	// positive Rate defaults to a quarter second of Rate, floored at one
+	// 1500-byte MTU. Size it to at least the flow's largest packet
+	// (payload + 40-byte header): a packet larger than the depth can
+	// never conform and loses its cloud copy every time.
+	Burst int64
+	// AdmissionShape delays non-conformant cloud copies until the bucket
+	// refills instead of dropping them (counted in
+	// FlowMetrics.AdmissionShaped). The delay is bounded by the flow's
+	// budget — a cloud copy that would leave later than the budget
+	// cannot help and drops as if policed.
+	AdmissionShape bool
+
 	// Duplication selects which packets get a cloud copy (selective
 	// duplication, §6.4). Nil duplicates everything.
 	Duplication DuplicationPolicy
@@ -231,6 +264,22 @@ func (d *Deployment) RegisterFlow(spec FlowSpec) (*Flow, error) {
 	if floor > ceiling {
 		return nil, fmt.Errorf("jqos: service floor %v above ceiling %v", floor, ceiling)
 	}
+	// Admission contract: normalize the burst default here so Spec()
+	// reflects the effective contract.
+	if spec.Rate < 0 {
+		return nil, fmt.Errorf("jqos: negative admission Rate %d", spec.Rate)
+	}
+	if spec.Burst < 0 {
+		return nil, fmt.Errorf("jqos: negative admission Burst %d", spec.Burst)
+	}
+	if spec.Rate == 0 && (spec.Burst != 0 || spec.AdmissionShape) {
+		return nil, fmt.Errorf("jqos: Burst/AdmissionShape need a positive admission Rate contract")
+	}
+	var bucket *load.Bucket
+	if spec.Rate > 0 {
+		bucket = load.NewBucket(spec.Rate, spec.Burst)
+		spec.Burst = bucket.Burst()
+	}
 	// A non-default path policy must be resolvable now, not silently
 	// dropped: the cloud destination needs a known home DC (for
 	// multicast that means AddGroup before RegisterFlow). The chosen
@@ -246,7 +295,13 @@ func (d *Deployment) RegisterFlow(spec FlowSpec) (*Flow, error) {
 		if dcA, ok := d.topo.NearestDC(spec.Src); ok && dcA != home {
 			if p := d.choosePolicyPath(spec.Path, dcA, home); p != nil {
 				policyPath = p
-				policyPathLat = p.Cost
+				// Price selection on the path's honest latency, not its
+				// routing weight (Path.Cost is congestion-inflated).
+				if lat, ok := d.ctrl.PathCost(p.Nodes); ok {
+					policyPathLat = lat
+				} else {
+					policyPathLat = p.Cost
+				}
 			}
 		}
 	}
@@ -305,6 +360,7 @@ func (d *Deployment) RegisterFlow(spec FlowSpec) (*Flow, error) {
 		cloud:   cloud,
 		service: svc,
 		spec:    spec,
+		bucket:  bucket,
 		metrics: newFlowMetrics(),
 		dgNeed:  d.cfg.DowngradeAfter,
 	}
@@ -312,9 +368,14 @@ func (d *Deployment) RegisterFlow(spec FlowSpec) (*Flow, error) {
 	d.flows[f.id] = f
 
 	// Pre-create receiver engines with the right RTT estimate so the
-	// first loss is already covered.
+	// first loss is already covered. Any receiver already present under
+	// this ID predates its allocation (a premature PullFlow or a forged
+	// packet) — drop it so the flow starts on fresh, correctly
+	// configured, teardown-indexed state instead of silently riding a
+	// default-RTT zombie that Close could never free.
 	for _, dst := range dsts {
 		if h, ok := d.hosts[dst]; ok {
+			h.dropReceiver(f.id)
 			h.ensureReceiver(f.id, d.receiverRTT(spec.Src, dst), svc)
 		}
 	}

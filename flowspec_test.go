@@ -14,10 +14,11 @@ import (
 
 // recorder is a FlowObserver that logs every event.
 type recorder struct {
-	changes    []jqos.ServiceChange
-	reroutes   [][2][]jqos.NodeID
-	violations int
-	deliveries int
+	jqos.FlowEvents // absorb events added after this test was written
+	changes         []jqos.ServiceChange
+	reroutes        [][2][]jqos.NodeID
+	violations      int
+	deliveries      int
 }
 
 func (r *recorder) OnServiceChange(_ *jqos.Flow, ch jqos.ServiceChange) {

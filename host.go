@@ -46,11 +46,28 @@ func (h *Host) SetDeliveryHandler(fn func(core.Delivery)) { h.onDeliver = fn }
 func (h *Host) Receiver(flow core.FlowID) *recovery.Receiver { return h.receivers[flow] }
 
 // ensureReceiver creates the flow's recovery engine on first contact.
-// Unsolicited flows (multicast members, mid-join) get defaults derived
-// from the deployment config.
+// Unsolicited flows (multicast members, mid-join, even forged IDs the
+// deployment never allocated) get defaults derived from the deployment
+// config. Closed flows — allocated IDs the deployment no longer tracks —
+// get nil instead of state: a late in-flight packet must not resurrect
+// a receiver that Flow.Close just freed, or churning short-lived flows
+// leaks one receiver per flow. Callers drop the packet on nil.
 func (h *Host) ensureReceiver(flow core.FlowID, rtt time.Duration, svc core.Service) *recovery.Receiver {
 	if r, ok := h.receivers[flow]; ok {
 		return r
+	}
+	if _, live := h.d.flows[flow]; !live {
+		if flow < h.d.nextFlow {
+			return nil
+		}
+		// Never-allocated (forged/external) IDs keep the historic lazy
+		// contract but are NOT indexed in recvHosts — they have no
+		// Flow.Close to free the entry, and an attacker-corrupted Flow
+		// field must not grow a deployment-wide map.
+	} else {
+		// Index live flows' state for teardown: Flow.Close frees
+		// exactly the hosts that ever built a receiver for it.
+		h.d.recvHosts[flow] = append(h.d.recvHosts[flow], h.id)
 	}
 	if rtt <= 0 {
 		rtt = 100 * time.Millisecond
@@ -82,6 +99,10 @@ func (h *Host) ensureReceiver(flow core.FlowID, rtt time.Duration, svc core.Serv
 	h.receivers[flow] = r
 	return r
 }
+
+// dropReceiver frees a closed flow's recovery engine. Armed timer events
+// self-cancel: the sweep only walks receivers still in the map.
+func (h *Host) dropReceiver(flow core.FlowID) { delete(h.receivers, flow) }
 
 // Dropped counts datagrams the host could not parse.
 func (h *Host) Dropped() uint64 { return h.drop }
@@ -118,9 +139,15 @@ func (h *Host) handle(from, to core.NodeID, data []byte) {
 			svc = core.ServiceCoding
 		}
 		r := h.ensureReceiver(hdr.Flow, 0, svc)
+		if r == nil {
+			return // late packet of a closed flow
+		}
 		res = r.OnData(now, &hdr, body)
 	case wire.TypeRecovered, wire.TypePullResp:
 		r := h.ensureReceiver(hdr.Flow, 0, hdr.Service)
+		if r == nil {
+			return
+		}
 		res = r.OnRecovered(now, &hdr, body)
 	case wire.TypeCoded:
 		var meta wire.Coded
@@ -130,6 +157,9 @@ func (h *Host) handle(from, to core.NodeID, data []byte) {
 			return
 		}
 		r := h.ensureReceiver(meta.Sources[0].Flow, 0, core.ServiceCoding)
+		if r == nil {
+			return
+		}
 		res = r.OnCoded(now, &hdr, &meta, shard)
 	case wire.TypeCoopReq:
 		var ref wire.CoopRef
@@ -180,7 +210,9 @@ func (h *Host) PullFlow(flow core.FlowID, after core.Seq) {
 		Dst:     h.dc,
 	}
 	h.d.noteActivity()
-	h.ensureReceiver(flow, 0, core.ServiceCaching)
+	if h.ensureReceiver(flow, 0, core.ServiceCaching) == nil {
+		return // closed flow: nobody left to process the responses
+	}
 	h.transmit([]core.Emit{{To: h.dc, Msg: wire.AppendMessage(nil, &hdr, nil)}})
 	h.armTimer()
 }

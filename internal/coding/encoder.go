@@ -174,6 +174,26 @@ func (e *Encoder) Config() EncoderConfig { return e.cfg }
 // Stats returns a copy of the counters.
 func (e *Encoder) Stats() EncoderStats { return e.stats }
 
+// ForgetFlow drops the per-flow encoder state of a torn-down flow: its
+// in-stream queue (pending packets are discarded — the receiver is gone)
+// and its cross-queue round-robin cursor. Open cross-stream batches may
+// still hold the flow's packets; they flush or expire on their own
+// bounded timers, so nothing here grows with flow churn.
+func (e *Encoder) ForgetFlow(flow core.FlowID) {
+	delete(e.inQs, flow)
+	delete(e.rrIdx, flow)
+}
+
+// TrackedFlows returns how many flows hold per-flow encoder state
+// (diagnostics; flow teardown must drive it back down).
+func (e *Encoder) TrackedFlows() int {
+	n := len(e.inQs)
+	if m := len(e.rrIdx); m > n {
+		n = m
+	}
+	return n
+}
+
 // codec returns (building if needed) the RS codec for (k, m).
 func (e *Encoder) codec(k, m int) *rs.Codec {
 	key := [2]int{k, m}

@@ -79,6 +79,10 @@ func (s Service) String() string {
 // predicted delivery latency meets the application budget.
 var Services = []Service{ServiceInternet, ServiceCoding, ServiceCaching, ServiceForwarding}
 
+// NumServices is the number of distinct services — the single source for
+// per-service-class accounting array sizes (index by Service).
+const NumServices = int(ServiceForwarding) + 1
+
 // CostFactor returns the relative inter-DC egress cost of a service as a
 // multiple of c, the cost of shipping one copy of the stream over one cloud
 // egress (Figure 2). alpha is the coding overhead ratio (r+s).

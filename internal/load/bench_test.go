@@ -1,0 +1,66 @@
+package load
+
+import (
+	"testing"
+	"time"
+
+	"jqos/internal/core"
+)
+
+// BenchmarkMeter is the hot-path accounting cost of one recorded packet:
+// it must stay allocation-free — every DC egress pays it.
+func BenchmarkMeter(b *testing.B) {
+	m := NewMeter(time.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Add(core.Time(i)*time.Microsecond, 1200)
+	}
+	if bs, _ := m.Totals(); bs == 0 {
+		b.Fatal("meter recorded nothing")
+	}
+}
+
+// BenchmarkMeterRead measures the utilization read the load reporter does
+// per link per tick.
+func BenchmarkMeterRead(b *testing.B) {
+	m := NewMeter(time.Second)
+	for i := 0; i < 8000; i++ {
+		m.Add(core.Time(i)*125*time.Microsecond, 1200)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += m.Rate(time.Second + core.Time(i)*time.Microsecond)
+	}
+	_ = sink
+}
+
+// BenchmarkAdmit is the per-packet admission decision at the ingress DC.
+func BenchmarkAdmit(b *testing.B) {
+	bk := NewBucket(1_000_000, 64_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	admitted := 0
+	for i := 0; i < b.N; i++ {
+		if bk.Admit(core.Time(i)*time.Microsecond, 1200) {
+			admitted++
+		}
+	}
+	if admitted == 0 {
+		b.Fatal("bucket admitted nothing")
+	}
+}
+
+// BenchmarkRegistryRecord is the full per-send accounting path: pair
+// lookup plus meter update.
+func BenchmarkRegistryRecord(b *testing.B) {
+	r := NewRegistry(time.Second)
+	r.Track(1, 2, 1_000_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Record(core.Time(i)*time.Microsecond, 1, 2, core.ServiceForwarding, 1200)
+	}
+}

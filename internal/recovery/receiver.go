@@ -96,20 +96,26 @@ func (c *Config) fillDefaults() {
 
 // Stats counts receiver-side protocol activity.
 type Stats struct {
-	DataReceived  uint64
-	Duplicates    uint64
-	LossesSeen    uint64 // distinct missing packets detected
-	GapNACKs      uint64 // NACKs from sequence gaps
-	TimerNACKs    uint64 // NACKs from small-timeout expiry (burst tail)
-	IdleNACKs     uint64 // NACKs from long-timeout expiry
-	PumpNACKs     uint64 // speculative NACKs from the outage pump
-	RetryNACKs    uint64
-	Recovered     uint64 // packets restored by any cloud service
-	InStreamLocal uint64 // of those, decoded locally from in-stream parity
-	LateArrivals  uint64 // missing packets that showed up on their own
-	GaveUp        uint64
-	CoopResponses uint64
-	VerifyReplies uint64
+	DataReceived uint64
+	// DirectArrivals counts data copies that arrived over the direct
+	// Internet path (no FlagDup), whether they were delivered or
+	// deduplicated — the unbiased direct-path loss signal: an
+	// overlay-duplicated copy winning the arrival race must not make
+	// the direct path look lossy.
+	DirectArrivals uint64
+	Duplicates     uint64
+	LossesSeen     uint64 // distinct missing packets detected
+	GapNACKs       uint64 // NACKs from sequence gaps
+	TimerNACKs     uint64 // NACKs from small-timeout expiry (burst tail)
+	IdleNACKs      uint64 // NACKs from long-timeout expiry
+	PumpNACKs      uint64 // speculative NACKs from the outage pump
+	RetryNACKs     uint64
+	Recovered      uint64 // packets restored by any cloud service
+	InStreamLocal  uint64 // of those, decoded locally from in-stream parity
+	LateArrivals   uint64 // missing packets that showed up on their own
+	GaveUp         uint64
+	CoopResponses  uint64
+	VerifyReplies  uint64
 }
 
 // NACKsSent totals every NACK category.
@@ -223,6 +229,8 @@ func (r *Receiver) OnData(now core.Time, hdr *wire.Header, payload []byte) Resul
 	via := core.ServiceInternet
 	if hdr.Flags&wire.FlagDup != 0 {
 		via = hdr.Service
+	} else {
+		r.stats.DirectArrivals++
 	}
 	seq := hdr.Seq
 	switch {

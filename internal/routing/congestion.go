@@ -1,0 +1,160 @@
+package routing
+
+import "jqos/internal/core"
+
+// CongestionConfig tunes how reported link utilization inflates path
+// weights — the control plane's load-aware costs. The inflation is
+// M/M/1-shaped: negligible below the knee, growing like 1/(1-u) above it,
+// so a link approaching saturation prices itself out of new paths long
+// before it actually saturates.
+type CongestionConfig struct {
+	// Knee is the utilization above which weights start inflating.
+	Knee float64
+	// MaxUtil caps utilization in the penalty denominator so a fully
+	// saturated link gets a large finite weight instead of an infinite
+	// one (it can still carry traffic when it is the only path).
+	MaxUtil float64
+	// Gamma scales the penalty term.
+	Gamma float64
+	// Hysteresis is the minimum relative change of the inflation
+	// multiplier that triggers a reweight-and-recompute. Smaller changes
+	// are recorded (Link.Util) but do not move routes — utilization
+	// breathes constantly, and without damping routes would flap between
+	// equal-cost paths on every report.
+	Hysteresis float64
+}
+
+// DefaultCongestionConfig returns production defaults: inflation starts
+// at 60% utilization, a saturated link costs 8× its latency, and routes
+// move only on ≥25% multiplier swings.
+func DefaultCongestionConfig() CongestionConfig {
+	return CongestionConfig{Knee: 0.6, MaxUtil: 0.95, Gamma: 1, Hysteresis: 0.25}
+}
+
+// normalized fills zero fields with defaults, so a partially specified
+// (or zero-value) config behaves sanely.
+func (c CongestionConfig) normalized() CongestionConfig {
+	d := DefaultCongestionConfig()
+	if c.Knee <= 0 || c.Knee >= 1 {
+		c.Knee = d.Knee
+	}
+	if c.MaxUtil <= c.Knee || c.MaxUtil >= 1 {
+		c.MaxUtil = d.MaxUtil
+		if c.MaxUtil <= c.Knee {
+			c.MaxUtil = (1 + c.Knee) / 2
+		}
+	}
+	if c.Gamma <= 0 {
+		c.Gamma = d.Gamma
+	}
+	if c.Hysteresis <= 0 {
+		c.Hysteresis = d.Hysteresis
+	}
+	return c
+}
+
+// Multiplier converts a utilization reading into the link-weight
+// inflation factor (≥ 1): 1 at or below the knee, then
+// 1 + Gamma·(u−Knee)/(1−u) with u capped at MaxUtil.
+func (c CongestionConfig) Multiplier(util float64) float64 {
+	if util <= c.Knee {
+		return 1
+	}
+	u := util
+	if u > c.MaxUtil {
+		u = c.MaxUtil
+	}
+	return 1 + c.Gamma*(u-c.Knee)/(1-u)
+}
+
+// SetCongestionConfig replaces the controller's congestion model (zero
+// fields fall back to defaults). Existing inflation multipliers are kept
+// until the next utilization report re-derives them.
+func (c *Controller) SetCongestionConfig(cfg CongestionConfig) {
+	c.congestion = cfg.normalized()
+}
+
+// CongestionConfig returns the active (normalized) congestion model.
+func (c *Controller) CongestionConfig() CongestionConfig { return c.congestion }
+
+// applyLinkUtilization records one utilization report (0..1, clamped)
+// for the link a↔b and reports whether the link's effective weight
+// multiplier moved. The raw reading is always recorded on the link for
+// inspection; the multiplier only moves when it differs from the
+// current one by more than the configured hysteresis — routes spread
+// away from hot links without flapping on every report. Exception: a
+// return to baseline (multiplier 1) always applies, otherwise a small
+// inflation whose removal sits inside the hysteresis band would
+// penalize an idle link forever.
+func (c *Controller) applyLinkUtilization(a, b core.NodeID, util float64) bool {
+	l := c.g.Link(a, b)
+	if l == nil {
+		return false
+	}
+	if util < 0 {
+		util = 0
+	}
+	if util > 1 {
+		util = 1
+	}
+	l.Util = util
+	mult := c.congestion.Multiplier(util)
+	cur := l.Congest
+	if cur < 1 {
+		cur = 1
+	}
+	dev := (mult - cur) / cur
+	if dev < 0 {
+		dev = -dev
+	}
+	if dev <= c.congestion.Hysteresis && !(mult == 1 && cur > 1) {
+		return false
+	}
+	l.Congest = mult
+	return true
+}
+
+// congestionRecompute recomputes after accepted utilization changes and
+// counts a congestion reroute when routes actually moved.
+func (c *Controller) congestionRecompute() {
+	pre := c.stats.Reroutes
+	c.Recompute()
+	if c.stats.Reroutes > pre {
+		c.stats.CongestionReroutes++
+	}
+}
+
+// SetLinkUtilization applies one utilization report; an accepted change
+// (past the hysteresis) triggers a recompute + re-push.
+func (c *Controller) SetLinkUtilization(a, b core.NodeID, util float64) {
+	if !c.applyLinkUtilization(a, b, util) {
+		return
+	}
+	c.stats.UtilizationUpdates++
+	c.congestionRecompute()
+}
+
+// UtilizationReport is one link's utilization reading in a batch.
+type UtilizationReport struct {
+	A, B core.NodeID
+	Util float64
+}
+
+// SetLinkUtilizations applies a whole reporting round at once: all
+// accepted multiplier changes are installed first, then tables recompute
+// a single time. A multi-hop bulk flow moves utilization on every link
+// of its path in the same round — recomputing per link would run N full
+// SPF + push cycles (and count phantom intermediate reroutes) where one
+// suffices.
+func (c *Controller) SetLinkUtilizations(reports []UtilizationReport) {
+	accepted := false
+	for _, r := range reports {
+		if c.applyLinkUtilization(r.A, r.B, r.Util) {
+			c.stats.UtilizationUpdates++
+			accepted = true
+		}
+	}
+	if accepted {
+		c.congestionRecompute()
+	}
+}

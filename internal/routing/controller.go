@@ -38,6 +38,14 @@ type Stats struct {
 	LinkFailures   uint64
 	LinkRecoveries uint64
 	LinkDegrades   uint64
+	// UtilizationUpdates counts accepted load reports — those whose
+	// derived weight multiplier moved past the congestion hysteresis and
+	// triggered a recompute (sub-hysteresis reports are absorbed).
+	UtilizationUpdates uint64
+	// CongestionReroutes counts utilization-triggered recomputes that
+	// moved at least one installed route — traffic actually spread away
+	// from (or back onto) a hot link.
+	CongestionReroutes uint64
 	// Unreachable is the number of (DC, destination) pairs with no path
 	// after the last recompute.
 	Unreachable int
@@ -56,7 +64,10 @@ type Controller struct {
 	homes     map[core.NodeID]core.NodeID
 	hostOrder []core.NodeID // sorted host IDs for deterministic pushes
 
-	dist      map[[2]core.NodeID]core.Time // routed DC-pair latency
+	// dist holds the routed DC-pair latency: the honest latency of the
+	// weight-selected path (congestion inflates the selection weight,
+	// never this figure — see Link.Cost vs Link.Latency).
+	dist      map[[2]core.NodeID]core.Time
 	nextHop   map[[2]core.NodeID]core.NodeID
 	installed map[core.NodeID]map[core.NodeID]core.NodeID // per-DC pushed entries
 
@@ -64,6 +75,10 @@ type Controller struct {
 	// the shared tables but asked to hear about primary-path moves.
 	pins    map[core.FlowID]*flowPin
 	watches map[core.FlowID]*flowWatch
+
+	// congestion is the utilization → weight-inflation model applied by
+	// SetLinkUtilization (always normalized).
+	congestion CongestionConfig
 
 	// OnFlowPath, when set, is invoked after each recompute for every
 	// pinned flow whose path died (next == nil, broken == true) and every
@@ -98,15 +113,16 @@ func NewController(k int) *Controller {
 		k = 1
 	}
 	return &Controller{
-		g:         NewGraph(),
-		k:         k,
-		sinks:     make(map[core.NodeID]RouteSink),
-		homes:     make(map[core.NodeID]core.NodeID),
-		dist:      make(map[[2]core.NodeID]core.Time),
-		nextHop:   make(map[[2]core.NodeID]core.NodeID),
-		installed: make(map[core.NodeID]map[core.NodeID]core.NodeID),
-		pins:      make(map[core.FlowID]*flowPin),
-		watches:   make(map[core.FlowID]*flowWatch),
+		g:          NewGraph(),
+		k:          k,
+		sinks:      make(map[core.NodeID]RouteSink),
+		homes:      make(map[core.NodeID]core.NodeID),
+		dist:       make(map[[2]core.NodeID]core.Time),
+		nextHop:    make(map[[2]core.NodeID]core.NodeID),
+		installed:  make(map[core.NodeID]map[core.NodeID]core.NodeID),
+		pins:       make(map[core.FlowID]*flowPin),
+		watches:    make(map[core.FlowID]*flowWatch),
+		congestion: DefaultCongestionConfig(),
 	}
 }
 
@@ -297,6 +313,9 @@ func (c *Controller) pathDead(path []core.NodeID) bool {
 // PathCost returns the current one-way latency along an explicit DC path
 // (endpoints included), or ok=false when any link is missing or down.
 // Pinned flows price their predictions on this, not the primary path.
+// It sums honest latencies (Link.Latency), not congestion-inflated
+// weights: a pinned flow on a hot link is steered-around by routing but
+// does not actually get slower in proportion to the penalty.
 func (c *Controller) PathCost(path []core.NodeID) (core.Time, bool) {
 	if len(path) < 2 {
 		return 0, len(path) == 1
@@ -307,7 +326,7 @@ func (c *Controller) PathCost(path []core.NodeID) (core.Time, bool) {
 		if l == nil {
 			return 0, false
 		}
-		w, up := l.Cost()
+		w, up := l.Latency()
 		if !up {
 			return 0, false
 		}
@@ -398,8 +417,10 @@ func (c *Controller) Recompute() {
 			if dst == src {
 				continue
 			}
-			if d, ok := res.dist[dst]; ok {
-				dist[[2]core.NodeID{src, dst}] = d
+			if _, ok := res.dist[dst]; ok {
+				// The route minimized weight; the latency recorded is
+				// the selected path's honest figure.
+				dist[[2]core.NodeID{src, dst}] = res.lat[dst]
 				if via, ok := res.nextHopFrom(src, dst); ok {
 					nh[[2]core.NodeID{src, dst}] = via
 				}

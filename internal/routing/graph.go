@@ -53,17 +53,25 @@ func (s LinkState) String() string {
 
 // Link is one bidirectional inter-DC edge. Base is the configured one-way
 // latency; Est, when nonzero, is a monitor-refreshed estimate that
-// overrides Base in path costs (both are one-way).
+// overrides Base in path costs (both are one-way). Util and Congest are
+// the load-telemetry layer: Util is the last reported utilization (raw,
+// for inspection) and Congest the effective weight multiplier the
+// controller derived from it under its CongestionConfig (0 or 1 = no
+// inflation).
 type Link struct {
-	A, B  core.NodeID
-	Base  core.Time
-	State LinkState
-	Est   core.Time
+	A, B    core.NodeID
+	Base    core.Time
+	State   LinkState
+	Est     core.Time
+	Util    float64
+	Congest float64
 }
 
-// Cost returns the link's current path cost. ok is false when the link is
-// down and must not carry traffic.
-func (l *Link) Cost() (core.Time, bool) {
+// Latency returns the link's current one-way latency estimate — the
+// monitor's refreshed figure (Est) or the configured base — WITHOUT
+// congestion inflation: the honest number latency predictions must sum.
+// ok is false when the link is down.
+func (l *Link) Latency() (core.Time, bool) {
 	if l.State == LinkDown {
 		return 0, false
 	}
@@ -71,6 +79,22 @@ func (l *Link) Cost() (core.Time, bool) {
 		return l.Est, true
 	}
 	return l.Base, true
+}
+
+// Cost returns the link's current path WEIGHT: its latency inflated by
+// the congestion multiplier when utilization telemetry marked the link
+// hot. Route computation minimizes this; latency predictions must use
+// Latency instead — the inflation steers traffic, it does not delay it.
+// ok is false when the link is down and must not carry traffic.
+func (l *Link) Cost() (core.Time, bool) {
+	w, up := l.Latency()
+	if !up {
+		return 0, false
+	}
+	if l.Congest > 1 {
+		w = core.Time(float64(w) * l.Congest)
+	}
+	return w, true
 }
 
 // Graph is the inter-DC link graph. Nodes are DC IDs; edges are symmetric
@@ -149,6 +173,8 @@ func (g *Graph) SetLink(a, b core.NodeID, base core.Time) *Link {
 	l.Base = base
 	l.State = LinkUp
 	l.Est = 0
+	l.Util = 0
+	l.Congest = 0
 	return l
 }
 

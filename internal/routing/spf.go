@@ -38,25 +38,33 @@ func (q *pq) pop() pqItem    { return heap.Pop(q).(pqItem) }
 
 const infCost = core.Time(math.MaxInt64)
 
-// spfResult is one single-source shortest-path tree.
+// spfResult is one single-source shortest-path tree. dist is the weight
+// the tree minimized (congestion-inflated); lat is the honest latency
+// accumulated along the chosen edges — what predictions report.
 type spfResult struct {
 	dist map[core.NodeID]core.Time
+	lat  map[core.NodeID]core.Time
 	prev map[core.NodeID]core.NodeID
 }
 
 // shortestFrom runs Dijkstra from src over up-links, skipping banned edges
 // and vertices (nil = none). Tie-breaking is deterministic: the frontier
 // orders equal distances by node ID, and an equal-cost relaxation keeps
-// the lower-ID predecessor.
+// the lower-ID predecessor. Edges are relaxed on weight (Link.Cost, which
+// congestion inflates) while the true latency of the selected tree is
+// carried alongside — a route steered off a hot link must not inherit the
+// hot link's phantom delay in latency predictions.
 func (g *Graph) shortestFrom(src core.NodeID, bannedEdge map[[2]core.NodeID]bool, bannedNode map[core.NodeID]bool) spfResult {
 	res := spfResult{
 		dist: make(map[core.NodeID]core.Time, len(g.order)),
+		lat:  make(map[core.NodeID]core.Time, len(g.order)),
 		prev: make(map[core.NodeID]core.NodeID, len(g.order)),
 	}
 	if !g.nodes[src] || bannedNode[src] {
 		return res
 	}
 	res.dist[src] = 0
+	res.lat[src] = 0
 	frontier := make(pq, 0, len(g.order))
 	frontier.push(pqItem{node: src, dist: 0})
 	done := make(map[core.NodeID]bool, len(g.order))
@@ -67,7 +75,12 @@ func (g *Graph) shortestFrom(src core.NodeID, bannedEdge map[[2]core.NodeID]bool
 		}
 		done[it.node] = true
 		for _, nb := range g.Neighbors(it.node) {
-			if bannedNode[nb] || bannedEdge[linkKey(it.node, nb)] {
+			// Finalized nodes must not be relaxed again: with positive
+			// weights they can never improve, and on a zero-weight link
+			// the equal-cost tie-break below could otherwise rewrite two
+			// settled nodes into each other's predecessor — a prev-cycle
+			// that hangs path reconstruction.
+			if done[nb] || bannedNode[nb] || bannedEdge[linkKey(it.node, nb)] {
 				continue
 			}
 			l := g.Link(it.node, nb)
@@ -75,15 +88,18 @@ func (g *Graph) shortestFrom(src core.NodeID, bannedEdge map[[2]core.NodeID]bool
 			if !up {
 				continue
 			}
+			lt, _ := l.Latency() // up implies ok
 			nd := it.dist + w
 			old, seen := res.dist[nb]
 			switch {
 			case !seen || nd < old:
 				res.dist[nb] = nd
+				res.lat[nb] = res.lat[it.node] + lt
 				res.prev[nb] = it.node
 				frontier.push(pqItem{node: nb, dist: nd})
 			case nd == old && it.node < res.prev[nb]:
 				res.prev[nb] = it.node
+				res.lat[nb] = res.lat[it.node] + lt
 			}
 		}
 	}

@@ -224,3 +224,20 @@ func RewriteFlags(msg []byte, flags uint16) error {
 	binary.BigEndian.PutUint16(msg[4:], flags)
 	return nil
 }
+
+// PeekService reads a marshaled message's service class without decoding
+// the rest of the header. DC egress accounting classifies every departing
+// packet per (link, service class) on the hot path; unknown classes (or
+// non-J-QoS bytes) report ok=false and go unaccounted rather than
+// polluting a class bucket.
+func PeekService(msg []byte) (core.Service, bool) {
+	if len(msg) < HeaderLen ||
+		binary.BigEndian.Uint16(msg[0:]) != Magic || msg[2] != Version {
+		return 0, false
+	}
+	s := core.Service(msg[6])
+	if s > core.ServiceForwarding {
+		return 0, false
+	}
+	return s, true
+}

@@ -53,6 +53,25 @@
 // RegisterOptions remain as deprecated compatibility shims over
 // RegisterFlow.
 //
+// # Load-aware traffic engineering
+//
+// The overlay's resources are finite, and judicious use means measuring
+// them: every DC egress is metered per (inter-DC link, service class)
+// into sliding-window rate meters (internal/load), and
+// Deployment.LinkLoad exposes the live rates, peaks, and utilization
+// (against SetLinkCapacity / Config.LinkCapacity accounting capacities).
+// A periodic reporter (Config.LoadReportInterval) feeds utilization into
+// the routing controller, which inflates hot links' path weights
+// M/M/1-style above a knee (Config.Congestion) — with hysteresis, so
+// routes spread away from congested links without flapping — and
+// RoutingStats counts the resulting congestion reroutes. On the admission
+// side, FlowSpec.Rate declares a per-flow token-bucket contract enforced
+// at the ingress: excess cloud copies are dropped
+// (Observer.OnAdmissionDrop) or, with FlowSpec.AdmissionShape, delayed
+// into conformance, so one greedy flow cannot congest the overlay for
+// everyone else. Flows are torn down with Flow.Close, which releases
+// their routing pins and receiver state.
+//
 // # Quick start
 //
 //	dep := jqos.NewDeployment(42)
@@ -67,9 +86,12 @@
 //	flow, _ := dep.RegisterFlow(jqos.FlowSpec{
 //	    Src: src, Dst: dst,
 //	    Budget: 200 * time.Millisecond,
+//	    Rate:   512 << 10, // admission contract: 512 kB/s of cloud copies...
+//	    Burst:  64 << 10,  // ...with 64 kB of burst tolerance
 //	})
 //	flow.Send([]byte("hello"))
 //	dep.Run(time.Second)
+//	flow.Close()
 package jqos
 
 import (
@@ -79,6 +101,7 @@ import (
 	"jqos/internal/coding"
 	"jqos/internal/core"
 	"jqos/internal/dataset"
+	"jqos/internal/load"
 	"jqos/internal/netem"
 	"jqos/internal/overlay"
 	"jqos/internal/routing"
@@ -148,22 +171,41 @@ type Config struct {
 	// Monitor tunes the inter-DC link-health prober. ProbeInterval 0
 	// disables active probing (routes still follow explicit graph edits).
 	Monitor routing.MonitorConfig
+	// LinkCapacity is the default accounting capacity assumed for every
+	// inter-DC link in utilization telemetry, in bytes/second. Zero means
+	// uncapacitated: the link never reads as congested. Override per link
+	// with SetLinkCapacity.
+	LinkCapacity int64
+	// LoadWindow is the sliding window of the per-link rate meters
+	// (0 defaults to one second).
+	LoadWindow time.Duration
+	// LoadReportInterval is how often measured link utilization feeds the
+	// routing controller's congestion-aware weights. Zero disables the
+	// feed — meters still run and LinkLoad still answers, but routing
+	// ignores load.
+	LoadReportInterval time.Duration
+	// Congestion tunes utilization-driven link-weight inflation (knee,
+	// M/M/1 penalty, flap hysteresis). Zero fields take defaults.
+	Congestion routing.CongestionConfig
 }
 
 // DefaultConfig returns the paper's deployment defaults.
 func DefaultConfig() Config {
 	return Config{
-		Encoder:         coding.DefaultEncoderConfig(),
-		Recoverer:       coding.DefaultRecovererConfig(),
-		CacheTTL:        2 * time.Second,
-		SmallTimeout:    25 * time.Millisecond,
-		MaxNACKs:        3,
-		UpgradeInterval: 5 * time.Second,
-		UpgradeOnTime:   0.95,
-		DowngradeAfter:  3,
-		DowngradeOnTime: 0.99,
-		KAltPaths:       2,
-		Monitor:         routing.DefaultMonitorConfig(),
+		Encoder:            coding.DefaultEncoderConfig(),
+		Recoverer:          coding.DefaultRecovererConfig(),
+		CacheTTL:           2 * time.Second,
+		SmallTimeout:       25 * time.Millisecond,
+		MaxNACKs:           3,
+		UpgradeInterval:    5 * time.Second,
+		UpgradeOnTime:      0.95,
+		DowngradeAfter:     3,
+		DowngradeOnTime:    0.99,
+		KAltPaths:          2,
+		Monitor:            routing.DefaultMonitorConfig(),
+		LoadWindow:         time.Second,
+		LoadReportInterval: 500 * time.Millisecond,
+		Congestion:         routing.DefaultCongestionConfig(),
 	}
 }
 
@@ -177,12 +219,24 @@ type Deployment struct {
 	ctrl *routing.Controller
 	mon  *routing.Monitor
 
+	// loadReg meters egress per (inter-DC link, service class); loadRep
+	// periodically converts its utilization readings into the routing
+	// controller's congestion weights (see loadreport.go).
+	loadReg *load.Registry
+	loadRep *loadReporter
+
 	nextNode core.NodeID
 	nextFlow core.FlowID
 
 	dcs   map[core.NodeID]*DCNode
 	hosts map[core.NodeID]*Host
 	flows map[core.FlowID]*Flow
+
+	// recvHosts indexes which hosts hold receiver state per flow, so
+	// Flow.Close frees exactly the flow's footprint (destinations,
+	// mid-join multicast members, mobility hand-off targets) instead of
+	// sweeping every host in the deployment.
+	recvHosts map[core.FlowID][]core.NodeID
 
 	// Link-health probing (see probe.go). activity counts application
 	// sends; probers park when it stops moving so the simulator can drain.
@@ -213,6 +267,9 @@ func NewDeploymentWithConfig(seed int64, cfg Config) *Deployment {
 	if cfg.DowngradeOnTime < cfg.UpgradeOnTime {
 		cfg.DowngradeOnTime = cfg.UpgradeOnTime
 	}
+	if cfg.LoadWindow <= 0 {
+		cfg.LoadWindow = time.Second
+	}
 	sim := netem.NewSimulator(seed)
 	d := &Deployment{
 		cfg:         cfg,
@@ -225,9 +282,12 @@ func NewDeploymentWithConfig(seed int64, cfg Config) *Deployment {
 		dcs:         make(map[core.NodeID]*DCNode),
 		hosts:       make(map[core.NodeID]*Host),
 		flows:       make(map[core.FlowID]*Flow),
+		recvHosts:   make(map[core.FlowID][]core.NodeID),
 		egressBytes: make(map[core.NodeID]uint64),
 		linkShape:   make(map[[2]core.NodeID]time.Duration),
 	}
+	d.loadReg = load.NewRegistry(cfg.LoadWindow)
+	d.ctrl.SetCongestionConfig(cfg.Congestion)
 	d.mon = routing.NewMonitor(d.ctrl, cfg.Monitor)
 	d.topo.Oracle = d.ctrl
 	d.ctrl.OnFlowPath = d.onFlowPath
@@ -311,7 +371,38 @@ func (d *Deployment) ConnectDCs(a, b core.NodeID, x time.Duration) {
 	})
 	d.linkShape[dcPairKey(a, b)] = x
 	d.ctrl.SetLink(a, b, x)
+	// First contact only: re-connecting an existing pair reshapes its
+	// latency but must not reset a SetLinkCapacity override (or the
+	// meters) back to the config default.
+	if !d.loadReg.Tracked(a, b) {
+		d.loadReg.Track(a, b, d.cfg.LinkCapacity)
+	}
 	d.startProber(a, b, x)
+	d.startLoadReporter()
+}
+
+// SetLinkCapacity re-bases the accounting capacity of the inter-DC link
+// a↔b (bytes/second; 0 makes it uncapacitated — it never reads as
+// congested). Capacity is a traffic-engineering input, not an emulated
+// bottleneck: utilization is measured demand over this figure, and the
+// emulated links keep their own serialization model (netem.Link.Rate).
+// Panics when a↔b was never connected (a deployment wiring bug).
+func (d *Deployment) SetLinkCapacity(a, b core.NodeID, bytesPerSec int64) {
+	if !d.loadReg.SetCapacity(a, b, bytesPerSec) {
+		panic(fmt.Sprintf("jqos: SetLinkCapacity(%v, %v): DCs were never connected", a, b))
+	}
+	// The first capacitated link makes utilization meaningful: start (or
+	// wake) the reporter that feeds it into routing.
+	d.startLoadReporter()
+	d.wakeLoadReporter()
+}
+
+// LinkLoad returns the live load snapshot of the inter-DC link a↔b:
+// windowed/EWMA rates and peaks per direction, per-service-class
+// breakdowns, and the utilization reading that congestion-aware routing
+// inflates weights from. ok is false for unconnected pairs.
+func (d *Deployment) LinkLoad(a, b core.NodeID) (load.LinkLoad, bool) {
+	return d.loadReg.Load(d.sim.Now(), a, b)
 }
 
 func dcPairKey(a, b core.NodeID) [2]core.NodeID {

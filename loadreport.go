@@ -1,0 +1,94 @@
+package jqos
+
+import "jqos/internal/routing"
+
+// loadReporter periodically converts the load registry's measured link
+// utilization into the routing controller's congestion weights: every
+// Config.LoadReportInterval it walks the tracked inter-DC links (in
+// deterministic order) and calls SetLinkUtilization, whose hysteresis
+// decides whether anything recomputes.
+//
+// Like the probers, the reporter parks itself when the deployment goes
+// quiet so an idle event heap drains; Flow.Send (via noteActivity) and
+// the failure-injection helpers wake it. Parking additionally waits for
+// every meter window to drain to zero utilization — a link must deflate
+// before the reporter sleeps, whatever the LoadWindow : interval ratio,
+// or a flow registered during the idle period would resolve its path
+// against a phantom-hot link.
+type loadReporter struct {
+	d            *Deployment
+	parked       bool
+	idle         int
+	lastActivity uint64
+	scratch      []routing.UtilizationReport // reused per round
+}
+
+// startLoadReporter begins periodic utilization reporting (no-op when
+// the feed is disabled or already running). ConnectDCs and
+// SetLinkCapacity call it as soon as the deployment has a link worth
+// watching — with every link uncapacitated (the default), utilization is
+// definitionally zero and the rounds would be pure event-heap overhead,
+// so the reporter does not start at all.
+func (d *Deployment) startLoadReporter() {
+	if d.cfg.LoadReportInterval <= 0 || d.loadRep != nil || !d.loadReg.AnyCapacity() {
+		return
+	}
+	d.loadRep = &loadReporter{d: d}
+	d.sim.After(d.cfg.LoadReportInterval, d.loadRep.round)
+}
+
+// round reports once and reschedules itself — or parks, once the
+// deployment is idle AND the meters have fully drained.
+func (r *loadReporter) round() {
+	d := r.d
+	if act := d.activity; act == r.lastActivity {
+		r.idle++
+	} else {
+		r.lastActivity = act
+		if r.idle > 0 {
+			r.idle = 0
+		}
+	}
+	maxUtil := r.report()
+	if r.idle >= 2 && maxUtil == 0 {
+		r.parked = true
+		return
+	}
+	d.sim.After(d.cfg.LoadReportInterval, r.round)
+}
+
+// report feeds every tracked link's current utilization to the
+// controller as one batch, so a round triggers at most one recompute.
+// It returns the highest utilization seen — the parking gate.
+func (r *loadReporter) report() float64 {
+	now := r.d.sim.Now()
+	r.scratch = r.scratch[:0]
+	var max float64
+	for _, p := range r.d.loadReg.Pairs() {
+		u := r.d.loadReg.Utilization(now, p[0], p[1])
+		if u > max {
+			max = u
+		}
+		r.scratch = append(r.scratch, routing.UtilizationReport{A: p[0], B: p[1], Util: u})
+	}
+	r.d.ctrl.SetLinkUtilizations(r.scratch)
+	return max
+}
+
+// wake restarts a parked reporter (cheap when running); fresh activity
+// resets accumulated idleness either way.
+func (r *loadReporter) wake() {
+	r.idle = 0
+	if !r.parked {
+		return
+	}
+	r.parked = false
+	r.d.sim.After(r.d.cfg.LoadReportInterval, r.round)
+}
+
+// wakeLoadReporter restarts the reporter if one is parked.
+func (d *Deployment) wakeLoadReporter() {
+	if d.loadRep != nil {
+		d.loadRep.wake()
+	}
+}

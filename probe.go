@@ -99,6 +99,7 @@ func (d *Deployment) boostProbers() {
 	for _, p := range d.probers {
 		p.boost()
 	}
+	d.wakeLoadReporter()
 }
 
 // wakeProbers restarts every parked prober (cheap when none are parked).
@@ -111,10 +112,12 @@ func (d *Deployment) wakeProbers() {
 	}
 }
 
-// noteActivity records an application send and keeps probers running.
+// noteActivity records an application send and keeps the probers and the
+// load reporter running.
 func (d *Deployment) noteActivity() {
 	d.activity++
 	d.wakeProbers()
+	d.wakeLoadReporter()
 }
 
 // sendControl transmits a control-plane message (probe or ack). Control
