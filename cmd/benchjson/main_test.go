@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: jqos/internal/load
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkMeter-8         	     100	        41.00 ns/op	       0 B/op	       0 allocs/op
+BenchmarkMeter-8         	     100	        39.00 ns/op	       0 B/op	       0 allocs/op
+BenchmarkAdmit-8         	     100	        12.00 ns/op	       0 B/op	       0 allocs/op
+BenchmarkRouteCompute-8  	     100	    904069 ns/op	  343634 B/op	    4002 allocs/op
+BenchmarkRouteCompute-8  	     100	    911222 ns/op	  343712 B/op	    4004 allocs/op
+PASS
+ok  	jqos/internal/load	0.01s
+`
+
+func TestParseAggregates(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(got))
+	}
+	m := got["BenchmarkMeter"]
+	if m == nil || m.Runs != 2 {
+		t.Fatalf("BenchmarkMeter = %+v, want 2 runs", m)
+	}
+	if m.NsPerOp != 39 { // min across repeats
+		t.Errorf("ns/op = %v, want 39", m.NsPerOp)
+	}
+	rc := got["BenchmarkRouteCompute"]
+	if rc.AllocsPerOp != 4004 { // max across repeats
+		t.Errorf("allocs/op = %d, want 4004", rc.AllocsPerOp)
+	}
+}
+
+func TestCompareGatesAllocs(t *testing.T) {
+	base := map[string]*Result{
+		"BenchmarkMeter":        {AllocsPerOp: 0},
+		"BenchmarkRouteCompute": {AllocsPerOp: 4000},
+		"BenchmarkGone":         {AllocsPerOp: 1},
+	}
+	got := map[string]*Result{
+		"BenchmarkMeter":        {AllocsPerOp: 3}, // 0 → 3: regression (0-alloc is strict)
+		"BenchmarkRouteCompute": {AllocsPerOp: 4050},
+		"BenchmarkNew":          {AllocsPerOp: 99}, // not in baseline: ignored
+	}
+	regs := compare(base, got, 2)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2 (meter + gone): %v", len(regs), regs)
+	}
+	joined := strings.Join(regs, "\n")
+	if !strings.Contains(joined, "BenchmarkMeter") || !strings.Contains(joined, "BenchmarkGone") {
+		t.Errorf("wrong regressions flagged: %v", regs)
+	}
+	// Within slack+2%: 4000 → 4050 passes (limit 4000+2+80).
+	if strings.Contains(joined, "RouteCompute") {
+		t.Errorf("RouteCompute within tolerance flagged: %v", regs)
+	}
+}
+
+func TestCompareZeroAllocStaysStrict(t *testing.T) {
+	base := map[string]*Result{"BenchmarkSchedEnqueueDequeue": {AllocsPerOp: 0}}
+	if regs := compare(base, map[string]*Result{
+		"BenchmarkSchedEnqueueDequeue": {AllocsPerOp: 0},
+	}, 2); len(regs) != 0 {
+		t.Fatalf("0→0 flagged: %v", regs)
+	}
+	// A 0-alloc baseline is exact: ONE new allocation fails, slack or no
+	// slack — the acceptance contract for allocation-free hot paths.
+	if regs := compare(base, map[string]*Result{
+		"BenchmarkSchedEnqueueDequeue": {AllocsPerOp: 1},
+	}, 2); len(regs) != 1 {
+		t.Fatal("0→1 not flagged despite slack")
+	}
+	if regs := compare(base, map[string]*Result{
+		"BenchmarkSchedEnqueueDequeue": {AllocsPerOp: 3},
+	}, 2); len(regs) != 1 {
+		t.Fatal("0→3 not flagged")
+	}
+}

@@ -21,6 +21,11 @@ type DCNode struct {
 	rec  *coding.Recoverer
 	arm  uint64 // timer generation counter (stale-timer guard)
 	drop uint64 // undecodable datagrams
+
+	// egress holds the per-next-hop DRR schedulers when Config.Scheduler
+	// enables weighted fair queueing (lazily built; nil entries and a nil
+	// map mean nothing was ever scheduled toward that hop).
+	egress map[core.NodeID]*egressQueue
 }
 
 func newDCNode(d *Deployment, id core.NodeID) *DCNode {
@@ -80,17 +85,45 @@ func (n *DCNode) transmit(emits []core.Emit) {
 	}
 }
 
-// send puts one message on the wire toward hop and feeds the egress
+// send moves one data-plane message toward hop. Inter-DC hops pass
+// through the per-link egress scheduler when Config.Scheduler enables it
+// — data, coded parity, and cloud copies alike — so service classes
+// share the link by weight instead of arrival order. DC→host egress and
+// unclassifiable bytes ship unscheduled, and control probes bypass this
+// path entirely (sendControl), so the scheduler and the telemetry behind
+// it see data-plane bytes only. With scheduling disabled this is the
+// legacy direct send, byte-for-byte.
+func (n *DCNode) send(hop core.NodeID, msg []byte) {
+	if n.d.cfg.Scheduler.Enabled() {
+		if _, isDC := n.d.dcs[hop]; isDC && n.scheduledSend(hop, msg) {
+			return
+		}
+	}
+	n.putOnWire(hop, msg)
+}
+
+// putOnWire puts one message on the wire toward hop and feeds the egress
 // telemetry: the forwarder's per-class counters and the per-link rate
 // meters utilization-aware routing consumes (inter-DC hops only; the
-// registry ignores DC→host egress). Control probes bypass this path
-// (sendControl), so telemetry sees data-plane bytes only.
-func (n *DCNode) send(hop core.NodeID, msg []byte) {
-	n.d.net.Send(n.id, hop, msg)
+// registry ignores DC→host egress). Unclassifiable bytes ship
+// unaccounted, as before.
+func (n *DCNode) putOnWire(hop core.NodeID, msg []byte) {
 	if cls, ok := wire.PeekService(msg); ok {
-		n.fwd.NoteEgress(cls, len(msg))
-		n.d.loadReg.Record(n.d.sim.Now(), n.id, hop, cls, len(msg))
+		n.putOnWireClass(hop, cls, msg)
+		return
 	}
+	n.d.net.Send(n.id, hop, msg)
+}
+
+// putOnWireClass is putOnWire for callers that already know the class —
+// the scheduler pump dequeues (class, msg) pairs, so re-peeking the
+// header per departure would be pure waste. Scheduled sends reach here
+// on dequeue, not enqueue, so LinkLoad reflects what actually left the
+// DC rather than what piled up behind the scheduler.
+func (n *DCNode) putOnWireClass(hop core.NodeID, cls core.Service, msg []byte) {
+	n.d.net.Send(n.id, hop, msg)
+	n.fwd.NoteEgress(cls, len(msg))
+	n.d.loadReg.Record(n.d.sim.Now(), n.id, hop, cls, len(msg))
 }
 
 // handle is the DC's network receive entry point.

@@ -1,0 +1,149 @@
+package jqos
+
+import (
+	"jqos/internal/core"
+	"jqos/internal/sched"
+	"jqos/internal/wire"
+)
+
+// SchedulerConfig configures per-class weighted fair queueing at DC
+// egress: a deficit-round-robin scheduler with one queue per service
+// class, instantiated per inter-DC link direction (re-exported from
+// internal/sched; see Config.Scheduler).
+type SchedulerConfig = sched.Config
+
+// SchedulerStats is one egress scheduler's counter snapshot: per-class
+// enqueued/dequeued/dropped bytes and packets, live queue depth, and
+// deficit rounds (re-exported from internal/sched; see
+// Deployment.SchedStats).
+type SchedulerStats = sched.Stats
+
+// egressQueue is one directed inter-DC link's egress scheduler plus its
+// pump: the DRR holds the backlog, and the pump drains it into the
+// network at the link's accounting capacity (load.Registry.Capacity), so
+// the queueing — and therefore the class preference — happens HERE, under
+// the scheduler's control, not in the emulated link's single FIFO. An
+// uncapacitated link drains inline: every enqueue dequeues immediately
+// and the scheduler degenerates to a counted pass-through.
+type egressQueue struct {
+	n      *DCNode
+	to     core.NodeID
+	drr    *sched.DRR
+	busy   bool   // a pump event is scheduled
+	pumpFn func() // bound once, so re-arming allocates no new closure
+}
+
+func newEgressQueue(n *DCNode, to core.NodeID) *egressQueue {
+	q := &egressQueue{n: n, to: to, drr: sched.New(n.d.cfg.Scheduler)}
+	q.pumpFn = q.pump
+	return q
+}
+
+// scheduledSend routes one data-plane message into the egress scheduler
+// toward hop. It reports false for messages the scheduler cannot
+// classify (non-J-QoS bytes) — the caller sends those unscheduled, so
+// nothing silently vanishes. A byte-cap rejection counts as handled: the
+// message is dropped from the tail, accounted per class, and surfaced to
+// the owning flow (FlowMetrics.EgressDropped, Observer.OnEgressDrop).
+func (n *DCNode) scheduledSend(hop core.NodeID, msg []byte) bool {
+	cls, ok := wire.PeekService(msg)
+	if !ok {
+		return false
+	}
+	q := n.egress[hop]
+	if q == nil {
+		if n.egress == nil {
+			n.egress = make(map[core.NodeID]*egressQueue)
+		}
+		q = newEgressQueue(n, hop)
+		n.egress[hop] = q
+	}
+	flow := peekFlow(msg)
+	if !q.drr.Enqueue(cls, flow, msg) {
+		n.d.noteEgressDrop(flow, cls, len(msg))
+		return true
+	}
+	if !q.busy {
+		q.pump()
+	}
+	return true
+}
+
+// peekFlow attributes a marshaled message to the flow that pays for it:
+// the header's flow for data and service messages, the batch's first
+// source flow for coded parity (the same key path pinning uses — one
+// flow stands in for a cross-stream batch). Zero when unattributable.
+// Fixed-offset peeks only — no header decode on the egress hot path.
+func peekFlow(msg []byte) core.FlowID {
+	flow, typ, ok := wire.PeekFlow(msg)
+	if !ok {
+		return 0
+	}
+	if typ == wire.TypeCoded {
+		if flow, ok := wire.PeekCodedFlow(msg[wire.HeaderLen:]); ok {
+			return flow
+		}
+		return 0
+	}
+	return flow
+}
+
+// pump releases scheduler backlog onto the wire. Each released packet
+// holds the link for size/capacity seconds before the next dequeue — the
+// serialization clock that makes per-class queues build (and DRR order
+// matter) when offered load exceeds the link rate. Capacity can change
+// mid-backlog (SetLinkCapacity); the pump reads it per packet. With no
+// capacity configured the whole backlog drains inline.
+func (q *egressQueue) pump() {
+	d := q.n.d
+	for {
+		it, ok := q.drr.Dequeue()
+		if !ok {
+			q.busy = false
+			return
+		}
+		q.n.putOnWireClass(q.to, it.Class, it.Msg)
+		rate := d.loadReg.Capacity(q.n.id, q.to)
+		if rate <= 0 {
+			continue
+		}
+		tx := core.Time(float64(len(it.Msg)) / float64(rate) * 1e9)
+		if tx <= 0 {
+			continue
+		}
+		q.busy = true
+		d.sim.After(tx, q.pumpFn)
+		return
+	}
+}
+
+// noteEgressDrop surfaces one scheduler tail-drop to the owning flow.
+// Unattributable packets (forged or flowless) have nobody to tell; the
+// per-link SchedStats still count them.
+func (d *Deployment) noteEgressDrop(flow core.FlowID, cls core.Service, size int) {
+	f, ok := d.flows[flow]
+	if !ok {
+		return
+	}
+	f.metrics.EgressDropped++
+	if f.spec.Observer != nil {
+		f.spec.Observer.OnEgressDrop(f, cls, size)
+	}
+}
+
+// SchedStats returns the egress scheduler's counters for the directed
+// inter-DC hop a→b: per-class enqueued/dequeued/dropped bytes and
+// packets, live queue depth, and deficit rounds. ok is false when
+// scheduling is disabled (Config.Scheduler.Weights nil), a is not a DC,
+// or a never scheduled anything toward b.
+func (d *Deployment) SchedStats(a, b core.NodeID) (SchedulerStats, bool) {
+	dc, ok := d.dcs[a]
+	if !ok {
+		return SchedulerStats{}, false
+	}
+	q := dc.egress[b]
+	if q == nil {
+		return SchedulerStats{}, false
+	}
+	return q.drr.Stats(), true
+}

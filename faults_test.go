@@ -183,3 +183,98 @@ func TestSharedFateThroughDeployment(t *testing.T) {
 		t.Errorf("loss rate %.3f — shared fate not applied", m.LossRate())
 	}
 }
+
+func TestUnsolicitedReceiverStateBounded(t *testing.T) {
+	// A sender forging fresh flow IDs ≥ nextFlow creates lazy receiver
+	// state (the mid-join contract) — but an LRU cap must bound it, or a
+	// forged-ID flood grows the per-host map without any teardown path.
+	w := newWorld(t, 54, nil)
+	for i := 0; i < 200; i++ {
+		hdr := wire.Header{Type: wire.TypeRecovered, Service: jqos.ServiceCoding,
+			Flow: core.FlowID(10_000 + i), Seq: 1, Src: w.dc2, Dst: w.dst}
+		w.d.Network().Send(w.dc2, w.dst, wire.AppendMessage(nil, &hdr, []byte("x")))
+		w.d.Run(10 * time.Millisecond)
+	}
+	w.d.Run(time.Second)
+	h := w.d.Host(w.dst)
+	if got := h.UnsolicitedReceivers(); got > 32 {
+		t.Fatalf("unsolicited receivers = %d after 200 forged flows, want ≤ 32", got)
+	}
+	if got := h.ReceiverCount(); got > 40 {
+		t.Fatalf("receiver count = %d after forged flood, want bounded near the cap", got)
+	}
+	// Deliveries still happened — the cap bounds state, not the lazy
+	// delivery contract.
+	if len(w.deliveries) != 200 {
+		t.Errorf("forged flood delivered %d of 200", len(w.deliveries))
+	}
+}
+
+func TestUnsolicitedReceiverLRUKeepsActive(t *testing.T) {
+	// A repeatedly-used unsolicited receiver must survive a flood of
+	// one-shot forged IDs: the cap evicts least-recently-used state, so
+	// the active external flow keeps its dedup history (no replays).
+	w := newWorld(t, 55, nil)
+	send := func(flow core.FlowID, seq core.Seq) {
+		hdr := wire.Header{Type: wire.TypeRecovered, Service: jqos.ServiceCoding,
+			Flow: flow, Seq: seq, Src: w.dc2, Dst: w.dst}
+		w.d.Network().Send(w.dc2, w.dst, wire.AppendMessage(nil, &hdr, []byte("y")))
+		w.d.Run(10 * time.Millisecond)
+	}
+	const active core.FlowID = 5_000
+	send(active, 1)
+	for i := 0; i < 100; i++ {
+		send(core.FlowID(20_000+i), 1)
+		send(active, core.Seq(2+i)) // keep the active flow recently used
+	}
+	// Replay an old sequence number of the active flow: its receiver must
+	// still exist (never evicted) and deduplicate the replay.
+	w.d.Run(time.Second)
+	before := len(w.deliveries)
+	send(active, 1)
+	w.d.Run(time.Second)
+	if got := len(w.deliveries); got != before {
+		t.Errorf("replay on LRU-kept receiver delivered (receiver was evicted)")
+	}
+}
+
+func TestUnsolicitedReceiverPromotedWhenFlowGoesLive(t *testing.T) {
+	// A forged ID that a later registration legitimately allocates: a
+	// host that met the ID pre-allocation (and is not one of the flow's
+	// destinations, so registration cannot reset it) must promote its
+	// receiver out of the unsolicited LRU on next contact — otherwise a
+	// forged-ID flood could evict LIVE flow state, and Flow.Close could
+	// never free it.
+	w := newWorld(t, 56, nil)
+	third := w.d.AddHost(w.dc2, 6*time.Millisecond)
+	hdr := wire.Header{Type: wire.TypeRecovered, Service: jqos.ServiceCoding,
+		Flow: 1, Seq: 1, Src: w.dc2, Dst: third}
+	w.d.Network().Send(w.dc2, third, wire.AppendMessage(nil, &hdr, []byte("early")))
+	w.d.Run(time.Second)
+	h := w.d.Host(third)
+	if got := h.UnsolicitedReceivers(); got != 1 {
+		t.Fatalf("pre-allocation receiver not unsolicited: %d", got)
+	}
+	f, err := w.d.Register(w.src, w.dst, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID() != 1 {
+		t.Fatalf("flow allocated ID %d, test assumes 1", f.ID())
+	}
+	// A live-flow packet reaches the third host (mid-join style).
+	hdr.Seq = 2
+	w.d.Network().Send(w.dc2, third, wire.AppendMessage(nil, &hdr, []byte("late")))
+	w.d.Run(time.Second)
+	if got := h.UnsolicitedReceivers(); got != 0 {
+		t.Errorf("live flow still listed unsolicited (%d) — evictable mid-stream", got)
+	}
+	if got := h.ReceiverCount(); got != 1 {
+		t.Fatalf("third host holds %d receivers, want 1", got)
+	}
+	// Promotion indexed the receiver for teardown: Close frees it.
+	f.Close()
+	if got := h.ReceiverCount(); got != 0 {
+		t.Errorf("promoted receiver leaked across Close (%d left)", got)
+	}
+}

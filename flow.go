@@ -26,6 +26,11 @@ type FlowMetrics struct {
 	// wire. Both stay zero for flows without a Rate contract.
 	AdmissionDropped uint64
 	AdmissionShaped  uint64
+	// EgressDropped counts copies a DC egress scheduler's class-queue
+	// byte cap dropped from the tail (Config.Scheduler) — contention
+	// losses inside the overlay, as opposed to AdmissionDropped's
+	// contract enforcement at the ingress. Zero with scheduling off.
+	EgressDropped uint64
 	// ByService counts deliveries by the service that produced them.
 	ByService map[core.Service]uint64
 	// Latency samples end-to-end delivery latency in milliseconds.

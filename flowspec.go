@@ -114,6 +114,13 @@ type FlowObserver interface {
 	// conformance either. The direct Internet copy, if any, was still
 	// sent: admission polices cloud resources only.
 	OnAdmissionDrop(f *Flow, seq Seq, size int)
+	// OnEgressDrop fires when a DC egress scheduler's byte cap drops one
+	// of the flow's packets from the tail of its class queue
+	// (Config.Scheduler) — the class's share of the link could not absorb
+	// the backlog. class is the service class of the dropped copy, size
+	// its wire size. Direct Internet copies never pass the scheduler and
+	// are never dropped by it.
+	OnEgressDrop(f *Flow, class Service, size int)
 }
 
 // FlowEvents is a no-op FlowObserver for embedding, so observers
@@ -134,6 +141,9 @@ func (FlowEvents) OnDelivery(*Flow, Delivery) {}
 
 // OnAdmissionDrop implements FlowObserver.
 func (FlowEvents) OnAdmissionDrop(*Flow, Seq, int) {}
+
+// OnEgressDrop implements FlowObserver.
+func (FlowEvents) OnEgressDrop(*Flow, Service, int) {}
 
 // FlowSpec is the declarative registration intent of one application
 // stream: where it goes, what latency it needs, what it may cost, which

@@ -21,7 +21,23 @@ type Host struct {
 	onDeliver func(core.Delivery)
 	arm       uint64
 	drop      uint64
+
+	// unsol lists receivers created for flow IDs the deployment never
+	// allocated (forged or external packets), in least-recently-used
+	// order: creating one past maxUnsolicitedReceivers evicts the front.
+	// Without the cap, a sender forging fresh IDs ≥ nextFlow would grow
+	// the receiver map without bound — these entries have no Flow.Close
+	// to free them. Legitimately allocated flows never enter the list,
+	// and an unsolicited ID that a later registration adopts leaves it
+	// (dropReceiver), so mid-join laziness is untouched.
+	unsol []core.FlowID
 }
+
+// maxUnsolicitedReceivers bounds per-host receiver state for flow IDs
+// the deployment never allocated. Generous enough for every legitimate
+// lazy-creation pattern (a burst of external flows joining at once),
+// small enough that forged-ID floods stay O(1) per host.
+const maxUnsolicitedReceivers = 32
 
 func newHost(d *Deployment, id, dc core.NodeID) *Host {
 	return &Host{
@@ -54,6 +70,7 @@ func (h *Host) Receiver(flow core.FlowID) *recovery.Receiver { return h.receiver
 // leaks one receiver per flow. Callers drop the packet on nil.
 func (h *Host) ensureReceiver(flow core.FlowID, rtt time.Duration, svc core.Service) *recovery.Receiver {
 	if r, ok := h.receivers[flow]; ok {
+		h.refreshUnsolicited(flow)
 		return r
 	}
 	if _, live := h.d.flows[flow]; !live {
@@ -63,7 +80,14 @@ func (h *Host) ensureReceiver(flow core.FlowID, rtt time.Duration, svc core.Serv
 		// Never-allocated (forged/external) IDs keep the historic lazy
 		// contract but are NOT indexed in recvHosts — they have no
 		// Flow.Close to free the entry, and an attacker-corrupted Flow
-		// field must not grow a deployment-wide map.
+		// field must not grow a deployment-wide map. An LRU cap bounds
+		// them per host instead.
+		if len(h.unsol) >= maxUnsolicitedReceivers {
+			evict := h.unsol[0]
+			h.unsol = append(h.unsol[:0], h.unsol[1:]...)
+			delete(h.receivers, evict)
+		}
+		h.unsol = append(h.unsol, flow)
 	} else {
 		// Index live flows' state for teardown: Flow.Close frees
 		// exactly the hosts that ever built a receiver for it.
@@ -101,8 +125,54 @@ func (h *Host) ensureReceiver(flow core.FlowID, rtt time.Duration, svc core.Serv
 }
 
 // dropReceiver frees a closed flow's recovery engine. Armed timer events
-// self-cancel: the sweep only walks receivers still in the map.
-func (h *Host) dropReceiver(flow core.FlowID) { delete(h.receivers, flow) }
+// self-cancel: the sweep only walks receivers still in the map. A
+// previously-unsolicited ID leaves the LRU list too — registration
+// adopting a mid-join receiver must not leave a stale entry whose later
+// eviction would delete the legitimate flow's fresh state.
+func (h *Host) dropReceiver(flow core.FlowID) {
+	delete(h.receivers, flow)
+	for i, id := range h.unsol {
+		if id == flow {
+			h.unsol = append(h.unsol[:i], h.unsol[i+1:]...)
+			break
+		}
+	}
+}
+
+// refreshUnsolicited keeps the LRU honest on a receiver-map hit. A
+// still-unsolicited entry moves to the LRU back (recently used). An
+// entry whose ID a registration has since allocated is PROMOTED out of
+// the list entirely and indexed in recvHosts — the flow is live now, so
+// its receiver must be evict-proof and must be freed by Flow.Close like
+// any other (the registration itself only reset receivers on its OWN
+// destinations; a host that met the ID pre-allocation and serves it
+// mid-join is exactly this path). A no-op for ordinary flows: the list
+// is empty unless forged/external IDs exist, so the scan costs nothing
+// in the common case and at most maxUnsolicitedReceivers comparisons
+// otherwise.
+func (h *Host) refreshUnsolicited(flow core.FlowID) {
+	for i, id := range h.unsol {
+		if id != flow {
+			continue
+		}
+		if _, live := h.d.flows[flow]; live {
+			h.unsol = append(h.unsol[:i], h.unsol[i+1:]...)
+			h.d.recvHosts[flow] = append(h.d.recvHosts[flow], h.id)
+		} else {
+			copy(h.unsol[i:], h.unsol[i+1:])
+			h.unsol[len(h.unsol)-1] = flow
+		}
+		return
+	}
+}
+
+// ReceiverCount returns how many per-flow recovery engines the host
+// currently holds (diagnostics; bounded-state tests read it).
+func (h *Host) ReceiverCount() int { return len(h.receivers) }
+
+// UnsolicitedReceivers returns how many of those belong to flow IDs the
+// deployment never allocated — capped at maxUnsolicitedReceivers.
+func (h *Host) UnsolicitedReceivers() int { return len(h.unsol) }
 
 // Dropped counts datagrams the host could not parse.
 func (h *Host) Dropped() uint64 { return h.drop }

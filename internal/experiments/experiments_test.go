@@ -13,7 +13,7 @@ func tcpsimCRWAN() tcpsim.Recovery      { return tcpsim.DefaultCRWAN() }
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"10", "7a", "7b", "7c", "7d", "8a", "8b", "8c", "8d", "8e",
-		"9a", "9b", "congestion", "cost", "k20", "mobile", "reroute"}
+		"9a", "9b", "congestion", "cost", "fairshare", "k20", "mobile", "reroute"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
@@ -170,6 +170,33 @@ func TestFig9bTailReduction(t *testing.T) {
 	if crwan.Quantile(0.995) >= internet.Quantile(0.995) {
 		t.Errorf("no tail reduction: internet p99.5 %.2fs vs crwan %.2fs",
 			internet.Quantile(0.995), crwan.Quantile(0.995))
+	}
+}
+
+// TestFairshareHeadline asserts the experiment's acceptance contract:
+// under 2× bulk saturation of a single shared link, the interactive
+// class meets its delivery budget with the DRR scheduler on and misses
+// it with the legacy FIFO.
+func TestFairshareHeadline(t *testing.T) {
+	res, err := runFairshare(Options{Seed: 3, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := res.Figures[0]
+	if len(fig.Series) != 2 {
+		t.Fatalf("fairshare has %d series, want 2", len(fig.Series))
+	}
+	// Series 0 is the scheduled run, series 1 the FIFO run; compare
+	// mean-latency tails: the FIFO run's last bucket must be far past
+	// the 100 ms budget, the scheduled run's under it.
+	wfq, fifo := fig.Series[0], fig.Series[1]
+	wfqLast := wfq.Points[len(wfq.Points)-1].Y
+	fifoLast := fifo.Points[len(fifo.Points)-1].Y
+	if wfqLast > 100 {
+		t.Errorf("scheduled run's late-bucket latency %.1f ms blows the 100 ms budget", wfqLast)
+	}
+	if fifoLast < 200 {
+		t.Errorf("FIFO run's late-bucket latency %.1f ms — contention invisible", fifoLast)
 	}
 }
 

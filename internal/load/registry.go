@@ -145,6 +145,18 @@ func (r *Registry) AnyCapacity() bool {
 	return false
 }
 
+// Capacity returns the accounting capacity of the link a↔b in
+// bytes/second (0 for uncapacitated or untracked links). Egress
+// schedulers pace their dequeues at this rate, so the same figure drives
+// utilization telemetry and intra-link scheduling.
+func (r *Registry) Capacity(a, b core.NodeID) int64 {
+	p, ok := r.pairs[pairKey(a, b)]
+	if !ok {
+		return 0
+	}
+	return p.capacity
+}
+
 // SetCapacity re-bases the accounting capacity of a tracked link,
 // reporting whether the link was known.
 func (r *Registry) SetCapacity(a, b core.NodeID, capacity int64) bool {

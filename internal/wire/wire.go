@@ -241,3 +241,17 @@ func PeekService(msg []byte) (core.Service, bool) {
 	}
 	return s, true
 }
+
+// PeekFlow reads a marshaled message's type and flow without decoding
+// the rest of the header — the egress scheduler attributes every
+// departing packet to a flow on the hot path, and a full Unmarshal
+// would double the header work PeekService already did. Coded packets
+// carry their source flows in the body, not the header; callers seeing
+// TypeCoded follow up with PeekCodedFlow on msg[HeaderLen:].
+func PeekFlow(msg []byte) (core.FlowID, MsgType, bool) {
+	if len(msg) < HeaderLen ||
+		binary.BigEndian.Uint16(msg[0:]) != Magic || msg[2] != Version {
+		return 0, 0, false
+	}
+	return core.FlowID(binary.BigEndian.Uint64(msg[8:])), MsgType(msg[3]), true
+}

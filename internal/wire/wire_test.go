@@ -291,3 +291,27 @@ func BenchmarkCodedUnmarshal(b *testing.B) {
 		}
 	}
 }
+
+func TestPeekFlow(t *testing.T) {
+	h := Header{Type: TypeData, Service: core.ServiceCaching, Flow: 77,
+		Seq: 9, Src: 1, Dst: 2}
+	msg := AppendMessage(nil, &h, []byte("payload"))
+	flow, typ, ok := PeekFlow(msg)
+	if !ok || flow != 77 || typ != TypeData {
+		t.Fatalf("PeekFlow = (%d, %v, %v), want (77, data, true)", flow, typ, ok)
+	}
+	// Agrees with the full decode.
+	var back Header
+	if _, err := SplitMessage(&back, msg); err != nil || back.Flow != flow {
+		t.Fatalf("PeekFlow disagrees with Unmarshal: %d vs %d (%v)", flow, back.Flow, err)
+	}
+	// Garbage and short buffers peek as not-ok, never panic.
+	if _, _, ok := PeekFlow(msg[:HeaderLen-1]); ok {
+		t.Error("short buffer peeked ok")
+	}
+	bad := append([]byte(nil), msg...)
+	bad[0] = 0xFF
+	if _, _, ok := PeekFlow(bad); ok {
+		t.Error("bad magic peeked ok")
+	}
+}

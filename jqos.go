@@ -72,6 +72,40 @@
 // everyone else. Flows are torn down with Flow.Close, which releases
 // their routing pins and receiver state.
 //
+// # Egress scheduling
+//
+// Routing around a hot link and policing greedy flows still leave one
+// gap: inside a single saturated link, a FIFO serves bulk backlog ahead
+// of interactive packets. Config.Scheduler closes it with per-class
+// weighted fair queueing at every inter-DC egress — a deficit-round-
+// robin scheduler (internal/sched) with one queue per service class,
+// paced at the link's accounting capacity, so interactive classes
+// preempt bulk INSIDE the link instead of only around it:
+//
+//	cfg := jqos.DefaultConfig()
+//	cfg.LinkCapacity = 1_000_000 // pace each link at 1 MB/s — required:
+//	                             // an uncapacitated link drains unpaced
+//	                             // and the scheduler has nothing to do
+//	cfg.Scheduler = jqos.SchedulerConfig{
+//	    Weights: map[jqos.Service]int{ // link shares under contention
+//	        jqos.ServiceForwarding: 8, // interactive classes first
+//	        jqos.ServiceCaching:    1,
+//	    },
+//	    QueueBytes: 64 << 10, // per-class cap; excess drops from the tail
+//	}
+//
+// Data, coded parity, and cloud copies all pass the scheduler; control
+// probes bypass it. The scheduler is work-conserving (an idle class's
+// share flows to backlogged ones), per-class queues are byte-capped
+// with drop-from-tail accounting (surfaced per flow as
+// FlowMetrics.EgressDropped and Observer.OnEgressDrop), and the load
+// meters feed on DEQUEUE, so LinkLoad reports what actually left the DC
+// rather than what piled up. Deployment.SchedStats exposes per-class
+// enqueued/dequeued/dropped counters, live queue depth, and deficit
+// rounds per directed link. Nil Weights (the default) disables
+// scheduling — the legacy FIFO send path, byte-for-byte. See
+// examples/fairshare and experiment "fairshare".
+//
 // # Quick start
 //
 //	dep := jqos.NewDeployment(42)
@@ -187,6 +221,18 @@ type Config struct {
 	// Congestion tunes utilization-driven link-weight inflation (knee,
 	// M/M/1 penalty, flap hysteresis). Zero fields take defaults.
 	Congestion routing.CongestionConfig
+	// Scheduler enables per-class weighted fair queueing (deficit round
+	// robin) at every inter-DC egress: a per-class weight map, per-queue
+	// byte caps with drop-from-tail accounting, work-conserving. The
+	// scheduler paces each link at its accounting capacity
+	// (Config.LinkCapacity / SetLinkCapacity), so interactive classes
+	// preempt bulk INSIDE a saturated link instead of only routing around
+	// it. The capacity is load-bearing: a link left uncapacitated drains
+	// inline — an unpaced pass-through with nothing to arbitrate, no
+	// different from FIFO — so set LinkCapacity (or SetLinkCapacity per
+	// link) whenever Weights is. Nil Weights (the default) disables
+	// scheduling — the legacy FIFO send path, byte-for-byte.
+	Scheduler SchedulerConfig
 }
 
 // DefaultConfig returns the paper's deployment defaults.
