@@ -18,6 +18,11 @@
 // phantom regressions — except on 0-alloc baselines, which are exact
 // everywhere and gated strictly: one new allocation on an
 // allocation-free hot path fails the job.
+//
+// A baseline benchmark the run no longer emits fails HARDER than a
+// regression (exit 2, "MISSING"): the benchmark was renamed, deleted,
+// or fell out of the CI -bench regex, and until the baseline and regex
+// are updated together its alloc budget is silently unenforced.
 package main
 
 import (
@@ -81,9 +86,21 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	regressions := compare(base, results, *slack)
+	regressions, missing := compare(base, results, *slack)
+	for _, m := range missing {
+		fmt.Fprintln(os.Stderr, "MISSING:", m)
+	}
 	for _, r := range regressions {
 		fmt.Fprintln(os.Stderr, "REGRESSION:", r)
+	}
+	// A baseline benchmark the run no longer emits is a HOLE in the
+	// gate, not a measurement: the benchmark was renamed or deleted (or
+	// the CI -bench regex no longer matches it) and its alloc budget is
+	// silently unenforced. That is a configuration error — exit 2, the
+	// same class as an unreadable input — so it can never be mistaken
+	// for (or drowned out by) an ordinary regression.
+	if len(missing) > 0 {
+		fatal(fmt.Errorf("baseline %s names %d benchmark(s) this run did not emit — renamed/deleted, or the -bench regex no longer matches; update the baseline and the CI regex together", *baseline, len(missing)))
 	}
 	if len(regressions) > 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: %d allocation regression(s) vs %s\n", len(regressions), *baseline)
@@ -166,18 +183,19 @@ func readBaseline(path string) (map[string]*Result, error) {
 	return base, nil
 }
 
-// compare gates got against base: every baseline benchmark must be
-// present (a silently vanished benchmark is a gate hole, not a pass)
-// and must not allocate more than baseline + slack + 2%. A 0-alloc
-// baseline gets no slack at all — allocation-free is a portable, exact
-// property, and the slack exists only to absorb toolchain noise on
-// already-allocating paths.
-func compare(base, got map[string]*Result, slack uint64) []string {
-	var out []string
+// compare gates got against base: every baseline benchmark must not
+// allocate more than baseline + slack + 2%. A 0-alloc baseline gets no
+// slack at all — allocation-free is a portable, exact property, and
+// the slack exists only to absorb toolchain noise on already-allocating
+// paths. Baseline benchmarks the run did not emit come back separately
+// in missing: a vanished benchmark is a gate hole, and the caller must
+// fail harder on it than on a regression, not fold it into the same
+// list where a wall of regressions could bury it.
+func compare(base, got map[string]*Result, slack uint64) (regressions, missing []string) {
 	for name, b := range base {
 		g, ok := got[name]
 		if !ok {
-			out = append(out, fmt.Sprintf("%s: present in baseline but not in this run (renamed? update the baseline)", name))
+			missing = append(missing, fmt.Sprintf("%s: named in the baseline but not emitted by this run", name))
 			continue
 		}
 		limit := b.AllocsPerOp + slack + b.AllocsPerOp/50
@@ -185,9 +203,9 @@ func compare(base, got map[string]*Result, slack uint64) []string {
 			limit = 0
 		}
 		if g.AllocsPerOp > limit {
-			out = append(out, fmt.Sprintf("%s: %d allocs/op, baseline %d (limit %d)",
+			regressions = append(regressions, fmt.Sprintf("%s: %d allocs/op, baseline %d (limit %d)",
 				name, g.AllocsPerOp, b.AllocsPerOp, limit))
 		}
 	}
-	return out
+	return regressions, missing
 }

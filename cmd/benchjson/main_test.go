@@ -50,35 +50,53 @@ func TestCompareGatesAllocs(t *testing.T) {
 		"BenchmarkRouteCompute": {AllocsPerOp: 4050},
 		"BenchmarkNew":          {AllocsPerOp: 99}, // not in baseline: ignored
 	}
-	regs := compare(base, got, 2)
-	if len(regs) != 2 {
-		t.Fatalf("got %d regressions, want 2 (meter + gone): %v", len(regs), regs)
+	regs, missing := compare(base, got, 2)
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkMeter") {
+		t.Fatalf("regressions = %v, want exactly BenchmarkMeter", regs)
 	}
-	joined := strings.Join(regs, "\n")
-	if !strings.Contains(joined, "BenchmarkMeter") || !strings.Contains(joined, "BenchmarkGone") {
-		t.Errorf("wrong regressions flagged: %v", regs)
+	// A baseline benchmark the run no longer emits is reported as
+	// MISSING — its own failure class, never mixed into the regression
+	// list where it could pass for a measurement.
+	if len(missing) != 1 || !strings.Contains(missing[0], "BenchmarkGone") {
+		t.Fatalf("missing = %v, want exactly BenchmarkGone", missing)
 	}
 	// Within slack+2%: 4000 → 4050 passes (limit 4000+2+80).
-	if strings.Contains(joined, "RouteCompute") {
+	if joined := strings.Join(regs, "\n"); strings.Contains(joined, "RouteCompute") {
 		t.Errorf("RouteCompute within tolerance flagged: %v", regs)
+	}
+}
+
+// TestCompareAllMissing: a run that emits none of the baseline's
+// benchmarks (regex drift, renamed files) is all holes, no passes.
+func TestCompareAllMissing(t *testing.T) {
+	base := map[string]*Result{
+		"BenchmarkA": {AllocsPerOp: 0},
+		"BenchmarkB": {AllocsPerOp: 7},
+	}
+	regs, missing := compare(base, map[string]*Result{"BenchmarkC": {AllocsPerOp: 1}}, 2)
+	if len(regs) != 0 {
+		t.Fatalf("phantom regressions: %v", regs)
+	}
+	if len(missing) != 2 {
+		t.Fatalf("missing = %v, want both baseline benchmarks", missing)
 	}
 }
 
 func TestCompareZeroAllocStaysStrict(t *testing.T) {
 	base := map[string]*Result{"BenchmarkSchedEnqueueDequeue": {AllocsPerOp: 0}}
-	if regs := compare(base, map[string]*Result{
+	if regs, _ := compare(base, map[string]*Result{
 		"BenchmarkSchedEnqueueDequeue": {AllocsPerOp: 0},
 	}, 2); len(regs) != 0 {
 		t.Fatalf("0→0 flagged: %v", regs)
 	}
 	// A 0-alloc baseline is exact: ONE new allocation fails, slack or no
 	// slack — the acceptance contract for allocation-free hot paths.
-	if regs := compare(base, map[string]*Result{
+	if regs, _ := compare(base, map[string]*Result{
 		"BenchmarkSchedEnqueueDequeue": {AllocsPerOp: 1},
 	}, 2); len(regs) != 1 {
 		t.Fatal("0→1 not flagged despite slack")
 	}
-	if regs := compare(base, map[string]*Result{
+	if regs, _ := compare(base, map[string]*Result{
 		"BenchmarkSchedEnqueueDequeue": {AllocsPerOp: 3},
 	}, 2); len(regs) != 1 {
 		t.Fatal("0→3 not flagged")

@@ -171,6 +171,17 @@ func (n *DCNode) handle(from, to core.NodeID, data []byte) {
 		} else {
 			n.transmit(n.rec.OnVerifyResp(now, &hdr))
 		}
+	case wire.TypeCongestion:
+		// Backpressure signals ride the control channel end to end: a
+		// transit DC relays them hop-by-hop via sendControl (never
+		// through transmit, whose sends would queue behind the very
+		// backlog being reported); the ingress DC dispatches to its
+		// subscribed flows.
+		if relay {
+			n.relayControl(&hdr, data)
+		} else if n.d.fb == nil || !n.d.fb.onCongestionMsg(n.id, data) {
+			n.drop++
+		}
 	default:
 		if relay {
 			n.transmit(n.fwd.Forward(hdr.Dst, data))
@@ -179,6 +190,18 @@ func (n *DCNode) handle(from, to core.NodeID, data []byte) {
 		}
 	}
 	n.armTimer()
+}
+
+// relayControl forwards a control-plane message one hop toward its
+// destination DC over the control channel: scheduler-bypassing and
+// non-billable, like the probe traffic it shares the channel with.
+func (n *DCNode) relayControl(hdr *wire.Header, raw []byte) {
+	via, ok := n.fwd.Route(hdr.Dst)
+	if !ok || via == n.id || !n.d.net.HasRoute(n.id, via) {
+		n.drop++
+		return
+	}
+	n.d.sendControl(n.id, via, raw)
 }
 
 // onData handles an application data copy.

@@ -6,6 +6,11 @@ import (
 	"jqos/internal/wire"
 )
 
+// QueueState classifies one egress class queue's depth against the
+// configured watermarks (re-exported from internal/sched; surfaced in
+// SchedulerStats and as the congestion-feedback signal vocabulary).
+type QueueState = sched.QueueState
+
 // SchedulerConfig configures per-class weighted fair queueing at DC
 // egress: a deficit-round-robin scheduler with one queue per service
 // class, instantiated per inter-DC link direction (re-exported from
@@ -36,6 +41,14 @@ type egressQueue struct {
 func newEgressQueue(n *DCNode, to core.NodeID) *egressQueue {
 	q := &egressQueue{n: n, to: to, drr: sched.New(n.d.cfg.Scheduler)}
 	q.pumpFn = q.pump
+	// Watermark transitions feed the congestion-feedback plane when one
+	// runs; the closure is bound once per (DC, next hop), so the signal
+	// hot path allocates nothing per flip.
+	if fb := n.d.fb; fb != nil {
+		q.drr.OnStateChange = func(class core.Service, st sched.QueueState, depth int64) {
+			fb.note(n.id, q.to, class, st, depth)
+		}
+	}
 	return q
 }
 

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"jqos/internal/core"
+	"jqos/internal/feedback"
 	"jqos/internal/load"
 	"jqos/internal/overlay"
 	"jqos/internal/stats"
@@ -31,6 +32,12 @@ type FlowMetrics struct {
 	// losses inside the overlay, as opposed to AdmissionDropped's
 	// contract enforcement at the ingress. Zero with scheduling off.
 	EgressDropped uint64
+	// PacedBytes counts cloud-copy bytes that crossed the ingress while
+	// congestion feedback held the flow's admission rate below its
+	// contract (Config.Feedback) — the volume that moved under an
+	// active backpressure cut. Zero without a Rate contract or with
+	// feedback off.
+	PacedBytes uint64
 	// ByService counts deliveries by the service that produced them.
 	ByService map[core.Service]uint64
 	// Latency samples end-to-end delivery latency in milliseconds.
@@ -84,8 +91,21 @@ type Flow struct {
 	// or no path exists.
 	activePath []core.NodeID
 
-	// bucket polices the spec's admission contract (nil without one).
-	bucket *load.Bucket
+	// bucket polices the spec's admission contract (nil without one);
+	// pacer throttles its refill rate under congestion feedback (nil
+	// without a contract or with Config.Feedback off). pacerArmed marks
+	// a scheduled additive-recovery tick.
+	bucket     *load.Bucket
+	pacer      *feedback.Pacer
+	pacerArmed bool
+
+	// lastCongMove timestamps the last congestion-driven service change
+	// of an unpaced flow (preemptive-adaptation cooldown).
+	lastCongMove time.Duration
+
+	// preferredPath remembers the path a RepinOnHeal policy chose at
+	// registration, so a failed-over flow can return once it heals.
+	preferredPath []core.NodeID
 
 	// Settled loss estimate for cost pricing, updated once per
 	// adaptation tick from that window's delta counters: the fraction of
@@ -196,6 +216,10 @@ func (f *Flow) Close() {
 	for _, dc := range d.dcs {
 		dc.enc.ForgetFlow(f.id)
 	}
+	if d.fb != nil {
+		d.fb.reg.Remove(f.id)
+	}
+	delete(d.repinWatch, f.id)
 	delete(d.flows, f.id)
 	f.activePath = nil
 }
@@ -346,6 +370,7 @@ func (f *Flow) sendCloud(now core.Time, dc1 core.NodeID, msg []byte) {
 			f.noteAdmissionDrop(n)
 			return
 		}
+		f.notePaced(n)
 		f.d.net.Send(f.src, dc1, msg)
 		return
 	}
@@ -368,14 +393,32 @@ func (f *Flow) sendCloud(now core.Time, dc1 core.NodeID, msg []byte) {
 	case !ok:
 		f.noteAdmissionDrop(n)
 	case wait == 0:
+		f.notePaced(n)
 		f.d.net.Send(f.src, dc1, msg)
 	default:
 		f.metrics.AdmissionShaped++
+		// The paced-bytes decision is made now (the cut is active at
+		// admission time) but only counts if the copy actually leaves —
+		// Close can cancel the deferred send, and PacedBytes promises
+		// bytes that CROSSED the ingress.
+		paced := f.pacer != nil && f.pacer.Throttled()
 		f.d.sim.After(wait, func() {
-			if !f.closed {
-				f.d.net.Send(f.src, dc1, msg)
+			if f.closed {
+				return
 			}
+			if paced {
+				f.metrics.PacedBytes += uint64(n)
+			}
+			f.d.net.Send(f.src, dc1, msg)
 		})
+	}
+}
+
+// notePaced accounts one cloud copy admitted while congestion feedback
+// held the flow below its contract rate.
+func (f *Flow) notePaced(n int) {
+	if f.pacer != nil && f.pacer.Throttled() {
+		f.metrics.PacedBytes += uint64(n)
 	}
 }
 
@@ -434,9 +477,60 @@ func (f *Flow) setService(next core.Service, reason ServiceChangeReason) {
 			}
 		}
 	}
+	// The service class keys the feedback subscription: a moved flow
+	// must hear about its NEW class queue, not the one it left. It also
+	// re-sizes the admission contract — the new class's guaranteed
+	// share may be far smaller than the one the contract was validated
+	// against.
+	f.updateFeedbackSub()
+	f.resizeContract()
 	if f.spec.Observer != nil {
 		f.spec.Observer.OnServiceChange(f, ch)
 	}
+}
+
+// resizeContract re-validates the admission contract against the
+// CURRENT (class, path): registration sized Rate against the class
+// share of the path's bottleneck, but the adaptation loop can move the
+// flow to a class with a far smaller share, and a reroute can change
+// the bottleneck. The effective refill rate becomes min(contracted
+// Rate, current class share) — clamped silently (a mid-flight move
+// cannot be rejected; policing at the ingress beats guaranteed egress
+// tail-drops), restored when the flow returns to a wider class. Spec()
+// keeps the registration-time intent; AdmissionRate reports the live
+// figure.
+func (f *Flow) resizeContract() {
+	if f.bucket == nil || !f.d.cfg.Scheduler.Enabled() || f.service == core.ServiceInternet {
+		return
+	}
+	target := f.spec.Rate
+	if len(f.activePath) >= 2 {
+		if share, ok := f.d.classShareOnNodes(f.service, f.activePath); ok && share < target {
+			target = share
+		}
+	}
+	now := f.d.sim.Now()
+	if f.pacer != nil {
+		f.pacer.SetContract(now, target)
+		if f.pacer.Throttled() {
+			// A widened contract leaves the current rate below the new
+			// ceiling: make sure the recovery ticks are running.
+			f.armPacerTick()
+		}
+	} else if target != f.bucket.Rate() {
+		f.bucket.SetRate(now, target)
+	}
+}
+
+// AdmissionRate returns the admission bucket's current refill rate in
+// bytes/second: the contracted Rate, lowered by scheduler-aware
+// re-sizing after a service change and by congestion-feedback pacing
+// cuts. Zero without a Rate contract.
+func (f *Flow) AdmissionRate() int64 {
+	if f.bucket == nil {
+		return 0
+	}
+	return f.bucket.Rate()
 }
 
 // costPerGB prices a service's egress for this flow using its observed
@@ -473,6 +567,25 @@ func (f *Flow) predictDelay(svc core.Service) (core.Time, bool) {
 	return f.d.topo.PredictDelay(svc, f.src, f.dsts[0])
 }
 
+// nextCostlierTier walks up from the current service to the nearest
+// higher tier the spec's service ceiling AND cost ceiling allow, ok
+// false when none exists. The budget-violation upgrade and the
+// congestion-driven shift share this walk, so their tier selection can
+// never diverge.
+func (f *Flow) nextCostlierTier() (core.Service, bool) {
+	next := f.service
+	for next < f.spec.ServiceCeiling && next < core.ServiceForwarding {
+		next++
+		if f.withinCostCeiling(next) {
+			break
+		}
+	}
+	if next == f.service || !f.withinCostCeiling(next) {
+		return f.service, false
+	}
+	return next, true
+}
+
 // upgrade moves the flow to the next more expensive service that honors
 // the spec's service ceiling AND its cost ceiling — a budget violation
 // never buys a service the caller declared too expensive (tiers priced
@@ -482,14 +595,8 @@ func (f *Flow) upgrade() {
 	if f.spec.ServiceFixed {
 		return
 	}
-	next := f.service
-	for next < f.spec.ServiceCeiling && next < core.ServiceForwarding {
-		next++
-		if f.withinCostCeiling(next) {
-			break
-		}
-	}
-	if next == f.service || !f.withinCostCeiling(next) {
+	next, ok := f.nextCostlierTier()
+	if !ok {
 		return
 	}
 	f.setService(next, ReasonBudgetViolation)
@@ -529,8 +636,10 @@ func (f *Flow) flapWindow() time.Duration {
 // stopped at — neither price nor latency is monotonic in tier order
 // (coding can out-price caching at high α, and can predict slower than
 // plain Internet), so a failing intermediate tier must not wall off a
-// viable cheaper one. Returns whether a downgrade happened.
-func (f *Flow) downgrade() bool {
+// viable cheaper one. reason records why (over-delivery from the
+// adaptation loop, congestion from preemptive feedback). Returns
+// whether a downgrade happened.
+func (f *Flow) downgrade(reason ServiceChangeReason) bool {
 	if f.spec.ServiceFixed {
 		return false
 	}
@@ -550,9 +659,30 @@ func (f *Flow) downgrade() bool {
 		if d, ok := f.predictDelay(next); !ok || d > f.spec.Budget {
 			continue
 		}
-		f.setService(next, ReasonOverDelivery)
+		f.setService(next, reason)
 		f.lastDown = true
 		f.downAt = f.d.sim.Now()
+		return true
+	}
+	return false
+}
+
+// forceCheaper is the cost-violation move: the CURRENT service, priced
+// at the observed loss, broke the spec's ceiling, so step down to the
+// nearest cheaper compliant tier — even past a predicted budget miss,
+// because the ceiling is the harder constraint (the caller said so by
+// setting it) and the upgrade path will never re-buy a tier the
+// ceiling forbids. Returns whether a move happened.
+func (f *Flow) forceCheaper() bool {
+	for next := f.service; next > f.spec.ServiceFloor; {
+		next--
+		if next == core.ServiceInternet && (!f.spec.AllowInternet || !f.d.internetViable(f.src, f.dsts)) {
+			return false
+		}
+		if !f.withinCostCeiling(next) {
+			continue
+		}
+		f.setService(next, ReasonCostViolation)
 		return true
 	}
 	return false
@@ -598,6 +728,23 @@ func (f *Flow) adaptTick() {
 		med := m.DirectLatency.Median()
 		f.d.topo.SetDirect(f.src, f.dsts[0], time.Duration(med*float64(time.Millisecond)))
 	}
+	// Cost-ceiling re-check of the CURRENT service: a flow that settled
+	// on a tier while its observed loss was low must not keep riding it
+	// after rising loss pushes that tier's price past the ceiling
+	// (caching's pull-response egress scales with loss). The observer
+	// hears the violation either way; only non-fixed flows can actually
+	// move, and the forced move outranks this tick's normal adaptation
+	// (the window statistics describe the service just left).
+	if f.spec.CostCeilingPerGB > 0 && !f.withinCostCeiling(f.service) {
+		if f.spec.Observer != nil {
+			f.spec.Observer.OnCostViolation(f, f.service, f.costPerGB(f.service))
+		}
+		if !f.spec.ServiceFixed && f.forceCheaper() {
+			f.dgStreak = 0
+			m.winDelivered, m.winOnTime = m.Delivered, m.OnTime
+			return
+		}
+	}
 	// A downgrade that outlived the flap window stuck: clear the flap
 	// state (a much later upgrade is new congestion, not a reversal) and
 	// decay the backed-off streak requirement toward its base.
@@ -637,7 +784,7 @@ func (f *Flow) adaptTick() {
 	} else {
 		f.dgStreak = 0
 	}
-	if f.dgStreak >= f.dgNeed && f.downgrade() {
+	if f.dgStreak >= f.dgNeed && f.downgrade(ReasonOverDelivery) {
 		f.dgStreak = 0
 	}
 }

@@ -2,9 +2,12 @@ package jqos
 
 import (
 	"fmt"
+	"slices"
+	"sort"
 	"time"
 
 	"jqos/internal/core"
+	"jqos/internal/feedback"
 	"jqos/internal/load"
 	"jqos/internal/overlay"
 	"jqos/internal/routing"
@@ -68,6 +71,14 @@ const (
 	// ReasonOverDelivery: the flow sustained over-delivery for the
 	// hysteresis streak and stepped down to a cheaper service.
 	ReasonOverDelivery
+	// ReasonCongestion: a Hot backpressure signal on the flow's (link,
+	// class) triggered a preemptive move off the building queue, before
+	// any delivery window could miss (Config.Feedback).
+	ReasonCongestion
+	// ReasonCostViolation: the current service, priced at the flow's
+	// observed loss rate, exceeded the spec's cost ceiling; the flow was
+	// force-moved to a cheaper compliant tier.
+	ReasonCostViolation
 )
 
 // String implements fmt.Stringer.
@@ -77,6 +88,10 @@ func (r ServiceChangeReason) String() string {
 		return "budget-violation"
 	case ReasonOverDelivery:
 		return "over-delivery"
+	case ReasonCongestion:
+		return "congestion"
+	case ReasonCostViolation:
+		return "cost-violation"
 	default:
 		return fmt.Sprintf("reason(%d)", uint8(r))
 	}
@@ -121,6 +136,17 @@ type FlowObserver interface {
 	// its wire size. Direct Internet copies never pass the scheduler and
 	// are never dropped by it.
 	OnEgressDrop(f *Flow, class Service, size int)
+	// OnCongestionSignal fires when the feedback plane delivers a
+	// watermark transition for a (link, class) the flow traverses
+	// (Config.Feedback) — before the flow's own reaction (pacer cut or
+	// preemptive service move), so the observer sees cause then effect.
+	OnCongestionSignal(f *Flow, sig CongestionSignal)
+	// OnCostViolation fires when the flow's CURRENT service, priced at
+	// its observed loss rate, exceeds the spec's cost ceiling —
+	// just before the forced downgrade attempt (which fixed-service
+	// flows skip; the telemetry still fires). costPerGB is the
+	// offending price.
+	OnCostViolation(f *Flow, svc Service, costPerGB float64)
 }
 
 // FlowEvents is a no-op FlowObserver for embedding, so observers
@@ -144,6 +170,12 @@ func (FlowEvents) OnAdmissionDrop(*Flow, Seq, int) {}
 
 // OnEgressDrop implements FlowObserver.
 func (FlowEvents) OnEgressDrop(*Flow, Service, int) {}
+
+// OnCongestionSignal implements FlowObserver.
+func (FlowEvents) OnCongestionSignal(*Flow, CongestionSignal) {}
+
+// OnCostViolation implements FlowObserver.
+func (FlowEvents) OnCostViolation(*Flow, Service, float64) {}
 
 // FlowSpec is the declarative registration intent of one application
 // stream: where it goes, what latency it needs, what it may cost, which
@@ -193,6 +225,14 @@ type FlowSpec struct {
 	// paths (per-flow pinning). The zero value follows the shared
 	// fastest-path tables.
 	Path PathPolicy
+
+	// RepinOnHeal returns the flow to the path its Path policy chose at
+	// registration once that path's links are all healthy again. By
+	// default a pinned flow that failed over onto a surviving alternate
+	// stays parked there — correct for stability, wrong for cost when
+	// the preferred path was the cheaper one. Requires a non-default
+	// Path policy (PathFastest already follows the controller's best).
+	RepinOnHeal bool
 
 	// PathSwitch suppresses the direct-path copy when the forwarding
 	// service is active (VIA-style full switch to the overlay).
@@ -290,6 +330,9 @@ func (d *Deployment) RegisterFlow(spec FlowSpec) (*Flow, error) {
 		bucket = load.NewBucket(spec.Rate, spec.Burst)
 		spec.Burst = bucket.Burst()
 	}
+	if spec.RepinOnHeal && spec.Path.Kind == PathFastest {
+		return nil, fmt.Errorf("jqos: RepinOnHeal needs a pinned path policy (PathCheapest or PathPinned) — PathFastest already follows the controller's best path")
+	}
 	// A non-default path policy must be resolvable now, not silently
 	// dropped: the cloud destination needs a known home DC (for
 	// multicast that means AddGroup before RegisterFlow). The chosen
@@ -356,6 +399,40 @@ func (d *Deployment) RegisterFlow(spec FlowSpec) (*Flow, error) {
 		}
 		svc = s
 	}
+	// Scheduler-aware admission: under contention a class is guaranteed
+	// only its weighted share of each link, so a Rate contract above the
+	// class's share of the path's bottleneck capacity can never be
+	// honored — reject it outright, or (with AdmissionShape, which
+	// already declared "delay me into conformance") shape the contract
+	// down to the honorable envelope. Burst is bounded by the class
+	// queue's byte cap the same way: a conformant burst larger than the
+	// queue would tail-drop at the egress no matter what the ingress
+	// admitted.
+	if bucket != nil && d.cfg.Scheduler.Enabled() {
+		if share, queueCap, ok := d.admissionEnvelope(svc, spec.Src, multicast, cloud, policyPath); ok {
+			reshaped := false
+			if spec.Rate > share {
+				if !spec.AdmissionShape {
+					return nil, fmt.Errorf("jqos: admission Rate %d B/s exceeds the %v class's weighted share (%d B/s) of the path's bottleneck link — unhonorable under contention; lower Rate, raise the class weight or link capacity, or set AdmissionShape to accept the share",
+						spec.Rate, svc, share)
+				}
+				spec.Rate = share
+				reshaped = true
+			}
+			if queueCap > 0 && spec.Burst > queueCap {
+				if !spec.AdmissionShape {
+					return nil, fmt.Errorf("jqos: admission Burst %d B exceeds the %v class's egress queue cap (%d B) — a conformant burst that large tail-drops anyway; lower Burst, raise Scheduler.QueueBytes, or set AdmissionShape to accept the cap",
+						spec.Burst, svc, queueCap)
+				}
+				spec.Burst = queueCap
+				reshaped = true
+			}
+			if reshaped {
+				bucket = load.NewBucket(spec.Rate, spec.Burst)
+				spec.Burst = bucket.Burst()
+			}
+		}
+	}
 	// Store the spec normalized so Spec() reflects the effective policy:
 	// defaulted ceiling, collapsed fixed range, owned member slice.
 	spec.ServiceFloor, spec.ServiceCeiling = floor, ceiling
@@ -373,6 +450,9 @@ func (d *Deployment) RegisterFlow(spec FlowSpec) (*Flow, error) {
 		bucket:  bucket,
 		metrics: newFlowMetrics(),
 		dgNeed:  d.cfg.DowngradeAfter,
+	}
+	if d.fb != nil && bucket != nil {
+		f.pacer = feedback.NewPacer(bucket, d.cfg.Feedback.Pacer)
 	}
 	d.nextFlow++
 	d.flows[f.id] = f
@@ -393,8 +473,78 @@ func (d *Deployment) RegisterFlow(spec FlowSpec) (*Flow, error) {
 	// The policy path was already computed for selection above; hand it
 	// to resolution so registration runs Yen's algorithm once, not twice.
 	f.resolvePathWith(policyPath)
+	if spec.RepinOnHeal && len(f.activePath) >= 2 {
+		// Remember the policy's registration-time choice as the path to
+		// return to after a failover, once it heals.
+		f.preferredPath = append([]core.NodeID(nil), f.activePath...)
+	}
+	f.updateFeedbackSub()
 	f.armAdaptTick()
 	return f, nil
+}
+
+// admissionEnvelope computes the scheduler-aware admission bounds for a
+// flow of class svc from src's DC to its cloud home: the class's
+// weighted share of the path's bottleneck accounting capacity (the
+// minimum across capacitated hops of capacity × weight ⁄ Σweights) and
+// the per-class egress queue byte cap (0 when unbounded). policyPath
+// overrides the primary route for pinned policies, so the contract is
+// sized against the path the flow will actually ride. ok is false when
+// nothing constrains the path — same-DC flows, no route, or no
+// capacitated hop.
+func (d *Deployment) admissionEnvelope(svc core.Service, src core.NodeID, multicast bool, cloud core.NodeID, policyPath *routing.Path) (share, queueCap int64, ok bool) {
+	if svc == core.ServiceInternet {
+		return 0, 0, false // no cloud copies: nothing to size
+	}
+	dcA, okA := d.topo.NearestDC(src)
+	home, okB := d.cloudHomeOf(multicast, cloud)
+	if !okA || !okB || dcA == home {
+		return 0, 0, false
+	}
+	var nodes []core.NodeID
+	if policyPath != nil {
+		nodes = policyPath.Nodes
+	} else if ps := d.ctrl.Paths(dcA, home, 1); len(ps) > 0 {
+		nodes = ps[0].Nodes
+	} else {
+		return 0, 0, false
+	}
+	share, ok = d.classShareOnNodes(svc, nodes)
+	if !ok {
+		return 0, 0, false
+	}
+	if q := d.cfg.Scheduler.EffectiveQueueBytes(); q > 0 {
+		queueCap = q
+	}
+	return share, queueCap, true
+}
+
+// classShareOnNodes returns svc's guaranteed share of the bottleneck
+// capacitated hop along a DC path: min over capacitated links of
+// capacity × weight ⁄ contended-weight. The denominator counts only
+// the classes that can actually contend (the Internet queue idles;
+// work-conservation hands its share back), so the guarantee is not
+// understated. ok is false when no hop is capacitated.
+func (d *Deployment) classShareOnNodes(svc core.Service, nodes []core.NodeID) (int64, bool) {
+	w, tot := d.cfg.Scheduler.WeightOf(svc), d.cfg.Scheduler.ContendedWeight()
+	bottleneck := int64(-1)
+	for i := 0; i+1 < len(nodes); i++ {
+		c := d.loadReg.Capacity(nodes[i], nodes[i+1])
+		if c <= 0 {
+			continue // uncapacitated hop: no constraint to size against
+		}
+		s := c * w / tot
+		if bottleneck < 0 || s < bottleneck {
+			bottleneck = s
+		}
+	}
+	if bottleneck < 0 {
+		return 0, false
+	}
+	if bottleneck < 1 {
+		bottleneck = 1 // keep a clamped contract constructible
+	}
+	return bottleneck, true
 }
 
 // costPerGB returns the egress $/GB of a service under the deployment's
@@ -512,6 +662,12 @@ func (f *Flow) resolvePathWith(chosen *routing.Path) {
 			f.activePath = nil
 			return
 		}
+		// An unchanged choice is a no-op: repin retries and routing churn
+		// must not unpin/re-push the same entries every recompute.
+		if cur, ok := d.ctrl.PinnedPath(f.id); ok && slices.Equal(cur, chosen.Nodes) {
+			f.activePath = append(f.activePath[:0], chosen.Nodes...)
+			return
+		}
 		d.ctrl.UnwatchFlow(f.id)
 		d.ctrl.PinFlow(f.id, f.cloud, *chosen)
 		f.activePath = append([]core.NodeID(nil), chosen.Nodes...)
@@ -549,9 +705,68 @@ func (d *Deployment) onFlowPath(flow core.FlowID, old, next []core.NodeID, broke
 	default:
 		f.activePath = append([]core.NodeID(nil), next...)
 	}
+	// The feedback registry keys on the links the flow traverses —
+	// repair the subscription with the path, re-size the admission
+	// contract against the new bottleneck, and note whether a
+	// RepinOnHeal flow is now parked off its preferred route.
+	f.updateFeedbackSub()
+	f.resizeContract()
+	f.noteRepinState()
 	if f.spec.Observer != nil {
 		// Copies: observers must not be able to mutate the flow's live
 		// path state through the callback arguments.
 		f.spec.Observer.OnReroute(f, append([]NodeID(nil), old...), f.Path())
+	}
+}
+
+// noteRepinState keeps the deployment's repin watch honest after any
+// path (re)resolution: a RepinOnHeal flow parked off its preferred path
+// is watched until it returns there.
+func (f *Flow) noteRepinState() {
+	if !f.spec.RepinOnHeal || len(f.preferredPath) == 0 || f.closed {
+		return
+	}
+	if slices.Equal(f.activePath, f.preferredPath) {
+		delete(f.d.repinWatch, f.id)
+	} else {
+		f.d.repinWatch[f.id] = f
+	}
+}
+
+// onRecompute is the routing controller's post-recompute hook: every
+// RepinOnHeal flow parked off its preferred path checks whether that
+// path's links all came back, and if so re-applies its policy against
+// the fresh alternates — returning to the cheaper route it registered
+// on instead of riding the survivor forever. Deterministic order, and
+// safe to pin from here (pinning pushes entries without recomputing).
+func (d *Deployment) onRecompute() {
+	if len(d.repinWatch) == 0 {
+		return
+	}
+	ids := make([]core.FlowID, 0, len(d.repinWatch))
+	for id := range d.repinWatch {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		f := d.repinWatch[id]
+		// An OnReroute callback fired earlier in this loop may have
+		// closed another watched flow (Close deletes its entry) — the
+		// snapshot of ids can outlive the map's contents.
+		if f == nil || f.closed {
+			delete(d.repinWatch, id)
+			continue
+		}
+		if _, ok := d.ctrl.PathCost(f.preferredPath); !ok {
+			continue // a preferred link is still missing or down
+		}
+		old := f.Path()
+		f.resolvePath()
+		f.updateFeedbackSub()
+		f.resizeContract()
+		f.noteRepinState()
+		if !slices.Equal(old, f.activePath) && f.spec.Observer != nil {
+			f.spec.Observer.OnReroute(f, old, f.Path())
+		}
 	}
 }

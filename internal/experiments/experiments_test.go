@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -13,7 +14,7 @@ func tcpsimCRWAN() tcpsim.Recovery      { return tcpsim.DefaultCRWAN() }
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"10", "7a", "7b", "7c", "7d", "8a", "8b", "8c", "8d", "8e",
-		"9a", "9b", "congestion", "cost", "fairshare", "k20", "mobile", "reroute"}
+		"9a", "9b", "backpressure", "congestion", "cost", "fairshare", "k20", "mobile", "reroute"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
@@ -198,6 +199,61 @@ func TestFairshareHeadline(t *testing.T) {
 	if fifoLast < 200 {
 		t.Errorf("FIFO run's late-bucket latency %.1f ms — contention invisible", fifoLast)
 	}
+}
+
+// TestBackpressureHeadline asserts the feedback acceptance contract on
+// the shared saturated link: with congestion feedback the interactive
+// flow meets ≥95% of its budget and its class's egress drops fall at
+// least 10× versus the scheduler-only run.
+func TestBackpressureHeadline(t *testing.T) {
+	res, err := runBackpressure(Options{Seed: 3, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	notes := strings.Join(res.Figures[0].Notes, "\n")
+	var onTime, sent, onDrops uint64
+	var offOnTime, offSent, offDrops uint64
+	var worst float64
+	var admDrops, pacedKB uint64
+	if _, err := fmt.Sscanf(findNote(t, notes, "feedback ON"),
+		"feedback ON:  interactive %d/%d on time (worst %f ms); forwarding-class egress drops %d; greedy admission drops %d; %d kB paced under cuts",
+		&onTime, &sent, &worst, &onDrops, &admDrops, &pacedKB); err != nil {
+		t.Fatalf("ON note malformed: %v\n%s", err, notes)
+	}
+	if _, err := fmt.Sscanf(findNote(t, notes, "feedback OFF"),
+		"feedback OFF: interactive %d/%d on time (worst %f ms); forwarding-class egress drops %d",
+		&offOnTime, &offSent, &worst, &offDrops); err != nil {
+		t.Fatalf("OFF note malformed: %v\n%s", err, notes)
+	}
+	if sent == 0 || offSent == 0 {
+		t.Fatal("no interactive traffic")
+	}
+	if frac := float64(onTime) / float64(sent); frac < 0.95 {
+		t.Errorf("feedback run on-time fraction %.2f (%d/%d), want ≥0.95", frac, onTime, sent)
+	}
+	if offDrops == 0 {
+		t.Fatal("scheduler-only run saw no forwarding-class drops — contention invisible")
+	}
+	if onDrops*10 > offDrops {
+		t.Errorf("class drops %d with feedback vs %d without — not a 10× reduction", onDrops, offDrops)
+	}
+	// The pressure moved to the ingress: the greedy flows were paced and
+	// their excess died as admission drops, not egress drops.
+	if admDrops == 0 || pacedKB == 0 {
+		t.Errorf("no pacing visible: admission drops %d, paced %d kB", admDrops, pacedKB)
+	}
+}
+
+// findNote returns the first note line containing marker.
+func findNote(t *testing.T, notes, marker string) string {
+	t.Helper()
+	for _, line := range strings.Split(notes, "\n") {
+		if strings.Contains(line, marker) {
+			return line
+		}
+	}
+	t.Fatalf("no note contains %q:\n%s", marker, notes)
+	return ""
 }
 
 func TestCostHeadline(t *testing.T) {

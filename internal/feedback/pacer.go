@@ -1,0 +1,180 @@
+package feedback
+
+import (
+	"jqos/internal/core"
+	"jqos/internal/load"
+)
+
+// PacerConfig tunes the AIMD reaction of a Rate-contracted flow to
+// congestion signals. The zero value takes the defaults below.
+type PacerConfig struct {
+	// Floor is the fraction of the contract rate the multiplicative cut
+	// never goes below — a paced flow keeps a trickle so recovery has a
+	// base to grow from. Default 0.125 (one eighth of the contract).
+	Floor float64
+	// Backoff is the multiplicative factor applied per Hot signal
+	// (0 < Backoff < 1). Default 0.5 — the classic halving.
+	Backoff float64
+	// Recover is the additive step per recovery tick, as a fraction of
+	// the contract rate. Default 0.1.
+	Recover float64
+}
+
+// Pacer defaults.
+const (
+	DefaultPacerFloor   = 0.125
+	DefaultPacerBackoff = 0.5
+	DefaultPacerRecover = 0.1
+)
+
+func (c PacerConfig) withDefaults() PacerConfig {
+	if c.Floor <= 0 || c.Floor > 1 {
+		c.Floor = DefaultPacerFloor
+	}
+	if c.Backoff <= 0 || c.Backoff >= 1 {
+		c.Backoff = DefaultPacerBackoff
+	}
+	if c.Recover <= 0 || c.Recover > 1 {
+		c.Recover = DefaultPacerRecover
+	}
+	return c
+}
+
+// Pacer throttles one flow's admission token bucket under backpressure:
+// a Hot signal cuts the refill rate multiplicatively toward the floor,
+// and once the queue cools, periodic Ticks recover it additively back
+// to the contract — AIMD, with the contract rate as the ceiling. The
+// pacer owns only the bucket's RATE; its burst depth and token balance
+// are untouched, so pacing composes with both policing and shaping
+// admission.
+type Pacer struct {
+	bucket *load.Bucket
+	cfg    PacerConfig // resolved (withDefaults applied)
+	base   int64       // contract rate (ceiling)
+	floor  int64
+	step   int64
+	cur    int64
+	// hot pauses additive recovery between a Hot signal and the next
+	// cooler one: growing while the queue is still past the high
+	// watermark would fight the cut.
+	hot bool
+
+	cuts       uint64
+	recoveries uint64
+}
+
+// NewPacer wraps a flow's admission bucket. The bucket's current rate
+// is taken as the contract (the AIMD ceiling).
+func NewPacer(bucket *load.Bucket, cfg PacerConfig) *Pacer {
+	cfg = cfg.withDefaults()
+	base := bucket.Rate()
+	p := &Pacer{
+		bucket: bucket,
+		cfg:    cfg,
+		cur:    base,
+	}
+	p.rebase(base)
+	return p
+}
+
+// rebase derives the floor and recovery step from a contract rate.
+func (p *Pacer) rebase(contract int64) {
+	p.base = contract
+	p.floor = int64(float64(contract) * p.cfg.Floor)
+	if p.floor < 1 {
+		p.floor = 1
+	}
+	p.step = int64(float64(contract) * p.cfg.Recover)
+	if p.step < 1 {
+		p.step = 1
+	}
+}
+
+// SetContract re-bases the AIMD ceiling when the flow's honorable
+// envelope changes mid-flight — a service-class move resizes the class
+// share the contract was validated against. Floor and recovery step
+// re-derive from the new contract; the current rate clamps into
+// [floor, contract] (and the bucket follows when it moves). The
+// frozen/hot state is untouched.
+func (p *Pacer) SetContract(now core.Time, contract int64) {
+	if contract <= 0 || contract == p.base {
+		return
+	}
+	p.rebase(contract)
+	cur := p.cur
+	if cur > contract {
+		cur = contract
+	}
+	if cur < p.floor {
+		cur = p.floor
+	}
+	if cur != p.cur {
+		p.cur = cur
+		p.bucket.SetRate(now, cur)
+	}
+}
+
+// OnSignal applies one congestion signal for the flow's path, returning
+// whether the pacing rate changed (a multiplicative cut). Warm and
+// Clear signals do not change the rate directly — they unfreeze the
+// additive recovery that Tick performs.
+func (p *Pacer) OnSignal(now core.Time, st State) bool {
+	if st != Hot {
+		p.hot = false
+		return false
+	}
+	p.hot = true
+	next := int64(float64(p.cur) * p.cfg.Backoff)
+	if next < p.floor {
+		next = p.floor
+	}
+	if next == p.cur {
+		return false
+	}
+	p.cur = next
+	p.cuts++
+	p.bucket.SetRate(now, next)
+	return true
+}
+
+// Unfreeze clears the hot-freeze without touching the rate. The
+// hosting runtime calls it when the flow's (path, class) subscription
+// changes: the frozen state described the OLD queue, whose cooling
+// transition will never be delivered to this flow again, so leaving
+// the freeze in place would wedge the pacer at its cut rate forever on
+// an uncongested new path. If the new path IS congested, its own Hot
+// signal re-freezes (and re-cuts) on arrival.
+func (p *Pacer) Unfreeze() { p.hot = false }
+
+// Tick is one additive-recovery step: while the last signal was cooler
+// than Hot and the rate sits below the contract, add one step (capped
+// at the contract). Returns whether the rate changed.
+func (p *Pacer) Tick(now core.Time) bool {
+	if p.hot || p.cur >= p.base {
+		return false
+	}
+	next := p.cur + p.step
+	if next > p.base {
+		next = p.base
+	}
+	p.cur = next
+	p.recoveries++
+	p.bucket.SetRate(now, next)
+	return true
+}
+
+// Rate returns the current pacing rate in bytes/second.
+func (p *Pacer) Rate() int64 { return p.cur }
+
+// Contract returns the contracted (ceiling) rate in bytes/second.
+func (p *Pacer) Contract() int64 { return p.base }
+
+// Throttled reports whether the pacer currently holds the flow below
+// its contract.
+func (p *Pacer) Throttled() bool { return p.cur < p.base }
+
+// Cuts returns the lifetime count of multiplicative cuts.
+func (p *Pacer) Cuts() uint64 { return p.cuts }
+
+// Recoveries returns the lifetime count of additive recovery steps.
+func (p *Pacer) Recoveries() uint64 { return p.recoveries }

@@ -36,6 +36,19 @@ func NewBucket(rate, burst int64) *Bucket {
 // Rate returns the contracted refill rate in bytes/second.
 func (b *Bucket) Rate() int64 { return int64(b.rate) }
 
+// SetRate re-bases the refill rate in bytes/second, settling tokens
+// accumulated so far at the OLD rate first, so a rate change never
+// retroactively re-prices elapsed time. The burst depth is unchanged —
+// a pacer throttles how fast the bucket refills, not how large a
+// conformant burst may be. rate must be positive, like NewBucket's.
+func (b *Bucket) SetRate(now core.Time, rate int64) {
+	if rate <= 0 {
+		panic("load: token bucket needs a positive rate")
+	}
+	b.refill(now)
+	b.rate = float64(rate)
+}
+
 // Burst returns the bucket depth in bytes.
 func (b *Bucket) Burst() int64 { return int64(b.burst) }
 

@@ -86,6 +86,15 @@ type Controller struct {
 	// may re-pin or unpin from inside the callback.
 	OnFlowPath func(flow core.FlowID, old, next []core.NodeID, broken bool)
 
+	// OnRecompute, when set, fires at the end of every Recompute, after
+	// the per-flow OnFlowPath notifications. Hosting runtimes use it for
+	// policies that watch GRAPH state rather than one flow's path — e.g.
+	// returning a failed-over flow to its preferred path once that
+	// path's links are all up again (FlowSpec.RepinOnHeal). Handlers may
+	// pin/unpin/watch but must not mutate links (no recursive
+	// recompute).
+	OnRecompute func()
+
 	stats Stats
 }
 
@@ -456,6 +465,9 @@ func (c *Controller) Recompute() {
 		c.stats.Reroutes++
 	}
 	c.notifyFlowPaths()
+	if c.OnRecompute != nil {
+		c.OnRecompute()
+	}
 }
 
 // desired returns the next hop dc→dst for a DC destination.

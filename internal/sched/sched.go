@@ -32,7 +32,46 @@ const (
 	// zero. One MiB is ~1 s of a 1 MB/s link — past that, queueing delay
 	// exceeds any interactive budget and dropping beats waiting.
 	DefaultQueueBytes = 1 << 20
+	// DefaultLowWatermark / DefaultHighWatermark are the queue-depth
+	// fractions (of the byte cap) that bound the congestion hysteresis
+	// band when Config leaves them zero. High sits well under 1.0 so a
+	// Hot signal fires while there is still headroom to react before the
+	// cap starts dropping from the tail.
+	DefaultLowWatermark  = 0.25
+	DefaultHighWatermark = 0.75
 )
+
+// QueueState classifies one class queue's depth against the configured
+// watermarks — the raw signal of the congestion-feedback plane. The
+// state machine is hysteretic: a queue turns Hot crossing the high
+// watermark, but only cools back through Warm after falling below the
+// low one, so a queue oscillating around one threshold does not spray
+// transitions.
+type QueueState uint8
+
+const (
+	// QueueClear: shallow backlog, senders may speed up.
+	QueueClear QueueState = iota
+	// QueueWarm: backlog building past the low watermark.
+	QueueWarm
+	// QueueHot: backlog past the high watermark — tail-drops are
+	// imminent; senders should back off NOW.
+	QueueHot
+)
+
+// String implements fmt.Stringer.
+func (s QueueState) String() string {
+	switch s {
+	case QueueClear:
+		return "clear"
+	case QueueWarm:
+		return "warm"
+	case QueueHot:
+		return "hot"
+	default:
+		return "queuestate(?)"
+	}
+}
 
 // Config tunes one egress scheduler. The zero value (nil Weights)
 // disables scheduling entirely: the hosting data plane bypasses the
@@ -55,10 +94,66 @@ type Config struct {
 	// means DefaultQuantum. Keep it at least the largest packet size, or
 	// an oversized packet needs several rounds to accumulate credit.
 	Quantum int
+	// LowWatermark / HighWatermark position the congestion-detection
+	// band as fractions of the per-queue byte cap (an unbounded queue
+	// uses DefaultQueueBytes as the basis). A class queue flips Hot at
+	// the high watermark and cools back off below the low one (full
+	// hysteresis; see QueueState). Zeros mean DefaultLowWatermark /
+	// DefaultHighWatermark; values are clamped into (0, 1] with
+	// low < high.
+	LowWatermark  float64
+	HighWatermark float64
 }
 
 // Enabled reports whether the config turns scheduling on.
 func (c Config) Enabled() bool { return c.Weights != nil }
+
+// WeightOf returns the effective DRR weight of a class under this
+// config: listed weights clamp up to 1, absent classes get 1 — exactly
+// New's defaulting, exported so admission sizing prices the same shares
+// the scheduler enforces.
+func (c Config) WeightOf(class core.Service) int64 {
+	if w, ok := c.Weights[class]; ok && w > 1 {
+		return int64(w)
+	}
+	return 1
+}
+
+// TotalWeight sums the effective weights of all classes, the Internet
+// queue included (it exists in the DRR — a relayed best-effort packet
+// can transit a DC).
+func (c Config) TotalWeight() int64 {
+	var t int64
+	for i := 0; i < NumClasses; i++ {
+		t += c.WeightOf(core.Service(i))
+	}
+	return t
+}
+
+// ContendedWeight sums the effective weights of the classes that can
+// actually sustain backlog at a DC egress — the cloud service classes.
+// The Internet queue idles in steady state (Internet-service flows
+// send no cloud copies), and work-conservation redistributes its
+// share, so admission sizing divides by THIS sum: using TotalWeight
+// would understate every class's guaranteed share and reject
+// honorable contracts.
+func (c Config) ContendedWeight() int64 {
+	return c.TotalWeight() - c.WeightOf(core.ServiceInternet)
+}
+
+// EffectiveQueueBytes returns the per-class byte cap after defaulting:
+// QueueBytes, DefaultQueueBytes for zero, or -1 for a negative
+// (unbounded) configuration.
+func (c Config) EffectiveQueueBytes() int64 {
+	switch {
+	case c.QueueBytes > 0:
+		return c.QueueBytes
+	case c.QueueBytes < 0:
+		return -1
+	default:
+		return DefaultQueueBytes
+	}
+}
 
 // Item is one scheduled message: the marshaled bytes plus the metadata
 // the hosting runtime needs to account its departure (class) and to
@@ -80,6 +175,10 @@ type ClassStats struct {
 	// QueuedBytes / QueuedPackets are the live queue depth.
 	QueuedBytes   int64
 	QueuedPackets int
+	// State is the queue's current congestion classification against the
+	// watermarks; StateChanges counts its transitions.
+	State        QueueState
+	StateChanges uint64
 }
 
 // Stats is a scheduler snapshot: per-class counters plus totals.
@@ -135,6 +234,16 @@ type DRR struct {
 	weights [NumClasses]int64
 	quantum int64
 	cap     int64 // per-queue byte cap; <0 unbounded
+	// low / high are the watermark thresholds in bytes (see QueueState);
+	// state holds each class queue's current classification.
+	low, high int64
+	state     [NumClasses]QueueState
+
+	// OnStateChange, when set, fires on every watermark transition of a
+	// class queue with the new state and the depth that caused it. It is
+	// called from inside Enqueue/Dequeue on the egress hot path: keep it
+	// allocation-free and do not call back into the scheduler.
+	OnStateChange func(class core.Service, st QueueState, depth int64)
 
 	q       [NumClasses]ring
 	deficit [NumClasses]int64
@@ -162,12 +271,95 @@ func New(cfg Config) *DRR {
 		s.cap = -1
 	}
 	for i := range s.weights {
-		s.weights[i] = 1
-		if w, ok := cfg.Weights[core.Service(i)]; ok && w > 1 {
-			s.weights[i] = int64(w)
-		}
+		s.weights[i] = cfg.WeightOf(core.Service(i))
+	}
+	// Watermarks are sized off the byte cap (an unbounded queue still
+	// signals, using the default cap as its basis — depth past ~1 MiB is
+	// congestion whether or not anything ever drops).
+	basis := s.cap
+	if basis < 0 {
+		basis = DefaultQueueBytes
+	}
+	lw, hw := cfg.LowWatermark, cfg.HighWatermark
+	if lw <= 0 {
+		lw = DefaultLowWatermark
+	}
+	if hw <= 0 {
+		hw = DefaultHighWatermark
+	}
+	if hw > 1 {
+		hw = 1
+	}
+	if lw >= hw {
+		lw = hw / 2
+	}
+	s.low = int64(lw * float64(basis))
+	if s.low < 1 {
+		s.low = 1
+	}
+	s.high = int64(hw * float64(basis))
+	if s.high <= s.low {
+		s.high = s.low + 1
 	}
 	return s
+}
+
+// nextQueueState advances the hysteretic watermark state machine for a
+// queue at the given depth. An empty queue is always Clear; heating
+// crosses low then high; cooling from Hot requires falling below LOW
+// (not merely high), and Warm only clears below half the low watermark.
+func nextQueueState(cur QueueState, depth, low, high int64) QueueState {
+	if depth <= 0 {
+		return QueueClear
+	}
+	switch cur {
+	case QueueHot:
+		if depth <= low {
+			return QueueWarm
+		}
+		return QueueHot
+	case QueueWarm:
+		if depth >= high {
+			return QueueHot
+		}
+		if depth <= low/2 {
+			return QueueClear
+		}
+		return QueueWarm
+	default:
+		if depth >= high {
+			return QueueHot
+		}
+		if depth >= low {
+			return QueueWarm
+		}
+		return QueueClear
+	}
+}
+
+// noteDepth re-classifies one class queue after a depth change and
+// surfaces the transition, if any. Allocation-free: a state compare per
+// enqueue/dequeue, and the callback only on actual flips.
+func (s *DRR) noteDepth(class core.Service) {
+	c := &s.stats.PerClass[class]
+	next := nextQueueState(s.state[class], c.QueuedBytes, s.low, s.high)
+	if next == s.state[class] {
+		return
+	}
+	s.state[class] = next
+	c.State = next
+	c.StateChanges++
+	if s.OnStateChange != nil {
+		s.OnStateChange(class, next, c.QueuedBytes)
+	}
+}
+
+// State returns a class queue's current watermark classification.
+func (s *DRR) State(class core.Service) QueueState {
+	if int(class) >= NumClasses {
+		return QueueClear
+	}
+	return s.state[class]
 }
 
 // Enqueue offers one marshaled message to its class queue. It reports
@@ -197,6 +389,7 @@ func (s *DRR) Enqueue(class core.Service, flow core.FlowID, msg []byte) bool {
 	c.QueuedPackets++
 	s.stats.QueuedBytes += size
 	s.stats.QueuedPackets++
+	s.noteDepth(class)
 	return true
 }
 
@@ -240,6 +433,7 @@ func (s *DRR) Dequeue() (Item, bool) {
 				s.credited[s.cur] = false
 				s.cur = (s.cur + 1) % NumClasses
 			}
+			s.noteDepth(it.Class)
 			return it, true
 		}
 		// Head larger than the accumulated credit: move on; the next

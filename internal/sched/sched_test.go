@@ -250,3 +250,151 @@ func TestDisabledConfig(t *testing.T) {
 		t.Fatal("empty-map config reads as disabled")
 	}
 }
+
+// TestWatermarkHysteresis walks one class queue through the full state
+// machine: Clear → Warm → Hot on the way up, and (hysteresis) Hot only
+// cools after falling below the LOW watermark, Warm only clears below
+// half of it.
+func TestWatermarkHysteresis(t *testing.T) {
+	// Cap 1000 → low 250, high 750 with the defaults.
+	s := New(Config{Weights: map[core.Service]int{}, QueueBytes: 1000, Quantum: 1000})
+	type flip struct {
+		st    QueueState
+		depth int64
+	}
+	var flips []flip
+	s.OnStateChange = func(cls core.Service, st QueueState, depth int64) {
+		if cls != core.ServiceCaching {
+			t.Fatalf("transition on class %v", cls)
+		}
+		flips = append(flips, flip{st, depth})
+	}
+	enq := func(n int) {
+		if !s.Enqueue(core.ServiceCaching, 1, msg(n)) {
+			t.Fatalf("enqueue %d rejected at depth %d", n, s.Bytes())
+		}
+	}
+	deq := func() {
+		if _, ok := s.Dequeue(); !ok {
+			t.Fatal("dequeue ran dry")
+		}
+	}
+
+	enq(100) // 100: still Clear
+	if s.State(core.ServiceCaching) != QueueClear {
+		t.Fatalf("state at 100 = %v", s.State(core.ServiceCaching))
+	}
+	enq(200) // 300: past low → Warm
+	if s.State(core.ServiceCaching) != QueueWarm {
+		t.Fatalf("state at 300 = %v", s.State(core.ServiceCaching))
+	}
+	enq(200) // 500: inside the band → still Warm
+	enq(300) // 800: past high → Hot
+	if s.State(core.ServiceCaching) != QueueHot {
+		t.Fatalf("state at 800 = %v", s.State(core.ServiceCaching))
+	}
+	deq() // 700: below high but above low → STAYS Hot (hysteresis)
+	if s.State(core.ServiceCaching) != QueueHot {
+		t.Fatalf("state at 700 = %v, want hot", s.State(core.ServiceCaching))
+	}
+	deq() // 500
+	deq() // 300
+	if s.State(core.ServiceCaching) != QueueHot {
+		t.Fatalf("state at 300 = %v, want hot", s.State(core.ServiceCaching))
+	}
+	deq() // 0 ≤ low → empties: Clear
+	if s.State(core.ServiceCaching) != QueueClear {
+		t.Fatalf("state after drain = %v", s.State(core.ServiceCaching))
+	}
+
+	want := []flip{{QueueWarm, 300}, {QueueHot, 800}, {QueueClear, 0}}
+	if len(flips) != len(want) {
+		t.Fatalf("flips = %+v, want %+v", flips, want)
+	}
+	for i := range want {
+		if flips[i] != want[i] {
+			t.Fatalf("flip %d = %+v, want %+v", i, flips[i], want[i])
+		}
+	}
+	if st := s.Stats().PerClass[core.ServiceCaching]; st.StateChanges != uint64(len(want)) || st.State != QueueClear {
+		t.Fatalf("stats state=%v changes=%d", st.State, st.StateChanges)
+	}
+}
+
+// TestWatermarkCoolsThroughWarm checks the downward path when the queue
+// does not fully drain: Hot → Warm at the low watermark, Warm → Clear
+// at half of it.
+func TestWatermarkCoolsThroughWarm(t *testing.T) {
+	s := New(Config{Weights: map[core.Service]int{}, QueueBytes: 1000, Quantum: 1000})
+	for i := 0; i < 8; i++ {
+		s.Enqueue(core.ServiceCoding, 1, msg(100)) // 800 → Hot
+	}
+	if s.State(core.ServiceCoding) != QueueHot {
+		t.Fatalf("state = %v, want hot", s.State(core.ServiceCoding))
+	}
+	for i := 0; i < 6; i++ { // 200 ≤ low → Warm
+		s.Dequeue()
+	}
+	if s.State(core.ServiceCoding) != QueueWarm {
+		t.Fatalf("state at 200 = %v, want warm", s.State(core.ServiceCoding))
+	}
+	s.Dequeue() // 100 ≤ low/2 → Clear
+	if s.State(core.ServiceCoding) != QueueClear {
+		t.Fatalf("state at 100 = %v, want clear", s.State(core.ServiceCoding))
+	}
+}
+
+// TestWatermarkConfig checks defaulting and clamping: custom fractions
+// take effect, an inverted band is repaired, and an unbounded queue
+// falls back to the default cap as its watermark basis.
+func TestWatermarkConfig(t *testing.T) {
+	s := New(Config{Weights: map[core.Service]int{}, QueueBytes: 1000,
+		LowWatermark: 0.5, HighWatermark: 0.9})
+	if s.low != 500 || s.high != 900 {
+		t.Fatalf("custom watermarks = %d/%d, want 500/900", s.low, s.high)
+	}
+	s = New(Config{Weights: map[core.Service]int{}, QueueBytes: 1000,
+		LowWatermark: 0.9, HighWatermark: 0.6})
+	if s.low >= s.high {
+		t.Fatalf("inverted band not repaired: %d/%d", s.low, s.high)
+	}
+	s = New(Config{Weights: map[core.Service]int{}, QueueBytes: -1})
+	if s.low != DefaultQueueBytes/4 || s.high != DefaultQueueBytes*3/4 {
+		t.Fatalf("unbounded basis = %d/%d", s.low, s.high)
+	}
+}
+
+// TestConfigShareHelpers pins the admission-sizing helpers to the
+// scheduler's own defaulting rules.
+func TestConfigShareHelpers(t *testing.T) {
+	cfg := Config{Weights: map[core.Service]int{
+		core.ServiceForwarding: 8,
+		core.ServiceCaching:    0, // clamps to 1
+	}}
+	if w := cfg.WeightOf(core.ServiceForwarding); w != 8 {
+		t.Fatalf("WeightOf(fwd) = %d", w)
+	}
+	if w := cfg.WeightOf(core.ServiceCaching); w != 1 {
+		t.Fatalf("WeightOf(caching) = %d, want clamp to 1", w)
+	}
+	if w := cfg.WeightOf(core.ServiceCoding); w != 1 {
+		t.Fatalf("WeightOf(absent) = %d, want 1", w)
+	}
+	if tw := cfg.TotalWeight(); tw != 8+1+1+1 {
+		t.Fatalf("TotalWeight = %d, want 11", tw)
+	}
+	// The Internet queue idles in steady state: the contention
+	// denominator admission sizes against excludes its weight.
+	if cw := cfg.ContendedWeight(); cw != 8+1+1 {
+		t.Fatalf("ContendedWeight = %d, want 10", cw)
+	}
+	if q := (Config{}).EffectiveQueueBytes(); q != DefaultQueueBytes {
+		t.Fatalf("EffectiveQueueBytes zero = %d", q)
+	}
+	if q := (Config{QueueBytes: 42}).EffectiveQueueBytes(); q != 42 {
+		t.Fatalf("EffectiveQueueBytes explicit = %d", q)
+	}
+	if q := (Config{QueueBytes: -5}).EffectiveQueueBytes(); q != -1 {
+		t.Fatalf("EffectiveQueueBytes unbounded = %d", q)
+	}
+}

@@ -65,6 +65,13 @@ const (
 	TypeProbe
 	// TypeProbeAck answers a TypeProbe.
 	TypeProbeAck
+	// TypeCongestion carries one egress-queue watermark transition from
+	// the DC that observed it back to an ingress DC whose flows traverse
+	// the congested link — the feedback plane's ECN-style backpressure
+	// signal. The body is a fixed-size Congestion record; the message
+	// rides the control channel (hop-by-hop, scheduler-bypassing), like
+	// probes.
+	TypeCongestion
 )
 
 // String implements fmt.Stringer.
@@ -96,6 +103,8 @@ func (t MsgType) String() string {
 		return "probe"
 	case TypeProbeAck:
 		return "probeack"
+	case TypeCongestion:
+		return "congestion"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(t))
 	}
@@ -240,6 +249,66 @@ func PeekService(msg []byte) (core.Service, bool) {
 		return 0, false
 	}
 	return s, true
+}
+
+// CongestionLen is the fixed size of a TypeCongestion body.
+const CongestionLen = 16
+
+// Congestion is the body of a TypeCongestion control message: one
+// (directed link, service class) watermark transition. LinkA→LinkB is
+// the congested egress direction; State is the new
+// feedback classification (sched.QueueState's raw value); Depth the
+// queued bytes at the flip, clamped to 32 bits.
+type Congestion struct {
+	LinkA, LinkB core.NodeID
+	Class        core.Service
+	State        uint8
+	Depth        uint32
+}
+
+// Marshal writes the body into buf, which must be at least
+// CongestionLen bytes, and returns CongestionLen.
+func (c *Congestion) Marshal(buf []byte) int {
+	_ = buf[CongestionLen-1] // bounds hint
+	binary.BigEndian.PutUint32(buf[0:], uint32(c.LinkA))
+	binary.BigEndian.PutUint32(buf[4:], uint32(c.LinkB))
+	buf[8] = byte(c.Class)
+	buf[9] = c.State
+	buf[10] = 0
+	buf[11] = 0
+	binary.BigEndian.PutUint32(buf[12:], c.Depth)
+	return CongestionLen
+}
+
+// Unmarshal parses the body from buf.
+func (c *Congestion) Unmarshal(buf []byte) error {
+	if len(buf) < CongestionLen {
+		return fmt.Errorf("%w: congestion body needs %d bytes, have %d", ErrShort, CongestionLen, len(buf))
+	}
+	c.LinkA = core.NodeID(binary.BigEndian.Uint32(buf[0:]))
+	c.LinkB = core.NodeID(binary.BigEndian.Uint32(buf[4:]))
+	c.Class = core.Service(buf[8])
+	c.State = buf[9]
+	c.Depth = binary.BigEndian.Uint32(buf[12:])
+	return nil
+}
+
+// PeekCongestion reads a whole marshaled TypeCongestion message's body
+// with fixed-offset loads — no header decode. Ingress DCs dispatch
+// every arriving signal through this on the control path, where a full
+// Unmarshal of the 40-byte header they do not need would dominate the
+// work. ok is false for short, non-J-QoS, or non-congestion messages.
+func PeekCongestion(msg []byte) (Congestion, bool) {
+	if len(msg) < HeaderLen+CongestionLen ||
+		binary.BigEndian.Uint16(msg[0:]) != Magic || msg[2] != Version ||
+		MsgType(msg[3]) != TypeCongestion {
+		return Congestion{}, false
+	}
+	var c Congestion
+	if err := c.Unmarshal(msg[HeaderLen:]); err != nil {
+		return Congestion{}, false
+	}
+	return c, true
 }
 
 // PeekFlow reads a marshaled message's type and flow without decoding

@@ -114,7 +114,8 @@ func TestAppendSplitMessage(t *testing.T) {
 
 func TestMsgTypeStrings(t *testing.T) {
 	types := []MsgType{TypeData, TypeCoded, TypeNACK, TypePull, TypePullResp,
-		TypeCoopReq, TypeCoopResp, TypeRecovered, TypeVerify, TypeVerifyResp, TypeCtrl}
+		TypeCoopReq, TypeCoopResp, TypeRecovered, TypeVerify, TypeVerifyResp,
+		TypeCtrl, TypeProbe, TypeProbeAck, TypeCongestion}
 	seen := map[string]bool{}
 	for _, typ := range types {
 		s := typ.String()
@@ -312,6 +313,52 @@ func TestPeekFlow(t *testing.T) {
 	bad := append([]byte(nil), msg...)
 	bad[0] = 0xFF
 	if _, _, ok := PeekFlow(bad); ok {
+		t.Error("bad magic peeked ok")
+	}
+}
+
+func TestCongestionRoundTrip(t *testing.T) {
+	c := Congestion{LinkA: 3, LinkB: 9, Class: core.ServiceForwarding,
+		State: 2, Depth: 48 << 10}
+	buf := make([]byte, CongestionLen)
+	if n := c.Marshal(buf); n != CongestionLen {
+		t.Fatalf("Marshal wrote %d bytes", n)
+	}
+	var back Congestion
+	if err := back.Unmarshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	if back != c {
+		t.Fatalf("round trip: %+v != %+v", back, c)
+	}
+	if err := back.Unmarshal(buf[:CongestionLen-1]); err == nil {
+		t.Fatal("short body unmarshaled")
+	}
+}
+
+func TestPeekCongestion(t *testing.T) {
+	c := Congestion{LinkA: 5, LinkB: 6, Class: core.ServiceCaching,
+		State: 1, Depth: 1234}
+	body := make([]byte, CongestionLen)
+	c.Marshal(body)
+	h := Header{Type: TypeCongestion, Src: 5, Dst: 8}
+	msg := AppendMessage(nil, &h, body)
+
+	got, ok := PeekCongestion(msg)
+	if !ok || got != c {
+		t.Fatalf("PeekCongestion = (%+v, %v), want %+v", got, ok, c)
+	}
+	// Non-congestion messages, short buffers and garbage peek not-ok.
+	if _, ok := PeekCongestion(msg[:HeaderLen+CongestionLen-1]); ok {
+		t.Error("short message peeked ok")
+	}
+	data := AppendMessage(nil, &Header{Type: TypeData, Dst: 8}, body)
+	if _, ok := PeekCongestion(data); ok {
+		t.Error("data message peeked as congestion")
+	}
+	bad := append([]byte(nil), msg...)
+	bad[0] = 0xFF
+	if _, ok := PeekCongestion(bad); ok {
 		t.Error("bad magic peeked ok")
 	}
 }

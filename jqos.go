@@ -106,9 +106,57 @@
 // scheduling — the legacy FIFO send path, byte-for-byte. See
 // examples/fairshare and experiment "fairshare".
 //
+// # Congestion feedback
+//
+// The scheduler knows a queue is building seconds before its byte cap
+// drops anything — Config.Feedback turns that knowledge into ECN-style
+// backpressure instead of letting the damage happen. Each class queue
+// is classified against configurable watermarks
+// (Config.Scheduler.LowWatermark / HighWatermark, fractions of the
+// byte cap): it flips Hot crossing the high watermark and cools back
+// off below the low one (full hysteresis, allocation-free on the
+// egress hot path). Transitions are batched per DC
+// (Feedback.SignalInterval) and fanned out over the control channel —
+// hop-by-hop TypeCongestion messages that bypass the schedulers they
+// report on — to every ingress DC whose flows traverse the affected
+// (link, class), via a subscription registry maintained on
+// register/pin/reroute/close.
+//
+// At the ingress the reaction depends on the flow. Flows with a Rate
+// contract get an AIMD pacer: a Hot signal cuts the admission bucket's
+// refill rate multiplicatively toward a floor, and once the queue
+// cools the rate recovers additively back to the contract
+// (Feedback.Pacer; volume moved under a cut is FlowMetrics.PacedBytes).
+// Unpaced adaptive flows feed the signal into the adaptation loop and
+// move service PREEMPTIVELY — down to a cheaper tier that still fits
+// the budget when one exists, else up past the backlog — instead of
+// waiting for a budget-violation window (ServiceChange reason
+// "congestion", cooldown-bounded). Observers hear every delivered
+// signal as OnCongestionSignal; Deployment.FeedbackStats counts the
+// plane's activity.
+//
+// The scheduler also makes admission scheduler-aware — with or
+// without feedback enabled, whenever Config.Scheduler is on:
+// RegisterFlow sizes Rate/Burst contracts against the class's WEIGHTED
+// SHARE of the path's bottleneck capacity (weights from
+// Config.Scheduler, capacities from the link registry) rather than the
+// whole link — a contract that could never be honored under contention
+// is rejected, or shaped down to the honorable envelope when the spec
+// sets AdmissionShape; service moves and reroutes re-size it against
+// the new class share. See examples/backpressure and experiment
+// "backpressure": an interactive budget held at ≥95% with the class's
+// egress drops cut to zero, where the scheduler alone tail-drops
+// steadily.
+//
 // # Quick start
 //
-//	dep := jqos.NewDeployment(42)
+//	cfg := jqos.DefaultConfig()
+//	cfg.LinkCapacity = 1_000_000 // pace and meter each link at 1 MB/s
+//	cfg.Scheduler = jqos.SchedulerConfig{Weights: map[jqos.Service]int{
+//	    jqos.ServiceForwarding: 8, jqos.ServiceCaching: 1,
+//	}}
+//	cfg.Feedback.Enabled = true // queue watermarks pace contracted flows
+//	dep := jqos.NewDeploymentWithConfig(42, cfg)
 //	dc1 := dep.AddDC("us-east", dataset.RegionUSEast)
 //	dc2 := dep.AddDC("eu-west", dataset.RegionEU)
 //	dep.ConnectDCs(dc1, dc2, 40*time.Millisecond)
@@ -120,8 +168,11 @@
 //	flow, _ := dep.RegisterFlow(jqos.FlowSpec{
 //	    Src: src, Dst: dst,
 //	    Budget: 200 * time.Millisecond,
-//	    Rate:   512 << 10, // admission contract: 512 kB/s of cloud copies...
-//	    Burst:  64 << 10,  // ...with 64 kB of burst tolerance
+//	    // Admission contract: 512 kB/s of cloud copies with 64 kB of
+//	    // burst tolerance — validated against the forwarding class's
+//	    // weighted link share, and AIMD-paced when egress queues run hot.
+//	    Rate:  512 << 10,
+//	    Burst: 64 << 10,
 //	})
 //	flow.Send([]byte("hello"))
 //	dep.Run(time.Second)
@@ -233,6 +284,13 @@ type Config struct {
 	// link) whenever Weights is. Nil Weights (the default) disables
 	// scheduling — the legacy FIFO send path, byte-for-byte.
 	Scheduler SchedulerConfig
+	// Feedback enables ECN-style congestion feedback on top of the
+	// scheduler: egress queue-depth watermark transitions flow back to
+	// the ingresses, Rate-contracted flows pace with AIMD, unpaced flows
+	// adapt their service preemptively, and RegisterFlow sizes admission
+	// contracts against class shares. Requires Scheduler (the signal
+	// source); ignored without it.
+	Feedback FeedbackConfig
 }
 
 // DefaultConfig returns the paper's deployment defaults.
@@ -270,6 +328,14 @@ type Deployment struct {
 	// controller's congestion weights (see loadreport.go).
 	loadReg *load.Registry
 	loadRep *loadReporter
+
+	// fb is the congestion-feedback plane (nil when Config.Feedback is
+	// off or scheduling is disabled — no queues, no signal).
+	fb *feedbackPlane
+
+	// repinWatch holds RepinOnHeal flows parked off their preferred
+	// path; every recompute checks whether the preferred path healed.
+	repinWatch map[core.FlowID]*Flow
 
 	nextNode core.NodeID
 	nextFlow core.FlowID
@@ -331,12 +397,17 @@ func NewDeploymentWithConfig(seed int64, cfg Config) *Deployment {
 		recvHosts:   make(map[core.FlowID][]core.NodeID),
 		egressBytes: make(map[core.NodeID]uint64),
 		linkShape:   make(map[[2]core.NodeID]time.Duration),
+		repinWatch:  make(map[core.FlowID]*Flow),
 	}
 	d.loadReg = load.NewRegistry(cfg.LoadWindow)
 	d.ctrl.SetCongestionConfig(cfg.Congestion)
 	d.mon = routing.NewMonitor(d.ctrl, cfg.Monitor)
 	d.topo.Oracle = d.ctrl
 	d.ctrl.OnFlowPath = d.onFlowPath
+	d.ctrl.OnRecompute = d.onRecompute
+	if cfg.Feedback.Enabled && cfg.Scheduler.Enabled() {
+		d.fb = newFeedbackPlane(d, cfg.Feedback)
+	}
 	d.net.Tap = func(from, to core.NodeID, size int) {
 		if _, isDC := d.dcs[from]; isDC {
 			d.egressBytes[from] += uint64(size)
