@@ -164,6 +164,50 @@ func BenchmarkMarkovTimer(b *testing.B) {
 	}
 }
 
+// BenchmarkRegisterFlow measures flow registration + teardown — the
+// churn path workloads of millions of short-lived flows pay: service
+// selection, path resolution, contract sizing, and Close's cleanup.
+func BenchmarkRegisterFlow(b *testing.B) {
+	cfg := jqos.DefaultConfig()
+	cfg.UpgradeInterval = 0
+	d := jqos.NewDeploymentWithConfig(5, cfg)
+	dc1 := d.AddDC("a", dataset.RegionUSEast)
+	dc2 := d.AddDC("b", dataset.RegionEU)
+	d.ConnectDCs(dc1, dc2, 40*time.Millisecond)
+	src := d.AddHost(dc1, 5*time.Millisecond)
+	dst := d.AddHost(dc2, 8*time.Millisecond)
+	d.SetDirectPath(src, dst, netem.FixedDelay(50*time.Millisecond), nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := d.RegisterFlow(jqos.FlowSpec{Src: src, Dst: dst, Budget: 300 * time.Millisecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.Close()
+	}
+}
+
+// BenchmarkSnapshot measures building the unified telemetry snapshot of
+// a live 2-DC, 4-flow deployment with traffic history.
+func BenchmarkSnapshot(b *testing.B) {
+	d, flows := buildBenchWorld(b, 6)
+	payload := make([]byte, 512)
+	for i := 0; i < 512; i++ {
+		at := d.Now() + time.Duration(i%5)*time.Millisecond
+		f := flows[i%len(flows)]
+		d.Sim().At(at, func() { f.Send(payload) })
+	}
+	d.Run(2 * time.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := d.Snapshot(); s.Totals.Sent == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}
+
 // BenchmarkServiceSelection measures the §3.5 selection path.
 func BenchmarkServiceSelection(b *testing.B) {
 	d, _ := buildBenchWorld(b, 3)

@@ -28,6 +28,7 @@ func main() {
 		seed  = flag.Int64("seed", 42, "random seed (same seed → identical output)")
 		quick = flag.Bool("quick", false, "smaller workloads (CI-sized, noisier curves)")
 		out   = flag.String("out", "", "directory for CSV output (optional)")
+		snaps = flag.String("snapshots", "", "directory for final telemetry snapshots (optional; deployment-based experiments write <id>.json)")
 		list  = flag.Bool("list", false, "list experiments and exit")
 		width = flag.Int("width", 72, "ASCII plot width")
 	)
@@ -53,14 +54,16 @@ func main() {
 			toRun = append(toRun, e)
 		}
 	}
-	if *out != "" {
-		if err := os.MkdirAll(*out, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	for _, dir := range []string{*out, *snaps} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		}
 	}
 
-	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	opts := experiments.Options{Seed: *seed, Quick: *quick, SnapshotDir: *snaps}
 	failed := false
 	for _, e := range toRun {
 		start := time.Now()

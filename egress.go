@@ -3,6 +3,7 @@ package jqos
 import (
 	"jqos/internal/core"
 	"jqos/internal/sched"
+	"jqos/internal/telemetry"
 	"jqos/internal/wire"
 )
 
@@ -41,11 +42,15 @@ type egressQueue struct {
 func newEgressQueue(n *DCNode, to core.NodeID) *egressQueue {
 	q := &egressQueue{n: n, to: to, drr: sched.New(n.d.cfg.Scheduler)}
 	q.pumpFn = q.pump
-	// Watermark transitions feed the congestion-feedback plane when one
-	// runs; the closure is bound once per (DC, next hop), so the signal
-	// hot path allocates nothing per flip.
-	if fb := n.d.fb; fb != nil {
-		q.drr.OnStateChange = func(class core.Service, st sched.QueueState, depth int64) {
+	// Watermark transitions feed the congestion-feedback plane (when one
+	// runs) and the telemetry queue-depth histogram — the transition edge
+	// is exactly when depth is worth sampling. The closure is bound once
+	// per (DC, next hop), so the signal hot path allocates nothing per
+	// flip.
+	fb, tel := n.d.fb, n.d.tel
+	q.drr.OnStateChange = func(class core.Service, st sched.QueueState, depth int64) {
+		tel.noteQueueDepth(depth)
+		if fb != nil {
 			fb.note(n.id, q.to, class, st, depth)
 		}
 	}
@@ -139,6 +144,10 @@ func (d *Deployment) noteEgressDrop(flow core.FlowID, cls core.Service, size int
 		return
 	}
 	f.metrics.EgressDropped++
+	d.trace(telemetry.Event{
+		Kind: telemetry.KindEgressDrop, Flow: flow,
+		Class: cls, V1: int64(size),
+	})
 	if f.spec.Observer != nil {
 		f.spec.Observer.OnEgressDrop(f, cls, size)
 	}

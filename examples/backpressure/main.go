@@ -18,6 +18,7 @@ package main
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"jqos"
@@ -107,26 +108,12 @@ func main() {
 		}
 		d.Run(15 * time.Second)
 
-		m := inter.Metrics()
-		fmt.Printf("  interactive: %d/%d on time, worst latency %.1f ms (budget %v)\n",
-			m.OnTime, m.Sent, float64(worst)/float64(time.Millisecond), budget)
-		if st, ok := d.SchedStats(dc1, dc2); ok {
-			fwd := st.PerClass[jqos.ServiceForwarding]
-			fmt.Printf("  forwarding class at dc1→dc2: %d pkts out, %d dropped from the tail\n",
-				fwd.DequeuedPackets, fwd.DroppedPackets)
-		}
-		var adm, paced uint64
-		for _, gf := range greedy {
-			adm += gf.Metrics().AdmissionDropped
-			paced += gf.Metrics().PacedBytes
-		}
-		fmt.Printf("  greedy flows: %d admission drops at the ingress, %d kB sent under pacer cuts\n",
-			adm, paced/1000)
-		if withFeedback {
-			fb := d.FeedbackStats()
-			fmt.Printf("  feedback: %d watermark flips → %d batches; %d rate cuts, %d recoveries; flows heard %d signals (%d hot)\n",
-				fb.Transitions, fb.Batches, fb.RateCuts, fb.RateRecoveries, watch.signals, watch.hot)
-		}
+		// One unified exit report — the snapshot rolls up what the old
+		// per-subsystem printf blocks (FlowMetrics, SchedStats,
+		// FeedbackStats) polled one call at a time.
+		fmt.Printf("  interactive worst latency %.1f ms (budget %v); flows heard %d signals (%d hot)\n",
+			float64(worst)/float64(time.Millisecond), budget, watch.signals, watch.hot)
+		fmt.Print(indent(d.Snapshot().Summary()))
 		inter.Close()
 		for _, gf := range greedy {
 			gf.Close()
@@ -144,4 +131,9 @@ func check(err error) {
 	if err != nil {
 		panic(err)
 	}
+}
+
+// indent shifts the snapshot summary under the run's heading.
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n  ") + "\n"
 }

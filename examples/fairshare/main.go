@@ -13,6 +13,7 @@ package main
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"jqos"
@@ -89,15 +90,9 @@ func main() {
 		}
 		d.Run(15 * time.Second) // generous drain for the FIFO backlog
 
-		if weights != nil {
-			if st, ok := d.SchedStats(dc1, dc2); ok {
-				fwd := st.PerClass[jqos.ServiceForwarding]
-				cch := st.PerClass[jqos.ServiceCaching]
-				fmt.Printf("  dc1→dc2 scheduler: forwarding %d out/%d dropped, caching %d out/%d dropped, %d deficit rounds\n",
-					fwd.DequeuedPackets, fwd.DroppedPackets,
-					cch.DequeuedPackets, cch.DroppedPackets, st.Rounds)
-			}
-		}
+		// One unified exit report — the snapshot rolls up what the old
+		// SchedStats printf block polled per subsystem.
+		fmt.Print(indent(d.Snapshot().Summary()))
 		m := inter.Metrics()
 		onTime, sent = m.OnTime, m.Sent
 		inter.Close()
@@ -127,4 +122,9 @@ func check(err error) {
 	if err != nil {
 		panic(err)
 	}
+}
+
+// indent shifts the snapshot summary under the run's heading.
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n  ") + "\n"
 }

@@ -7,6 +7,7 @@ import (
 	"jqos/internal/core"
 	"jqos/internal/feedback"
 	"jqos/internal/sched"
+	"jqos/internal/telemetry"
 	"jqos/internal/wire"
 )
 
@@ -388,12 +389,22 @@ func (f *Flow) onCongestionSignal(sig CongestionSignal) {
 	if f.closed {
 		return
 	}
+	f.d.trace(telemetry.Event{
+		Kind: telemetry.KindCongestionSignal, Flow: f.id,
+		LinkA: sig.LinkA, LinkB: sig.LinkB,
+		Class: sig.Class, Reason: uint8(sig.State), V1: sig.QueuedBytes,
+	})
 	if f.spec.Observer != nil {
 		f.spec.Observer.OnCongestionSignal(f, sig)
 	}
 	if f.pacer != nil {
 		if f.pacer.OnSignal(f.d.sim.Now(), sig.State) {
 			f.d.fb.stats.RateCuts++
+			f.d.trace(telemetry.Event{
+				Kind: telemetry.KindPacerCut, Flow: f.id,
+				V1: f.pacer.Rate(), V2: f.pacer.Contract(),
+			})
+			f.d.tel.notePacer(f.pacer.Rate(), f.pacer.Contract())
 		}
 		if f.pacer.Throttled() {
 			f.armPacerTick()
@@ -422,6 +433,11 @@ func (f *Flow) pacerTickRun() {
 	}
 	if f.pacer.Tick(f.d.sim.Now()) {
 		f.d.fb.stats.RateRecoveries++
+		f.d.trace(telemetry.Event{
+			Kind: telemetry.KindPacerRecover, Flow: f.id,
+			V1: f.pacer.Rate(), V2: f.pacer.Contract(),
+		})
+		f.d.tel.notePacer(f.pacer.Rate(), f.pacer.Contract())
 	}
 	if f.pacer.Throttled() {
 		f.armPacerTick()

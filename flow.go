@@ -8,6 +8,7 @@ import (
 	"jqos/internal/load"
 	"jqos/internal/overlay"
 	"jqos/internal/stats"
+	"jqos/internal/telemetry"
 	"jqos/internal/wire"
 )
 
@@ -425,6 +426,10 @@ func (f *Flow) notePaced(n int) {
 // noteAdmissionDrop accounts one contract-refused cloud copy.
 func (f *Flow) noteAdmissionDrop(n int) {
 	f.metrics.AdmissionDropped++
+	f.d.trace(telemetry.Event{
+		Kind: telemetry.KindAdmissionDrop, Flow: f.id,
+		Class: f.service, V1: int64(n),
+	})
 	if f.spec.Observer != nil {
 		f.spec.Observer.OnAdmissionDrop(f, f.seq, n)
 	}
@@ -442,6 +447,7 @@ func (f *Flow) recordDelivery(del core.Delivery) {
 	if lat < 0 {
 		lat = 0
 	}
+	f.d.tel.noteDelivery(lat, f.spec.Budget)
 	m.Latency.Add(float64(lat) / float64(time.Millisecond))
 	if !del.Recovered {
 		m.DirectLatency.Add(float64(lat) / float64(time.Millisecond))
@@ -465,6 +471,10 @@ func (f *Flow) setService(next core.Service, reason ServiceChangeReason) {
 	f.service = next
 	ch := ServiceChange{At: f.d.sim.Now(), From: old, To: next, Reason: reason}
 	f.changes = append(f.changes, ch)
+	f.d.trace(telemetry.Event{
+		Kind: telemetry.KindServiceChange, Flow: f.id,
+		Class: next, Reason: uint8(reason), V1: int64(old),
+	})
 	// Reset the loss-estimate window: epochs under different services
 	// have different direct-copy behavior (path-switched forwarding
 	// sends none at all), and a window straddling the change would read
@@ -736,6 +746,10 @@ func (f *Flow) adaptTick() {
 	// move, and the forced move outranks this tick's normal adaptation
 	// (the window statistics describe the service just left).
 	if f.spec.CostCeilingPerGB > 0 && !f.withinCostCeiling(f.service) {
+		f.d.trace(telemetry.Event{
+			Kind: telemetry.KindCostViolation, Flow: f.id,
+			Class: f.service, V1: int64(f.costPerGB(f.service) * 1e6),
+		})
 		if f.spec.Observer != nil {
 			f.spec.Observer.OnCostViolation(f, f.service, f.costPerGB(f.service))
 		}
@@ -770,6 +784,10 @@ func (f *Flow) adaptTick() {
 		// Telemetry fires even for fixed flows — pinning a service is
 		// exactly when budget-compliance monitoring matters; only the
 		// service change itself is disabled (upgrade no-ops on fixed).
+		f.d.trace(telemetry.Event{
+			Kind: telemetry.KindBudgetViolation, Flow: f.id,
+			V1: int64(frac * 1e6), V2: int64(delivered),
+		})
 		if f.spec.Observer != nil {
 			f.spec.Observer.OnBudgetViolation(f, frac, delivered)
 		}

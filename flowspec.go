@@ -11,6 +11,7 @@ import (
 	"jqos/internal/load"
 	"jqos/internal/overlay"
 	"jqos/internal/routing"
+	"jqos/internal/telemetry"
 )
 
 // PathPolicyKind selects how a flow's overlay path is chosen among the
@@ -712,11 +713,27 @@ func (d *Deployment) onFlowPath(flow core.FlowID, old, next []core.NodeID, broke
 	f.updateFeedbackSub()
 	f.resizeContract()
 	f.noteRepinState()
+	f.traceReroute(old)
 	if f.spec.Observer != nil {
 		// Copies: observers must not be able to mutate the flow's live
 		// path state through the callback arguments.
 		f.spec.Observer.OnReroute(f, append([]NodeID(nil), old...), f.Path())
 	}
+}
+
+// traceReroute records one path change in the control-loop trace:
+// the new path's endpoint DCs (zero when no path remains) and the
+// old/new path lengths.
+func (f *Flow) traceReroute(old []core.NodeID) {
+	e := telemetry.Event{
+		Kind: telemetry.KindReroute, Flow: f.id,
+		V1: int64(len(old)), V2: int64(len(f.activePath)),
+	}
+	if len(f.activePath) >= 2 {
+		e.LinkA = f.activePath[0]
+		e.LinkB = f.activePath[len(f.activePath)-1]
+	}
+	f.d.trace(e)
 }
 
 // noteRepinState keeps the deployment's repin watch honest after any
@@ -765,8 +782,11 @@ func (d *Deployment) onRecompute() {
 		f.updateFeedbackSub()
 		f.resizeContract()
 		f.noteRepinState()
-		if !slices.Equal(old, f.activePath) && f.spec.Observer != nil {
-			f.spec.Observer.OnReroute(f, old, f.Path())
+		if !slices.Equal(old, f.activePath) {
+			f.traceReroute(old)
+			if f.spec.Observer != nil {
+				f.spec.Observer.OnReroute(f, old, f.Path())
+			}
 		}
 	}
 }

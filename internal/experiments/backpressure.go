@@ -153,6 +153,13 @@ func runBackpressure(o Options) (Result, error) {
 					float64(mean)/float64(time.Millisecond))
 			}
 		}
+		// The feedback run is the experiment's featured configuration:
+		// persist its final snapshot (open flows included) before teardown.
+		if withFeedback {
+			if err := o.saveSnapshot("backpressure", d); err != nil {
+				return out, err
+			}
+		}
 		inter.Close()
 		for _, gf := range greedy {
 			gf.Close()

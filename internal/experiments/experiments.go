@@ -19,6 +19,11 @@ type Options struct {
 	// Quick shrinks workloads for CI/tests (fewer paths, shorter calls,
 	// fewer requests). Figures keep their shape but with more noise.
 	Quick bool
+	// SnapshotDir, when set, makes deployment-based experiments write
+	// their featured run's final telemetry snapshot (indented JSON, as
+	// served by telemetry.Serve's /snapshot) to <dir>/<id>.json — the
+	// artifacts CI uploads alongside the figures.
+	SnapshotDir string
 }
 
 // Result is one experiment's output.

@@ -143,6 +143,13 @@ func runFairshare(o Options) (Result, error) {
 					float64(mean)/float64(time.Millisecond))
 			}
 		}
+		// The scheduled run is the experiment's featured configuration:
+		// persist its final snapshot (open flows included) before teardown.
+		if weights != nil {
+			if err := o.saveSnapshot("fairshare", d); err != nil {
+				return out, err
+			}
+		}
 		inter.Close()
 		for _, bf := range bulks {
 			bf.Close()

@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+
+	"jqos"
+)
+
+// saveSnapshot writes the deployment's final telemetry snapshot to
+// <SnapshotDir>/<name>.json. A no-op without a SnapshotDir, so
+// experiments call it unconditionally at the end of their featured run.
+// The file holds exactly what telemetry.Serve's /snapshot endpoint
+// serves, so jqos-stat -file reads it back.
+func (o Options) saveSnapshot(name string, d *jqos.Deployment) error {
+	if o.SnapshotDir == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(d.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(o.SnapshotDir, name+".json"), append(data, '\n'), 0o644)
+}

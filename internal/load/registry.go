@@ -22,6 +22,12 @@ type DirLoad struct {
 	Bytes, Packets uint64
 	// ByClass breaks the windowed rate down per service class.
 	ByClass [NumClasses]float64
+	// ClassBytes / ClassPackets break the lifetime totals down per
+	// service class. Their sums equal Bytes / Packets: the meters
+	// account the direction total and the class together on every
+	// Record (telemetry rollups assert this invariant).
+	ClassBytes   [NumClasses]uint64
+	ClassPackets [NumClasses]uint64
 }
 
 // LinkLoad is the read-only load snapshot of one inter-DC link pair.
@@ -67,6 +73,7 @@ func (d *dirMeters) snapshot(now core.Time) DirLoad {
 	out.Bytes, out.Packets = d.total.Totals()
 	for i := range d.class {
 		out.ByClass[i] = d.class[i].Rate(now)
+		out.ClassBytes[i], out.ClassPackets[i] = d.class[i].Totals()
 	}
 	return out
 }

@@ -1,0 +1,28 @@
+package telemetry
+
+import "testing"
+
+// BenchmarkTraceRecord is the trace plane's hot-path guarantee: recording
+// one control-loop event must not allocate (the ring preallocates and
+// Event is a fixed-size value). Gated at 0 allocs/op in
+// BENCH_BASELINE.json.
+func BenchmarkTraceRecord(b *testing.B) {
+	r := NewRing(4096)
+	e := Event{Kind: KindEgressDrop, Flow: 7, LinkA: 1, LinkB: 2, Class: 3, V1: 1200}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Record(e)
+	}
+}
+
+// BenchmarkHistogramObserve measures the fixed-bucket histogram's
+// observe path (atomic adds + a CAS float sum; allocation-free).
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram("bench_latency_ms", "ms", 5, 10, 20, 40, 80, 160, 320)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 400))
+	}
+}

@@ -1,0 +1,246 @@
+// Package telemetry is the deployment-wide observability layer: an
+// allocation-free metrics registry (counters, gauges, fixed-bucket
+// histograms), a bounded control-loop event trace, one coherent
+// JSON-serializable Snapshot aggregating every stat surface, and an HTTP
+// exposition server (Prometheus text format, JSON snapshot, pprof).
+//
+// The package is deliberately engine-agnostic: the hosting runtime
+// (package jqos) builds Snapshots from its own stat surfaces and records
+// Events at its control-loop choke points; telemetry owns only the
+// concurrency-safe primitives and the wire formats. All timestamps are
+// SIMULATED time (core.Time from the event simulator) — never wall
+// clock — so snapshots and traces are bit-stable across same-seed runs.
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. Add/Inc are lock-free and
+// allocation-free; Load is safe concurrently with writers.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can move both ways. Set/Add are lock-free and
+// allocation-free; Load is safe concurrently with writers.
+type Gauge struct{ v atomic.Int64 }
+
+// Set overwrites the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the value by delta (negative deltas allowed).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram: bounds are the ascending bucket
+// upper limits, with an implicit +Inf overflow bucket at the end. Observe
+// is lock-free and allocation-free (the hot-path requirement); Snapshot
+// is safe concurrently with observers.
+type Histogram struct {
+	name   string
+	unit   string
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram creates a histogram named name (a Prometheus-compatible
+// metric name) over the given ascending bucket upper bounds. unit is
+// documentation ("ms", "bytes", "ratio"); it rides the snapshot.
+func NewHistogram(name, unit string, bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram bounds must ascend")
+		}
+	}
+	return &Histogram{
+		name:   name,
+		unit:   unit,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Name returns the histogram's metric name.
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records one value. Allocation-free: a linear scan over the
+// (small, fixed) bound set plus three atomic ops.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is one histogram's point-in-time state. Counts has
+// len(Bounds)+1 entries; the last is the +Inf overflow bucket.
+type HistogramSnapshot struct {
+	Name   string    `json:"name"`
+	Unit   string    `json:"unit,omitempty"`
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot copies the histogram's current state. Concurrent Observes may
+// straddle the copy (the per-bucket counts are each atomic; the total is
+// re-derived from them so Counts always sums to Count).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Name:   h.name,
+		Unit:   h.unit,
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+		s.Count += s.Counts[i]
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts by
+// attributing each bucket's mass to its upper bound (the conservative
+// Prometheus-style read). The overflow bucket reports the highest finite
+// bound. Returns 0 for an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			return s.Bounds[len(s.Bounds)-1]
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// CounterSnapshot / GaugeSnapshot are named point-in-time values.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeSnapshot is one gauge's point-in-time value.
+type GaugeSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Registry is a named metric registry. Get-or-create accessors hand out
+// stable pointers — callers fetch their metric once at setup and write to
+// it lock-free thereafter; the registry lock guards only creation and
+// collection. Applications can register their own metrics alongside the
+// runtime's (Deployment.MetricsRegistry) and they ride the same snapshot
+// and exposition surface.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given unit
+// and bounds on first use (later calls ignore both and return the
+// existing instance).
+func (r *Registry) Histogram(name, unit string, bounds ...float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(name, unit, bounds...)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Collect snapshots every registered metric, each family sorted by name
+// for deterministic output.
+func (r *Registry) Collect() (counters []CounterSnapshot, gauges []GaugeSnapshot, hists []HistogramSnapshot) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		counters = append(counters, CounterSnapshot{Name: name, Value: c.Load()})
+	}
+	for name, g := range r.gauges {
+		gauges = append(gauges, GaugeSnapshot{Name: name, Value: g.Load()})
+	}
+	for _, h := range r.hists {
+		hists = append(hists, h.Snapshot())
+	}
+	sort.Slice(counters, func(i, j int) bool { return counters[i].Name < counters[j].Name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].Name < gauges[j].Name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].Name < hists[j].Name })
+	return counters, gauges, hists
+}

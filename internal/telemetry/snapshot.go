@@ -1,0 +1,293 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"jqos/internal/core"
+)
+
+// NumClasses is the number of service classes in per-class rollups —
+// one per J-QoS service, indexed by core.Service.
+const NumClasses = core.NumServices
+
+// Snapshot is one coherent, JSON-serializable view of a whole deployment
+// at a single instant of SIMULATED time: per-link load, per-queue
+// scheduler state, per-flow delivery metrics, routing and feedback
+// counters, aggregate totals, the registered metrics, and the trace
+// ring's occupancy. It replaces polling LinkLoad / SchedStats /
+// FeedbackStats / RoutingStats one call at a time.
+//
+// Snapshots are immutable once built: the builder publishes them behind
+// an atomic pointer and the HTTP exposition layer only ever reads.
+type Snapshot struct {
+	// At is the simulated capture time.
+	At time.Duration `json:"at"`
+	// Links are the tracked inter-DC links in ascending (A, B) order.
+	Links []LinkSnapshot `json:"links,omitempty"`
+	// Queues are the instantiated egress schedulers in ascending
+	// (From, To) order. Empty with scheduling disabled.
+	Queues []QueueSnapshot `json:"queues,omitempty"`
+	// Flows are the open flows in ascending ID order.
+	Flows []FlowSnapshot `json:"flows,omitempty"`
+	// Routing / Feedback mirror the control planes' counters.
+	Routing  RoutingSnapshot  `json:"routing"`
+	Feedback FeedbackSnapshot `json:"feedback"`
+	// Totals are deployment-wide rollups across flows and links.
+	Totals Totals `json:"totals"`
+	// Counters / Gauges / Histograms are the metric registry's contents,
+	// sorted by name.
+	Counters   []CounterSnapshot   `json:"counters,omitempty"`
+	Gauges     []GaugeSnapshot     `json:"gauges,omitempty"`
+	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
+	// Trace is the control-loop event ring's occupancy and per-kind
+	// lifetime counts.
+	Trace TraceStats `json:"trace"`
+}
+
+// DirSnapshot is one link direction's load rollup.
+type DirSnapshot struct {
+	// Rate / Smoothed / Peak are windowed bytes-per-second readings.
+	Rate     float64 `json:"rate"`
+	Smoothed float64 `json:"smoothed"`
+	Peak     float64 `json:"peak"`
+	// Bytes / Packets are lifetime totals, with per-class breakdowns.
+	// The class arrays are indexed by core.Service, and their sums equal
+	// the direction totals (the rollup invariant tests assert it).
+	Bytes        uint64              `json:"bytes"`
+	Packets      uint64              `json:"packets"`
+	ClassRate    [NumClasses]float64 `json:"class_rate"`
+	ClassBytes   [NumClasses]uint64  `json:"class_bytes"`
+	ClassPackets [NumClasses]uint64  `json:"class_packets"`
+}
+
+// LinkSnapshot is one tracked inter-DC link (A < B as normalized by the
+// load registry; AB and BA are the A→B and B→A directions).
+type LinkSnapshot struct {
+	A           core.NodeID `json:"a"`
+	B           core.NodeID `json:"b"`
+	Capacity    int64       `json:"capacity"`
+	Utilization float64     `json:"utilization"`
+	AB          DirSnapshot `json:"ab"`
+	BA          DirSnapshot `json:"ba"`
+}
+
+// ClassQueueSnapshot is one egress class queue's counters.
+type ClassQueueSnapshot struct {
+	EnqueuedBytes   uint64 `json:"enqueued_bytes"`
+	EnqueuedPackets uint64 `json:"enqueued_packets"`
+	DequeuedBytes   uint64 `json:"dequeued_bytes"`
+	DequeuedPackets uint64 `json:"dequeued_packets"`
+	DroppedBytes    uint64 `json:"dropped_bytes"`
+	DroppedPackets  uint64 `json:"dropped_packets"`
+	QueuedBytes     int64  `json:"queued_bytes"`
+	QueuedPackets   int    `json:"queued_packets"`
+	// State is the queue's congestion classification (0 clear, 1 warm,
+	// 2 hot); StateChanges counts watermark transitions.
+	State        uint8  `json:"state"`
+	StateChanges uint64 `json:"state_changes"`
+}
+
+// QueueSnapshot is one directed inter-DC egress scheduler.
+type QueueSnapshot struct {
+	From          core.NodeID                    `json:"from"`
+	To            core.NodeID                    `json:"to"`
+	PerClass      [NumClasses]ClassQueueSnapshot `json:"per_class"`
+	Rounds        uint64                         `json:"rounds"`
+	QueuedBytes   int64                          `json:"queued_bytes"`
+	QueuedPackets int                            `json:"queued_packets"`
+}
+
+// FlowSnapshot is one open flow's delivery and policing rollup.
+type FlowSnapshot struct {
+	ID          core.FlowID   `json:"id"`
+	Src         core.NodeID   `json:"src"`
+	Dsts        []core.NodeID `json:"dsts"`
+	Service     core.Service  `json:"service"`
+	ServiceName string        `json:"service_name"`
+	Budget      time.Duration `json:"budget"`
+	Path        []core.NodeID `json:"path,omitempty"`
+
+	Sent             uint64 `json:"sent"`
+	SentBytes        uint64 `json:"sent_bytes"`
+	Delivered        uint64 `json:"delivered"`
+	Recovered        uint64 `json:"recovered"`
+	OnTime           uint64 `json:"on_time"`
+	AdmissionDropped uint64 `json:"admission_dropped"`
+	AdmissionShaped  uint64 `json:"admission_shaped"`
+	EgressDropped    uint64 `json:"egress_dropped"`
+	PacedBytes       uint64 `json:"paced_bytes"`
+	// ByService counts deliveries by the service that produced them.
+	ByService [NumClasses]uint64 `json:"by_service"`
+
+	// AdmissionRate is the live bucket refill rate (0 without a
+	// contract); Throttled reports an active pacer cut.
+	AdmissionRate int64 `json:"admission_rate"`
+	Throttled     bool  `json:"throttled"`
+	// ServiceChanges counts adaptation transitions so far.
+	ServiceChanges int `json:"service_changes"`
+
+	// Delivery-latency summary in milliseconds (zero when nothing
+	// delivered yet).
+	LatencyMsMean float64 `json:"latency_ms_mean"`
+	LatencyMsP50  float64 `json:"latency_ms_p50"`
+	LatencyMsP95  float64 `json:"latency_ms_p95"`
+}
+
+// OnTimeFraction returns OnTime/Delivered (1 when nothing delivered).
+func (f FlowSnapshot) OnTimeFraction() float64 {
+	if f.Delivered == 0 {
+		return 1
+	}
+	return float64(f.OnTime) / float64(f.Delivered)
+}
+
+// RoutingSnapshot mirrors the routing controller's counters.
+type RoutingSnapshot struct {
+	Recomputes         uint64 `json:"recomputes"`
+	Pushes             uint64 `json:"pushes"`
+	RouteChanges       uint64 `json:"route_changes"`
+	Reroutes           uint64 `json:"reroutes"`
+	LinkFailures       uint64 `json:"link_failures"`
+	LinkRecoveries     uint64 `json:"link_recoveries"`
+	LinkDegrades       uint64 `json:"link_degrades"`
+	UtilizationUpdates uint64 `json:"utilization_updates"`
+	CongestionReroutes uint64 `json:"congestion_reroutes"`
+	Unreachable        int    `json:"unreachable"`
+}
+
+// FeedbackSnapshot mirrors the congestion-feedback plane's counters.
+type FeedbackSnapshot struct {
+	Enabled         bool   `json:"enabled"`
+	Transitions     uint64 `json:"transitions"`
+	Batches         uint64 `json:"batches"`
+	SignalsSent     uint64 `json:"signals_sent"`
+	SignalsLocal    uint64 `json:"signals_local"`
+	SignalsDropped  uint64 `json:"signals_dropped"`
+	FlowSignals     uint64 `json:"flow_signals"`
+	HotRefreshes    uint64 `json:"hot_refreshes"`
+	RateCuts        uint64 `json:"rate_cuts"`
+	RateRecoveries  uint64 `json:"rate_recoveries"`
+	PreemptiveMoves uint64 `json:"preemptive_moves"`
+	SubscribedFlows int    `json:"subscribed_flows"`
+}
+
+// Totals are deployment-wide rollups.
+type Totals struct {
+	// Flows is the open-flow count (closed flows leave the snapshot).
+	Flows int `json:"flows"`
+	// Per-flow metric sums across open flows.
+	Sent             uint64 `json:"sent"`
+	SentBytes        uint64 `json:"sent_bytes"`
+	Delivered        uint64 `json:"delivered"`
+	Recovered        uint64 `json:"recovered"`
+	OnTime           uint64 `json:"on_time"`
+	AdmissionDropped uint64 `json:"admission_dropped"`
+	AdmissionShaped  uint64 `json:"admission_shaped"`
+	EgressDropped    uint64 `json:"egress_dropped"`
+	PacedBytes       uint64 `json:"paced_bytes"`
+	// LinkBytes sums lifetime bytes across every tracked link direction,
+	// with ClassBytes the per-class breakdown (sums match: the load
+	// meters account total and class together).
+	LinkBytes  uint64             `json:"link_bytes"`
+	ClassBytes [NumClasses]uint64 `json:"class_bytes"`
+	// EgressBytes is billable cloud egress; CloudCostUSD prices it under
+	// the default cost model.
+	EgressBytes  uint64  `json:"egress_bytes"`
+	CloudCostUSD float64 `json:"cloud_cost_usd"`
+}
+
+// humanBytes renders a byte count compactly (binary-ish, base 1000 —
+// operator eyeballs, not accounting).
+func humanBytes(b float64) string {
+	switch {
+	case b >= 1e9:
+		return fmt.Sprintf("%.2f GB", b/1e9)
+	case b >= 1e6:
+		return fmt.Sprintf("%.2f MB", b/1e6)
+	case b >= 1e3:
+		return fmt.Sprintf("%.1f kB", b/1e3)
+	default:
+		return fmt.Sprintf("%.0f B", b)
+	}
+}
+
+// Summary renders the snapshot as a compact operator report — the
+// examples' exit report and jqos-stat's default output.
+func (s *Snapshot) Summary() string {
+	var b strings.Builder
+	t := s.Totals
+	onTime := 100.0
+	if t.Delivered > 0 {
+		onTime = 100 * float64(t.OnTime) / float64(t.Delivered)
+	}
+	fmt.Fprintf(&b, "jqos @ %v: %d flows, %d sent / %d delivered (%.1f%% on time), cloud egress %s ($%.4f)\n",
+		s.At, t.Flows, t.Sent, t.Delivered, onTime, humanBytes(float64(t.EgressBytes)), t.CloudCostUSD)
+	for _, l := range s.Links {
+		fmt.Fprintf(&b, "  link %v↔%v: cap %s/s, util %.0f%%, %v→%v %s%s, %v→%v %s%s\n",
+			l.A, l.B, humanBytes(float64(l.Capacity)), 100*l.Utilization,
+			l.A, l.B, humanBytes(float64(l.AB.Bytes)), classBreakdown(l.AB.ClassBytes),
+			l.B, l.A, humanBytes(float64(l.BA.Bytes)), classBreakdown(l.BA.ClassBytes))
+	}
+	for _, q := range s.Queues {
+		fmt.Fprintf(&b, "  queue %v→%v: depth %s, %d rounds", q.From, q.To, humanBytes(float64(q.QueuedBytes)), q.Rounds)
+		for c := range q.PerClass {
+			cs := q.PerClass[c]
+			if cs.EnqueuedPackets == 0 && cs.DroppedPackets == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, ", %v %d out / %d dropped", core.Service(c), cs.DequeuedPackets, cs.DroppedPackets)
+		}
+		b.WriteByte('\n')
+	}
+	for _, f := range s.Flows {
+		fmt.Fprintf(&b, "  flow %d (%s): %d sent, %.1f%% on time, p95 %.1f ms", f.ID, f.ServiceName, f.Sent, 100*f.OnTimeFraction(), f.LatencyMsP95)
+		if f.AdmissionDropped > 0 || f.AdmissionShaped > 0 {
+			fmt.Fprintf(&b, ", adm-drop %d / shaped %d", f.AdmissionDropped, f.AdmissionShaped)
+		}
+		if f.EgressDropped > 0 {
+			fmt.Fprintf(&b, ", egress-drop %d", f.EgressDropped)
+		}
+		if f.PacedBytes > 0 {
+			fmt.Fprintf(&b, ", paced %s", humanBytes(float64(f.PacedBytes)))
+		}
+		if f.ServiceChanges > 0 {
+			fmt.Fprintf(&b, ", %d service changes", f.ServiceChanges)
+		}
+		b.WriteByte('\n')
+	}
+	r := s.Routing
+	fmt.Fprintf(&b, "  routing: %d recomputes, %d reroutes, %d failures / %d recoveries, %d congestion reroutes\n",
+		r.Recomputes, r.Reroutes, r.LinkFailures, r.LinkRecoveries, r.CongestionReroutes)
+	if s.Feedback.Enabled {
+		fb := s.Feedback
+		fmt.Fprintf(&b, "  feedback: %d transitions → %d batches, %d flow signals, %d cuts / %d recoveries, %d preemptive moves\n",
+			fb.Transitions, fb.Batches, fb.FlowSignals, fb.RateCuts, fb.RateRecoveries, fb.PreemptiveMoves)
+	}
+	if s.Trace.Recorded > 0 {
+		fmt.Fprintf(&b, "  trace: %d events (%d buffered of %d cap)", s.Trace.Recorded, s.Trace.Buffered, s.Trace.Capacity)
+		for k := 0; k < NumKinds; k++ {
+			if n := s.Trace.ByKind[k]; n > 0 {
+				fmt.Fprintf(&b, ", %v %d", Kind(k), n)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// classBreakdown renders nonzero per-class byte totals as a bracketed
+// suffix (empty when the direction carried nothing).
+func classBreakdown(bytes [NumClasses]uint64) string {
+	var parts []string
+	for c, n := range bytes {
+		if n > 0 {
+			parts = append(parts, fmt.Sprintf("%v %s", core.Service(c), humanBytes(float64(n))))
+		}
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return " [" + strings.Join(parts, " | ") + "]"
+}

@@ -1,0 +1,372 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	h := NewHistogram("lat_ms", "ms", 10, 20, 40)
+	for _, v := range []float64{1, 9, 10, 11, 25, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	// Buckets are ≤10, ≤20, ≤40, +Inf.
+	want := []uint64{3, 1, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Sum != 156 {
+		t.Fatalf("sum = %v, want 156", s.Sum)
+	}
+	if q := s.Quantile(0.5); q != 10 {
+		t.Fatalf("p50 = %v, want 10", q)
+	}
+	// p95 lands in the overflow bucket, which reports the top finite bound.
+	if q := s.Quantile(0.95); q != 40 {
+		t.Fatalf("p95 = %v, want 40", q)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"no-bounds":         func() { NewHistogram("x", "") },
+		"unordered-bounds":  func() { NewHistogram("x", "", 10, 10) },
+		"descending-bounds": func() { NewHistogram("x", "", 20, 10) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestRegistryCollect(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Counter("a_total").Inc()
+	if r.Counter("a_total") != r.Counter("a_total") {
+		t.Fatal("counter pointer not stable")
+	}
+	r.Gauge("depth").Set(9)
+	h := r.Histogram("lat", "ms", 10, 20)
+	h.Observe(5)
+	if r.Histogram("lat", "ms", 99) != h {
+		t.Fatal("histogram not deduplicated by name")
+	}
+
+	counters, gauges, hists := r.Collect()
+	if len(counters) != 2 || counters[0].Name != "a_total" || counters[1].Name != "b_total" {
+		t.Fatalf("counters not name-sorted: %+v", counters)
+	}
+	if counters[0].Value != 1 || counters[1].Value != 2 {
+		t.Fatalf("counter values wrong: %+v", counters)
+	}
+	if len(gauges) != 1 || gauges[0].Value != 9 {
+		t.Fatalf("gauges wrong: %+v", gauges)
+	}
+	if len(hists) != 1 || hists[0].Count != 1 {
+		t.Fatalf("hists wrong: %+v", hists)
+	}
+}
+
+func TestRingRecordAndSince(t *testing.T) {
+	r := NewRing(4)
+	var seqs []uint64
+	for i := 0; i < 3; i++ {
+		seqs = append(seqs, r.Record(Event{Kind: KindReroute, Flow: 1, V1: int64(i)}))
+	}
+	if seqs[0] != 1 || seqs[2] != 3 {
+		t.Fatalf("seqs = %v, want 1..3", seqs)
+	}
+	all := r.Events(nil)
+	if len(all) != 3 || all[0].V1 != 0 || all[2].V1 != 2 {
+		t.Fatalf("events = %+v", all)
+	}
+	// Reading does not consume.
+	if again := r.Events(nil); len(again) != 3 {
+		t.Fatalf("second read = %d events, want 3", len(again))
+	}
+	since := r.Since(nil, seqs[1], 0)
+	if len(since) != 1 || since[0].Seq != seqs[2] {
+		t.Fatalf("since = %+v", since)
+	}
+	if capped := r.Since(nil, 0, 2); len(capped) != 2 {
+		t.Fatalf("max=2 returned %d events", len(capped))
+	}
+}
+
+func TestRingOverwrite(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Kind: KindEgressDrop, V1: int64(i)})
+	}
+	st := r.Stats()
+	if st.Recorded != 5 || st.Dropped != 2 || st.Buffered != 3 || st.Capacity != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.ByKind[KindEgressDrop] != 5 {
+		t.Fatalf("ByKind = %v", st.ByKind)
+	}
+	if got := r.CountOf(KindEgressDrop); got != 5 {
+		t.Fatalf("CountOf = %d, want 5", got)
+	}
+	// The oldest two events were overwritten; V1 2..4 remain in order.
+	ev := r.Events(nil)
+	if len(ev) != 3 || ev[0].V1 != 2 || ev[2].V1 != 4 {
+		t.Fatalf("events after wrap = %+v", ev)
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Seq != ev[i-1].Seq+1 {
+			t.Fatalf("seq gap after wrap: %+v", ev)
+		}
+	}
+}
+
+func TestRingConcurrentRecord(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Record(Event{Kind: KindPacerCut})
+				r.Since(nil, 0, 8)
+			}
+		}()
+	}
+	wg.Wait()
+	if st := r.Stats(); st.Recorded != 4000 {
+		t.Fatalf("recorded = %d, want 4000", st.Recorded)
+	}
+}
+
+func TestEventDescribeCoversAllKinds(t *testing.T) {
+	for k := 0; k < NumKinds; k++ {
+		e := Event{Kind: Kind(k), Flow: 3, At: time.Second}
+		if d := e.Describe(); d == "" || strings.Contains(d, "kind(") {
+			t.Fatalf("kind %v has no Describe arm: %q", Kind(k), d)
+		}
+		if Kind(k).String() == "" || strings.HasPrefix(Kind(k).String(), "kind(") {
+			t.Fatalf("kind %d has no String arm", k)
+		}
+	}
+}
+
+// testSnapshot builds a small but fully populated snapshot.
+func testSnapshot() *Snapshot {
+	reg := NewRegistry()
+	reg.Counter("app_ticks_total").Add(7)
+	reg.Gauge("app_depth").Set(-2)
+	h := reg.Histogram("app_lat_ms", "ms", 10, 20)
+	h.Observe(5)
+	h.Observe(50)
+	counters, gauges, hists := reg.Collect()
+
+	s := &Snapshot{
+		At: 3 * time.Second,
+		Links: []LinkSnapshot{{
+			A: 1, B: 2, Capacity: 1_000_000, Utilization: 0.5,
+			AB: DirSnapshot{Bytes: 1000, Packets: 2, ClassBytes: [NumClasses]uint64{0, 0, 400, 600}},
+		}},
+		Queues: []QueueSnapshot{{From: 1, To: 2, Rounds: 9}},
+		Flows: []FlowSnapshot{{
+			ID: 1, Service: 3, ServiceName: "forwarding", Sent: 10, Delivered: 8, OnTime: 8,
+		}},
+		Totals:     Totals{Flows: 1, Sent: 10, Delivered: 8, OnTime: 8, EgressBytes: 1000},
+		Counters:   counters,
+		Gauges:     gauges,
+		Histograms: hists,
+	}
+	s.Queues[0].PerClass[3] = ClassQueueSnapshot{EnqueuedPackets: 5, DequeuedPackets: 4, DroppedPackets: 1}
+	s.Trace.Recorded = 4
+	s.Trace.ByKind[KindReroute] = 4
+	return s
+}
+
+func TestWriteMetricsParses(t *testing.T) {
+	var b strings.Builder
+	if err := WriteMetrics(&b, testSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	n, err := ParseMetrics(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("own output does not parse: %v\n%s", err, out)
+	}
+	if n < 20 {
+		t.Fatalf("only %d samples", n)
+	}
+	for _, want := range []string{
+		"jqos_flows 1\n",
+		`jqos_link_bytes_total{from="1",to="2",class="forwarding"} 600`,
+		`jqos_queue_dropped_packets_total{from="1",to="2",class="forwarding"} 1`,
+		`jqos_trace_events_total{kind="reroute"} 4`,
+		"app_ticks_total 7\n",
+		`app_lat_ms_bucket{le="+Inf"} 2`,
+		"app_lat_ms_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Deterministic: a second render is byte-identical.
+	var b2 strings.Builder
+	if err := WriteMetrics(&b2, testSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Fatal("WriteMetrics output is not deterministic")
+	}
+}
+
+func TestParseMetricsRejectsGarbage(t *testing.T) {
+	for name, in := range map[string]string{
+		"empty":        "",
+		"comment-only": "# HELP x y\n",
+		"bad-name":     "9bad 1\n",
+		"no-value":     "jqos_flows\n",
+		"bad-value":    "jqos_flows x\n",
+		"open-brace":   "jqos_flows{a=\"1\" 1\n",
+		"unquoted":     "jqos_flows{a=1} 1\n",
+	} {
+		if _, err := ParseMetrics(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	s := testSnapshot()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	data2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatalf("snapshot does not round-trip through JSON:\n%s\nvs\n%s", data, data2)
+	}
+}
+
+func TestSummaryMentionsEverySurface(t *testing.T) {
+	sum := testSnapshot().Summary()
+	for _, want := range []string{"1 flows", "link", "queue", "flow 1", "routing:", "trace:"} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+// fakeSource serves a fixed snapshot and ring.
+type fakeSource struct {
+	snap *Snapshot
+	ring *Ring
+}
+
+func (f *fakeSource) LatestSnapshot() *Snapshot { return f.snap }
+func (f *fakeSource) TraceSince(seq uint64, max int) []Event {
+	return f.ring.Since(nil, seq, max)
+}
+
+func TestServeEndpoints(t *testing.T) {
+	ring := NewRing(8)
+	for i := 0; i < 3; i++ {
+		ring.Record(Event{Kind: KindPacerCut, Flow: 1, V1: int64(i)})
+	}
+	src := &fakeSource{snap: testSnapshot(), ring: ring}
+	srv, err := Serve("127.0.0.1:0", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) []byte {
+		resp, err := http.Get(srv.URL() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	if n, err := ParseMetrics(strings.NewReader(string(get("/metrics")))); err != nil || n == 0 {
+		t.Fatalf("/metrics: %d samples, %v", n, err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(get("/snapshot"), &snap); err != nil {
+		t.Fatalf("/snapshot: %v", err)
+	}
+	if snap.Totals.Flows != 1 {
+		t.Fatalf("/snapshot totals = %+v", snap.Totals)
+	}
+	var events []Event
+	if err := json.Unmarshal(get("/trace?since=1&max=1"), &events); err != nil {
+		t.Fatalf("/trace: %v", err)
+	}
+	if len(events) != 1 || events[0].Seq != 2 {
+		t.Fatalf("/trace?since=1&max=1 = %+v", events)
+	}
+
+	// No snapshot published yet: /metrics degrades, /snapshot 503s.
+	empty := &fakeSource{ring: NewRing(1)}
+	srv2, err := Serve("127.0.0.1:0", empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	resp, err := http.Get(srv2.URL() + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/snapshot without publish = %s, want 503", resp.Status)
+	}
+}

@@ -148,6 +148,33 @@
 // egress drops cut to zero, where the scheduler alone tail-drops
 // steadily.
 //
+// # Observability
+//
+// Every control loop above leaves a numeric trail, and internal/telemetry
+// unifies them into one plane instead of four poll calls.
+// Deployment.Snapshot builds a single coherent, JSON-serializable view —
+// per-link load with per-class rollups, per-queue scheduler counters,
+// per-flow delivery metrics with latency quantiles, routing and feedback
+// counters, aggregate totals, and the deployment's metric registry
+// (counters, gauges, and fixed-bucket histograms for delivery latency
+// vs. budget, pacer rate, and queue depth; register your own through
+// Deployment.MetricsRegistry). Deployment.TraceEvents drains a bounded,
+// allocation-free ring of structured control-loop events — service
+// changes, reroutes, congestion signals, pacer cuts and recoveries,
+// admission and egress drops, cost and budget violations — recorded at
+// the same choke points that invoke FlowObserver (whose interface is
+// unchanged), stamped with SIMULATED time so two same-seed runs produce
+// byte-identical traces. telemetry.Serve exposes the latest published
+// snapshot as Prometheus text (/metrics), JSON (/snapshot), and the
+// trace (/trace) alongside net/http/pprof; cmd/jqos-stat pretty-prints
+// either from a live endpoint or a saved snapshot file:
+//
+//	snap := dep.Snapshot() // publish once (or set Telemetry.PublishInterval)
+//	fmt.Println(snap.Summary())
+//	srv, _ := telemetry.Serve("127.0.0.1:0", dep)
+//	defer srv.Close()
+//	// curl $URL/metrics, /snapshot, /trace; jqos-stat -addr $ADDR
+//
 // # Quick start
 //
 //	cfg := jqos.DefaultConfig()
@@ -291,6 +318,11 @@ type Config struct {
 	// contracts against class shares. Requires Scheduler (the signal
 	// source); ignored without it.
 	Feedback FeedbackConfig
+	// Telemetry tunes the unified observability plane: the control-loop
+	// event trace's ring capacity and the periodic snapshot publisher.
+	// The zero value means tracing on (4096 events) and periodic
+	// publishing off — Deployment.Snapshot still builds on demand.
+	Telemetry TelemetryConfig
 }
 
 // DefaultConfig returns the paper's deployment defaults.
@@ -332,6 +364,11 @@ type Deployment struct {
 	// fb is the congestion-feedback plane (nil when Config.Feedback is
 	// off or scheduling is disabled — no queues, no signal).
 	fb *feedbackPlane
+
+	// tel is the telemetry plane: metric registry, control-loop trace
+	// ring, and the published-snapshot slot (see telemetry.go). Always
+	// non-nil; individual pieces disable via Config.Telemetry.
+	tel *telemetryPlane
 
 	// repinWatch holds RepinOnHeal flows parked off their preferred
 	// path; every recompute checks whether the preferred path healed.
@@ -400,6 +437,7 @@ func NewDeploymentWithConfig(seed int64, cfg Config) *Deployment {
 		repinWatch:  make(map[core.FlowID]*Flow),
 	}
 	d.loadReg = load.NewRegistry(cfg.LoadWindow)
+	d.tel = newTelemetryPlane(d, cfg.Telemetry)
 	d.ctrl.SetCongestionConfig(cfg.Congestion)
 	d.mon = routing.NewMonitor(d.ctrl, cfg.Monitor)
 	d.topo.Oracle = d.ctrl

@@ -112,12 +112,13 @@ func (d *Deployment) wakeProbers() {
 	}
 }
 
-// noteActivity records an application send and keeps the probers and the
-// load reporter running.
+// noteActivity records an application send and keeps the probers, the
+// load reporter, and the telemetry publisher running.
 func (d *Deployment) noteActivity() {
 	d.activity++
 	d.wakeProbers()
 	d.wakeLoadReporter()
+	d.tel.wake()
 }
 
 // sendControl transmits a control-plane message (probe or ack). Control

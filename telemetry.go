@@ -1,0 +1,381 @@
+package jqos
+
+import (
+	"sync/atomic"
+	"time"
+
+	"jqos/internal/core"
+	"jqos/internal/load"
+	"jqos/internal/telemetry"
+)
+
+// TelemetryConfig tunes the deployment's observability plane (see the
+// package docs' Observability section).
+type TelemetryConfig struct {
+	// TraceCapacity bounds the control-loop event ring in events. Zero
+	// defaults to 4096; negative disables tracing entirely (recording
+	// becomes a nil check, TraceEvents returns nil).
+	TraceCapacity int
+	// PublishInterval, when positive, builds and publishes a fresh
+	// snapshot every interval of SIMULATED time while the deployment is
+	// active (the publisher parks when traffic stops, like the probers,
+	// so an idle event heap still drains). Zero disables periodic
+	// publishing — Snapshot() still builds and publishes on demand,
+	// which is what tests and experiments use; a live telemetry.Serve
+	// endpoint wants the periodic feed.
+	PublishInterval time.Duration
+}
+
+// Delivery-latency histogram bounds (ms), latency/budget ratio bounds,
+// pacer rate fraction bounds, and egress queue depth bounds (bytes).
+// Fixed buckets keep Observe allocation-free on the hot paths.
+var (
+	latencyBoundsMs   = []float64{5, 10, 20, 40, 60, 80, 100, 150, 200, 300, 500, 1000}
+	budgetRatioBounds = []float64{0.25, 0.5, 0.75, 1, 1.5, 2, 4, 8}
+	pacerFracBounds   = []float64{0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1}
+	queueDepthBounds  = []float64{1 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10}
+)
+
+// telemetryPlane is the deployment's observability glue: the metric
+// registry (with the runtime's four standing histograms), the
+// control-loop trace ring, the last published snapshot, and the parking
+// periodic publisher. Snapshot BUILDING walks simulator-owned state and
+// runs on the simulator goroutine only; the published *telemetry.Snapshot
+// is immutable and read from anywhere (telemetry.Serve), and the ring
+// carries its own lock.
+type telemetryPlane struct {
+	d    *Deployment
+	reg  *telemetry.Registry
+	ring *telemetry.Ring // nil when tracing is disabled
+
+	latest atomic.Pointer[telemetry.Snapshot]
+
+	latencyMs   *telemetry.Histogram
+	budgetRatio *telemetry.Histogram
+	pacerFrac   *telemetry.Histogram
+	queueDepth  *telemetry.Histogram
+	snapshots   *telemetry.Counter
+
+	interval     time.Duration
+	started      bool
+	parked       bool
+	idle         int
+	lastActivity uint64
+	roundFn      func()
+}
+
+func newTelemetryPlane(d *Deployment, cfg TelemetryConfig) *telemetryPlane {
+	p := &telemetryPlane{
+		d:        d,
+		reg:      telemetry.NewRegistry(),
+		interval: cfg.PublishInterval,
+	}
+	if cfg.TraceCapacity >= 0 {
+		cap := cfg.TraceCapacity
+		if cap == 0 {
+			cap = 4096
+		}
+		p.ring = telemetry.NewRing(cap)
+	}
+	p.latencyMs = p.reg.Histogram("jqos_delivery_latency_ms", "ms", latencyBoundsMs...)
+	p.budgetRatio = p.reg.Histogram("jqos_delivery_budget_ratio", "ratio", budgetRatioBounds...)
+	p.pacerFrac = p.reg.Histogram("jqos_pacer_rate_fraction", "ratio", pacerFracBounds...)
+	p.queueDepth = p.reg.Histogram("jqos_egress_queue_depth_bytes", "bytes", queueDepthBounds...)
+	p.snapshots = p.reg.Counter("jqos_snapshots_built_total")
+	p.roundFn = p.round
+	return p
+}
+
+// trace records one control-loop event, stamped with SIMULATED time (the
+// determinism contract: same seed, byte-identical trace). Allocation-free
+// (Event is a value; the ring preallocates).
+func (d *Deployment) trace(e telemetry.Event) {
+	p := d.tel
+	if p.ring == nil {
+		return
+	}
+	e.At = d.sim.Now()
+	p.ring.Record(e)
+}
+
+// noteDelivery feeds the delivery histograms (latency, latency/budget).
+func (p *telemetryPlane) noteDelivery(lat core.Time, budget time.Duration) {
+	p.latencyMs.Observe(float64(lat) / float64(time.Millisecond))
+	if budget > 0 {
+		p.budgetRatio.Observe(float64(lat) / float64(budget))
+	}
+}
+
+// notePacer feeds the pacer-rate histogram with rate/contract.
+func (p *telemetryPlane) notePacer(rate, contract int64) {
+	if contract > 0 {
+		p.pacerFrac.Observe(float64(rate) / float64(contract))
+	}
+}
+
+// noteQueueDepth samples an egress class queue's depth at a watermark
+// transition (the edge is exactly when depth is interesting).
+func (p *telemetryPlane) noteQueueDepth(depth int64) {
+	p.queueDepth.Observe(float64(depth))
+}
+
+// wake (re)starts the parked periodic publisher; called per application
+// send via noteActivity, so the publisher runs exactly while traffic
+// flows. No-op without a PublishInterval.
+func (p *telemetryPlane) wake() {
+	if p.interval <= 0 {
+		return
+	}
+	p.idle = 0
+	if !p.started {
+		p.started = true
+		p.d.sim.After(p.interval, p.roundFn)
+		return
+	}
+	if p.parked {
+		p.parked = false
+		p.d.sim.After(p.interval, p.roundFn)
+	}
+}
+
+// round publishes one snapshot and reschedules — or parks after two idle
+// rounds so the event heap can drain (the next send wakes it).
+func (p *telemetryPlane) round() {
+	if act := p.d.activity; act == p.lastActivity {
+		p.idle++
+	} else {
+		p.lastActivity = act
+		p.idle = 0
+	}
+	p.build()
+	if p.idle >= 2 {
+		p.parked = true
+		return
+	}
+	p.d.sim.After(p.interval, p.roundFn)
+}
+
+// Snapshot builds, publishes, and returns one coherent view of the whole
+// deployment: per-link load (with per-class rollups), per-queue scheduler
+// state, per-flow delivery metrics, routing and feedback counters,
+// aggregate totals, the metric registry, and trace occupancy — one call
+// instead of polling LinkLoad / SchedStats / FeedbackStats / RoutingStats
+// per subsystem. The timestamp is SIMULATED time.
+//
+// Snapshot must run on the simulator goroutine (it walks live engine
+// state); concurrent readers use LatestSnapshot, which returns the
+// immutable published result.
+func (d *Deployment) Snapshot() *telemetry.Snapshot {
+	return d.tel.build()
+}
+
+// LatestSnapshot returns the most recently published snapshot (explicit
+// Snapshot call or periodic publisher), nil when none exists yet. Safe
+// from any goroutine — this is telemetry.Serve's read path.
+func (d *Deployment) LatestSnapshot() *telemetry.Snapshot {
+	return d.tel.latest.Load()
+}
+
+// TraceEvents returns a copy of the buffered control-loop event trace,
+// oldest first. Safe from any goroutine (the ring carries its own lock).
+func (d *Deployment) TraceEvents() []telemetry.Event {
+	if d.tel.ring == nil {
+		return nil
+	}
+	return d.tel.ring.Events(nil)
+}
+
+// TraceSince returns up to max buffered trace events with Seq > seq
+// (max ≤ 0 means all) — the tailing read telemetry.Serve's /trace uses.
+func (d *Deployment) TraceSince(seq uint64, max int) []telemetry.Event {
+	if d.tel.ring == nil {
+		return nil
+	}
+	return d.tel.ring.Since(nil, seq, max)
+}
+
+// MetricsRegistry exposes the deployment's metric registry so
+// applications can register their own counters, gauges, and histograms;
+// they ride the same Snapshot and exposition surface as the runtime's.
+func (d *Deployment) MetricsRegistry() *telemetry.Registry { return d.tel.reg }
+
+// build assembles and publishes a snapshot. Simulator goroutine only.
+func (p *telemetryPlane) build() *telemetry.Snapshot {
+	d := p.d
+	now := d.sim.Now()
+	s := &telemetry.Snapshot{At: time.Duration(now)}
+
+	// Links, in the registry's sorted pair order.
+	for _, pr := range d.loadReg.Pairs() {
+		ll, ok := d.loadReg.Load(now, pr[0], pr[1])
+		if !ok {
+			continue
+		}
+		ls := telemetry.LinkSnapshot{
+			A: ll.A, B: ll.B,
+			Capacity:    ll.Capacity,
+			Utilization: ll.Utilization,
+			AB:          dirSnap(ll.AB),
+			BA:          dirSnap(ll.BA),
+		}
+		s.Links = append(s.Links, ls)
+		s.Totals.LinkBytes += ll.AB.Bytes + ll.BA.Bytes
+		for c := 0; c < telemetry.NumClasses; c++ {
+			s.Totals.ClassBytes[c] += ll.AB.ClassBytes[c] + ll.BA.ClassBytes[c]
+		}
+	}
+
+	// Egress schedulers, ascending (from, to). Node IDs are dense small
+	// integers, so a range scan with map membership checks iterates
+	// deterministically without sorting.
+	for from := core.NodeID(1); from < d.nextNode; from++ {
+		dc, ok := d.dcs[from]
+		if !ok || dc.egress == nil {
+			continue
+		}
+		for to := core.NodeID(1); to < d.nextNode; to++ {
+			q, ok := dc.egress[to]
+			if !ok {
+				continue
+			}
+			st := q.drr.Stats()
+			qs := telemetry.QueueSnapshot{
+				From: from, To: to,
+				Rounds:        st.Rounds,
+				QueuedBytes:   st.QueuedBytes,
+				QueuedPackets: st.QueuedPackets,
+			}
+			for c := range st.PerClass {
+				cs := st.PerClass[c]
+				qs.PerClass[c] = telemetry.ClassQueueSnapshot{
+					EnqueuedBytes:   cs.EnqueuedBytes,
+					EnqueuedPackets: cs.EnqueuedPackets,
+					DequeuedBytes:   cs.DequeuedBytes,
+					DequeuedPackets: cs.DequeuedPackets,
+					DroppedBytes:    cs.DroppedBytes,
+					DroppedPackets:  cs.DroppedPackets,
+					QueuedBytes:     cs.QueuedBytes,
+					QueuedPackets:   cs.QueuedPackets,
+					State:           uint8(cs.State),
+					StateChanges:    cs.StateChanges,
+				}
+			}
+			s.Queues = append(s.Queues, qs)
+		}
+	}
+
+	// Flows, ascending ID.
+	for id := core.FlowID(1); id < d.nextFlow; id++ {
+		f, ok := d.flows[id]
+		if !ok {
+			continue
+		}
+		fs := flowSnap(f)
+		s.Flows = append(s.Flows, fs)
+		t := &s.Totals
+		t.Flows++
+		t.Sent += fs.Sent
+		t.SentBytes += fs.SentBytes
+		t.Delivered += fs.Delivered
+		t.Recovered += fs.Recovered
+		t.OnTime += fs.OnTime
+		t.AdmissionDropped += fs.AdmissionDropped
+		t.AdmissionShaped += fs.AdmissionShaped
+		t.EgressDropped += fs.EgressDropped
+		t.PacedBytes += fs.PacedBytes
+	}
+
+	rt := d.ctrl.Stats()
+	s.Routing = telemetry.RoutingSnapshot{
+		Recomputes:         rt.Recomputes,
+		Pushes:             rt.Pushes,
+		RouteChanges:       rt.RouteChanges,
+		Reroutes:           rt.Reroutes,
+		LinkFailures:       rt.LinkFailures,
+		LinkRecoveries:     rt.LinkRecoveries,
+		LinkDegrades:       rt.LinkDegrades,
+		UtilizationUpdates: rt.UtilizationUpdates,
+		CongestionReroutes: rt.CongestionReroutes,
+		Unreachable:        rt.Unreachable,
+	}
+
+	fb := d.FeedbackStats()
+	s.Feedback = telemetry.FeedbackSnapshot{
+		Enabled:         d.fb != nil,
+		Transitions:     fb.Transitions,
+		Batches:         fb.Batches,
+		SignalsSent:     fb.SignalsSent,
+		SignalsLocal:    fb.SignalsLocal,
+		SignalsDropped:  fb.SignalsDropped,
+		FlowSignals:     fb.FlowSignals,
+		HotRefreshes:    fb.HotRefreshes,
+		RateCuts:        fb.RateCuts,
+		RateRecoveries:  fb.RateRecoveries,
+		PreemptiveMoves: fb.PreemptiveMoves,
+		SubscribedFlows: fb.SubscribedFlows,
+	}
+
+	s.Totals.EgressBytes = d.TotalEgressBytes()
+	s.Totals.CloudCostUSD = d.CloudCost()
+
+	p.snapshots.Inc()
+	s.Counters, s.Gauges, s.Histograms = p.reg.Collect()
+	if p.ring != nil {
+		s.Trace = p.ring.Stats()
+	}
+
+	p.latest.Store(s)
+	return s
+}
+
+func dirSnap(dl load.DirLoad) telemetry.DirSnapshot {
+	out := telemetry.DirSnapshot{
+		Rate:     dl.Rate,
+		Smoothed: dl.Smoothed,
+		Peak:     dl.Peak,
+		Bytes:    dl.Bytes,
+		Packets:  dl.Packets,
+	}
+	for c := 0; c < telemetry.NumClasses; c++ {
+		out.ClassRate[c] = dl.ByClass[c]
+		out.ClassBytes[c] = dl.ClassBytes[c]
+		out.ClassPackets[c] = dl.ClassPackets[c]
+	}
+	return out
+}
+
+func flowSnap(f *Flow) telemetry.FlowSnapshot {
+	m := f.metrics
+	fs := telemetry.FlowSnapshot{
+		ID:               f.id,
+		Src:              f.src,
+		Dsts:             append([]core.NodeID(nil), f.dsts...),
+		Service:          f.service,
+		ServiceName:      f.service.String(),
+		Budget:           f.spec.Budget,
+		Path:             append([]core.NodeID(nil), f.activePath...),
+		Sent:             m.Sent,
+		SentBytes:        m.SentBytes,
+		Delivered:        m.Delivered,
+		Recovered:        m.Recovered,
+		OnTime:           m.OnTime,
+		AdmissionDropped: m.AdmissionDropped,
+		AdmissionShaped:  m.AdmissionShaped,
+		EgressDropped:    m.EgressDropped,
+		PacedBytes:       m.PacedBytes,
+		AdmissionRate:    f.AdmissionRate(),
+		Throttled:        f.pacer != nil && f.pacer.Throttled(),
+		ServiceChanges:   len(f.changes),
+	}
+	for svc, n := range m.ByService {
+		if int(svc) < telemetry.NumClasses {
+			fs.ByService[svc] = n
+		}
+	}
+	if m.Latency.Len() > 0 {
+		fs.LatencyMsMean = m.Latency.Mean()
+		fs.LatencyMsP50 = m.Latency.Quantile(0.5)
+		fs.LatencyMsP95 = m.Latency.Quantile(0.95)
+	}
+	return fs
+}

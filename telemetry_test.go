@@ -1,0 +1,257 @@
+package jqos_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"jqos"
+	"jqos/internal/telemetry"
+)
+
+// runTelemetryScenario drives the backpressure world (saturated link,
+// DRR scheduler, feedback) — the scenario that exercises every trace
+// kind the feedback and scheduling planes emit — and returns the final
+// snapshot.
+func runTelemetryScenario(t *testing.T, seed int64, withFeedback bool) (*jqos.Deployment, *telemetry.Snapshot) {
+	t.Helper()
+	d, _, _, greedy, inter := buildBackpressure(t, seed, withFeedback)
+	loadBackpressure(d, greedy, inter, 2*time.Second)
+	d.Run(10 * time.Second)
+	return d, d.Snapshot()
+}
+
+// TestSnapshotRollupInvariants checks the snapshot's cross-surface
+// accounting: per-class bytes sum to direction totals, flow sums match
+// deployment totals, and the trace's per-kind lifetime counts agree
+// with the independently maintained flow/feedback counters.
+func TestSnapshotRollupInvariants(t *testing.T) {
+	// Feedback ON exercises the pacing kinds; OFF leaves the class queue
+	// tail-dropping, exercising the egress-drop kind.
+	t.Run("feedback-on", func(t *testing.T) { checkRollupInvariants(t, true) })
+	t.Run("feedback-off", func(t *testing.T) { checkRollupInvariants(t, false) })
+}
+
+func checkRollupInvariants(t *testing.T, withFeedback bool) {
+	d, s := runTelemetryScenario(t, 71, withFeedback)
+
+	if len(s.Links) == 0 || len(s.Queues) == 0 || len(s.Flows) != 3 {
+		t.Fatalf("snapshot coverage: %d links, %d queues, %d flows",
+			len(s.Links), len(s.Queues), len(s.Flows))
+	}
+
+	// Per-class bytes sum to each direction's total, and to the
+	// deployment-wide link rollup.
+	var linkBytes, classBytes uint64
+	for _, l := range s.Links {
+		for _, dir := range []telemetry.DirSnapshot{l.AB, l.BA} {
+			var sum uint64
+			for _, n := range dir.ClassBytes {
+				sum += n
+			}
+			if sum != dir.Bytes {
+				t.Errorf("link %v↔%v: class bytes sum %d != direction bytes %d", l.A, l.B, sum, dir.Bytes)
+			}
+			linkBytes += dir.Bytes
+		}
+	}
+	for _, n := range s.Totals.ClassBytes {
+		classBytes += n
+	}
+	if linkBytes != s.Totals.LinkBytes || classBytes != s.Totals.LinkBytes {
+		t.Errorf("totals: links %d, class sum %d, LinkBytes %d", linkBytes, classBytes, s.Totals.LinkBytes)
+	}
+	if s.Totals.LinkBytes == 0 {
+		t.Error("no link bytes accounted")
+	}
+
+	// Flow sums match deployment totals.
+	var sent, delivered, egressDropped, admissionDropped uint64
+	for _, f := range s.Flows {
+		sent += f.Sent
+		delivered += f.Delivered
+		egressDropped += f.EgressDropped
+		admissionDropped += f.AdmissionDropped
+	}
+	if sent != s.Totals.Sent || delivered != s.Totals.Delivered ||
+		egressDropped != s.Totals.EgressDropped || admissionDropped != s.Totals.AdmissionDropped {
+		t.Errorf("flow sums (%d/%d/%d/%d) != totals (%d/%d/%d/%d)",
+			sent, delivered, egressDropped, admissionDropped,
+			s.Totals.Sent, s.Totals.Delivered, s.Totals.EgressDropped, s.Totals.AdmissionDropped)
+	}
+
+	// Trace per-kind lifetime counts agree with the counters the flows
+	// and feedback plane maintain independently.
+	fb := d.FeedbackStats()
+	bk := s.Trace.ByKind
+	if got := bk[telemetry.KindEgressDrop]; got != egressDropped {
+		t.Errorf("trace egress-drops %d != flow metric sum %d", got, egressDropped)
+	}
+	if got := bk[telemetry.KindAdmissionDrop]; got != admissionDropped {
+		t.Errorf("trace admission-drops %d != flow metric sum %d", got, admissionDropped)
+	}
+	if got := bk[telemetry.KindCongestionSignal]; got != fb.FlowSignals {
+		t.Errorf("trace congestion-signals %d != FeedbackStats.FlowSignals %d", got, fb.FlowSignals)
+	}
+	if got := bk[telemetry.KindPacerCut]; got != fb.RateCuts {
+		t.Errorf("trace pacer-cuts %d != FeedbackStats.RateCuts %d", got, fb.RateCuts)
+	}
+	if got := bk[telemetry.KindPacerRecover]; got != fb.RateRecoveries {
+		t.Errorf("trace pacer-recovers %d != FeedbackStats.RateRecoveries %d", got, fb.RateRecoveries)
+	}
+	// The scenario actually fires the interesting kinds: pacing with
+	// feedback on, scheduler tail-drops without it.
+	interesting := []telemetry.Kind{telemetry.KindEgressDrop}
+	if withFeedback {
+		interesting = []telemetry.Kind{telemetry.KindCongestionSignal, telemetry.KindPacerCut}
+	}
+	for _, k := range interesting {
+		if bk[k] == 0 {
+			t.Errorf("scenario recorded no %v events", k)
+		}
+	}
+
+	// Delivery histogram saw every delivery.
+	for _, h := range s.Histograms {
+		if h.Name == "jqos_delivery_latency_ms" && h.Count != delivered {
+			t.Errorf("latency histogram count %d != delivered %d", h.Count, delivered)
+		}
+	}
+}
+
+// TestSnapshotConcurrentWithTraffic reads the published snapshot and
+// tails the trace from another goroutine while the simulation drives
+// traffic and the periodic publisher runs — the race detector's view of
+// the exposition read path. Every observed snapshot must satisfy the
+// rollup invariant.
+func TestSnapshotConcurrentWithTraffic(t *testing.T) {
+	d, _, _, greedy, inter := buildBackpressure(t, 73, true)
+	cfgNote := d.Snapshot() // publish one before the reader starts
+	if cfgNote == nil {
+		t.Fatal("nil snapshot")
+	}
+	loadBackpressure(d, greedy, inter, 2*time.Second)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var reads int
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var since uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if s := d.LatestSnapshot(); s != nil {
+				reads++
+				for _, l := range s.Links {
+					var sum uint64
+					for _, n := range l.AB.ClassBytes {
+						sum += n
+					}
+					if sum != l.AB.Bytes {
+						t.Errorf("concurrent read: class sum %d != bytes %d", sum, l.AB.Bytes)
+						return
+					}
+				}
+			}
+			for _, e := range d.TraceSince(since, 64) {
+				since = e.Seq
+			}
+		}
+	}()
+
+	d.Run(10 * time.Second)
+	final := d.Snapshot()
+	close(stop)
+	wg.Wait()
+
+	if reads == 0 {
+		t.Fatal("reader never observed a snapshot")
+	}
+	if final.Totals.Delivered == 0 || final.Trace.Recorded == 0 {
+		t.Fatalf("final snapshot empty: %+v", final.Totals)
+	}
+}
+
+// TestPeriodicPublisher checks that a PublishInterval feeds
+// LatestSnapshot without an explicit Snapshot call, and that the
+// publisher parks (the run drains) once traffic stops.
+func TestPeriodicPublisher(t *testing.T) {
+	cfg := backpressureConfig(1_000_000, true)
+	cfg.Telemetry.PublishInterval = 100 * time.Millisecond
+	d := jqos.NewDeploymentWithConfig(71, cfg)
+	dc1 := d.AddDC("a", 0)
+	dc2 := d.AddDC("b", 1)
+	d.ConnectDCs(dc1, dc2, 20*time.Millisecond)
+	src := d.AddHost(dc1, 5*time.Millisecond)
+	dst := d.AddHost(dc2, 8*time.Millisecond)
+	f, err := d.RegisterFlow(jqos.FlowSpec{Src: src, Dst: dst, Budget: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		at := time.Duration(i) * 10 * time.Millisecond
+		d.Sim().At(at, func() { f.Send(make([]byte, 500)) })
+	}
+	// RunUntilQuiet returning proves the publisher parked instead of
+	// rescheduling forever.
+	d.RunUntilQuiet()
+	s := d.LatestSnapshot()
+	if s == nil {
+		t.Fatal("publisher never published")
+	}
+	if s.Totals.Sent == 0 {
+		t.Fatalf("published snapshot saw no traffic: %+v", s.Totals)
+	}
+}
+
+// TestTraceDeterminism runs the same seed twice and requires the full
+// trace — simulated timestamps included — to be byte-identical (all
+// timestamps come from the event simulator, never the wall clock).
+func TestTraceDeterminism(t *testing.T) {
+	marshal := func(seed int64) []byte {
+		d, s := runTelemetryScenario(t, seed, true)
+		if s.Trace.Recorded == 0 {
+			t.Fatal("scenario recorded no trace events")
+		}
+		data, err := json.Marshal(d.TraceEvents())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if !bytes.Equal(marshal(71), marshal(71)) {
+		t.Fatal("same-seed traces differ")
+	}
+}
+
+// TestTraceDisabled: a negative TraceCapacity turns tracing off — the
+// hooks become no-ops and the read side returns nil.
+func TestTraceDisabled(t *testing.T) {
+	cfg := backpressureConfig(1_000_000, true)
+	cfg.Telemetry.TraceCapacity = -1
+	d := jqos.NewDeploymentWithConfig(71, cfg)
+	dc1 := d.AddDC("a", 0)
+	dc2 := d.AddDC("b", 1)
+	d.ConnectDCs(dc1, dc2, 20*time.Millisecond)
+	src := d.AddHost(dc1, 5*time.Millisecond)
+	dst := d.AddHost(dc2, 8*time.Millisecond)
+	f, err := d.RegisterFlow(jqos.FlowSpec{Src: src, Dst: dst, Budget: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Sim().At(0, func() { f.Send(make([]byte, 500)) })
+	d.RunUntilQuiet()
+	if ev := d.TraceEvents(); ev != nil {
+		t.Fatalf("disabled trace returned %d events", len(ev))
+	}
+	if s := d.Snapshot(); s.Trace.Capacity != 0 {
+		t.Fatalf("disabled trace reports capacity %d", s.Trace.Capacity)
+	}
+}
