@@ -1,0 +1,39 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"jqos"
+	"jqos/internal/dataset"
+)
+
+// BenchmarkChaosStep measures a compiled fault step being applied to a
+// live deployment. Bind pre-resolves every step to direct link-model
+// pointer swaps, so Apply must not allocate: a soak run injects
+// thousands of steps and the injection path must never perturb the
+// system it is measuring. The bench world disables probing and link
+// capacities so NudgeFaultDetection has no probers or load reporter to
+// wake — isolating the step-apply path itself.
+func BenchmarkChaosStep(b *testing.B) {
+	cfg := jqos.DefaultConfig()
+	cfg.Monitor.ProbeInterval = 0
+	d := jqos.NewDeploymentWithConfig(1, cfg)
+	x := d.AddDC("dc-x", dataset.RegionUSEast)
+	y := d.AddDC("dc-y", dataset.RegionEU)
+	d.ConnectDCs(x, y, 30*time.Millisecond)
+
+	eng, err := Bind(d, Scenario{Steps: []Step{
+		{Kind: StepDegrade, A: x, B: y, Latency: 60 * time.Millisecond, Loss: 0.02},
+		{Kind: StepHeal, A: x, B: y},
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Apply(i & 1)
+	}
+}

@@ -1,0 +1,171 @@
+package chaos
+
+import (
+	"time"
+
+	"jqos/internal/telemetry"
+)
+
+// Verdict is one run's outcome: the seed and timeline that reproduce
+// it, the violations found (empty = the run held every invariant), and
+// headline activity counters so a soak's output shows the runs actually
+// exercised the control loops.
+type Verdict struct {
+	Run        int         `json:"run"`
+	Seed       int64       `json:"seed"`
+	Steps      int         `json:"steps"`
+	Timeline   string      `json:"timeline"`
+	Violations []Violation `json:"violations,omitempty"`
+	// Activity counters from the final pre-teardown snapshot.
+	Delivered   uint64 `json:"delivered"`
+	Reroutes    uint64 `json:"reroutes"`
+	FlowSignals uint64 `json:"flow_signals"`
+	RateCuts    uint64 `json:"rate_cuts"`
+	// Snapshot is the final pre-teardown snapshot, kept only for
+	// failing runs (it is the debugging artifact the soak uploads).
+	Snapshot *telemetry.Snapshot `json:"snapshot,omitempty"`
+}
+
+// OK reports whether the run held every invariant.
+func (v Verdict) OK() bool { return len(v.Violations) == 0 }
+
+// quiesce drains the event heap in bounded slices: the simulator must
+// go quiet within budget virtual time or the run fails the
+// event-loop-quiesce invariant (a pacer tick that never stops rearming,
+// a prober that never parks — bugs a plain RunUntilQuiet would hang on).
+func quiesce(w *World, budget time.Duration) bool {
+	const slice = 250 * time.Millisecond
+	for elapsed := time.Duration(0); elapsed < budget; elapsed += slice {
+		if w.D.Sim().Pending() == 0 {
+			return true
+		}
+		w.D.Run(slice)
+	}
+	return w.D.Sim().Pending() == 0
+}
+
+// RunScenario drives one scenario against a freshly built world:
+// schedule the timeline and the traffic, run to the horizon, drain, and
+// check every invariant — convergence, queue/pacer quiesce, and
+// accounting on the final open-flows snapshot; then close every flow,
+// drain again, and check teardown leaks. The world must be fresh
+// (traffic not yet scheduled, clock at zero).
+func RunScenario(w *World, sc Scenario, horizon time.Duration) (Verdict, error) {
+	if h := sc.Horizon() + time.Second; h > horizon {
+		horizon = h
+	}
+	v := Verdict{Seed: sc.Seed, Steps: len(sc.Steps), Timeline: sc.Timeline()}
+
+	eng, err := Bind(w.D, sc)
+	if err != nil {
+		return v, err
+	}
+	eng.Schedule()
+	w.ScheduleTraffic(horizon)
+	w.D.Run(horizon)
+
+	// 60 s of virtual drain bounds every legitimate tail: probe
+	// recovery bursts (~4 s), AIMD additive recovery to contract, NACK
+	// retries, adaptation ticks parking.
+	if !quiesce(w, 60*time.Second) {
+		v.Violations = violate(v.Violations, "event-loop-quiesce",
+			"%d events still pending 60s after traffic ended", w.D.Sim().Pending())
+	}
+
+	s := w.D.Snapshot()
+	v.Delivered = s.Totals.Delivered
+	v.Reroutes = s.Routing.Reroutes
+	v.FlowSignals = s.Feedback.FlowSignals
+	v.RateCuts = s.Feedback.RateCuts
+	v.Violations = append(v.Violations, CheckConverged(w.D)...)
+	v.Violations = append(v.Violations, CheckQuiesced(s)...)
+	v.Violations = append(v.Violations, CheckAccounting(s)...)
+
+	for _, f := range w.Flows {
+		f.Close()
+	}
+	if !quiesce(w, 10*time.Second) {
+		v.Violations = violate(v.Violations, "event-loop-quiesce",
+			"%d events still pending 10s after teardown", w.D.Sim().Pending())
+	}
+	v.Violations = append(v.Violations, CheckTeardown(w.D)...)
+
+	if !v.OK() {
+		v.Snapshot = s
+	}
+	return v, nil
+}
+
+// RunOne builds the canonical world for seed, fuzzes a timeline from
+// the same seed, and runs it.
+func RunOne(seed int64, p Profile) (Verdict, error) {
+	w, err := BuildWorld(seed)
+	if err != nil {
+		return Verdict{Seed: seed}, err
+	}
+	sc := Fuzz(seed, p, w.DCs, w.Links)
+	return RunScenario(w, sc, p.withDefaults().Horizon)
+}
+
+// SoakOptions configures a multi-run soak.
+type SoakOptions struct {
+	// Runs is the number of seeded runs; run i uses seed Seed+i.
+	Runs int
+	Seed int64
+	// Profile bounds each run's fuzzed timeline.
+	Profile Profile
+	// Log, when set, receives one line per run (the CLI's -v sink).
+	Log func(format string, args ...any)
+}
+
+// Report aggregates a soak.
+type Report struct {
+	Runs int
+	// Failures holds the failing verdicts (snapshot attached).
+	Failures []Verdict
+	// Err is the first world/bind error, if any (a harness bug, not an
+	// invariant violation).
+	Err error
+	// Aggregate activity — a soak whose runs never rerouted or paced
+	// anything is not testing what it claims to.
+	Delivered   uint64
+	Reroutes    uint64
+	FlowSignals uint64
+	RateCuts    uint64
+}
+
+// OK reports whether every run completed and held every invariant.
+func (r Report) OK() bool { return r.Err == nil && len(r.Failures) == 0 }
+
+// Soak executes o.Runs seeded chaos runs and aggregates the verdicts.
+func Soak(o SoakOptions) Report {
+	rep := Report{Runs: o.Runs}
+	for i := 0; i < o.Runs; i++ {
+		seed := o.Seed + int64(i)
+		v, err := RunOne(seed, o.Profile)
+		v.Run = i
+		if err != nil {
+			rep.Err = err
+			return rep
+		}
+		rep.Delivered += v.Delivered
+		rep.Reroutes += v.Reroutes
+		rep.FlowSignals += v.FlowSignals
+		rep.RateCuts += v.RateCuts
+		if !v.OK() {
+			rep.Failures = append(rep.Failures, v)
+		}
+		if o.Log != nil {
+			status := "ok"
+			if !v.OK() {
+				status = "FAIL"
+			}
+			o.Log("run %3d seed %-6d %s: %d steps, %d delivered, %d reroutes, %d signals, %d cuts",
+				i, seed, status, v.Steps, v.Delivered, v.Reroutes, v.FlowSignals, v.RateCuts)
+			for _, viol := range v.Violations {
+				o.Log("  violation: %v", viol)
+			}
+		}
+	}
+	return rep
+}

@@ -1,0 +1,167 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"jqos"
+	"jqos/internal/core"
+	"jqos/internal/dataset"
+	"jqos/internal/netem"
+)
+
+// World is the canonical chaos deployment: a 4-DC overlay with alternate
+// paths, a saturable scheduler+feedback data plane, and a flow mix that
+// exercises every control loop — two contracted forwarding flows that
+// together oversubscribe their class share (AIMD pacing), an adaptive
+// flow (service moves), an interactive contracted flow (budget
+// pressure), and a cheapest-pinned RepinOnHeal flow (pin failover and
+// heal-repin). Fuzz scripts faults against its links; the invariants
+// are checked after the timeline heals.
+type World struct {
+	D *jqos.Deployment
+	// DCs are the four DC node IDs in creation order:
+	// [0]=ingress, [1]=relay, [2]=egress, [3]=spur.
+	DCs []core.NodeID
+	// Links are the five inter-DC pairs in connection order.
+	Links [][2]core.NodeID
+	// Flows in registration order (interactive, greedy ×2, adaptive,
+	// pinned).
+	Flows []*jqos.Flow
+
+	horizonScheduled time.Duration
+}
+
+const (
+	worldCapacity = 1_000_000 // 1 MB/s accounting + serialization per link
+)
+
+// BuildWorld constructs the canonical world from one seed. Same seed →
+// identical deployment (the simulator drives every random process).
+func BuildWorld(seed int64) (*World, error) {
+	cfg := jqos.DefaultConfig()
+	cfg.LinkCapacity = worldCapacity
+	cfg.Scheduler = jqos.SchedulerConfig{
+		Weights: map[jqos.Service]int{
+			jqos.ServiceForwarding: 8,
+			jqos.ServiceCaching:    1,
+		},
+		QueueBytes: 32 << 10,
+		// A shallow watermark band keeps Hot/cool transitions frequent —
+		// more pacer cuts and recoveries per run for the invariants to
+		// bite on.
+		LowWatermark:  0.125,
+		HighWatermark: 0.5,
+	}
+	cfg.Feedback.Enabled = true
+	// Faster adaptation than the production default so an 8-second
+	// fault window sees service moves, not just their absence.
+	cfg.UpgradeInterval = time.Second
+	d := jqos.NewDeploymentWithConfig(seed, cfg)
+
+	w := &World{D: d}
+	a := d.AddDC("dc-a", dataset.RegionUSEast)
+	b := d.AddDC("dc-b", dataset.RegionUSWest)
+	c := d.AddDC("dc-c", dataset.RegionEU)
+	e := d.AddDC("dc-d", dataset.RegionAsia)
+	w.DCs = []core.NodeID{a, b, c, e}
+
+	connect := func(x, y core.NodeID, lat time.Duration) {
+		d.ConnectDCs(x, y, lat)
+		d.Network().LinkBetween(x, y).Rate = worldCapacity
+		d.Network().LinkBetween(y, x).Rate = worldCapacity
+		w.Links = append(w.Links, [2]core.NodeID{x, y})
+	}
+	// a→c has a fast 2-hop route (a-b-c, 60 ms) and a slow direct
+	// 1-hop alternate (70 ms): failures on either leg reroute. The spur
+	// DC d hangs off two paths as well (c-d and the long a-d).
+	connect(a, b, 30*time.Millisecond)
+	connect(b, c, 30*time.Millisecond)
+	connect(a, c, 70*time.Millisecond)
+	connect(c, e, 20*time.Millisecond)
+	connect(a, e, 90*time.Millisecond)
+
+	addPair := func(atSrc, atDst core.NodeID, direct time.Duration) (core.NodeID, core.NodeID) {
+		src := d.AddHost(atSrc, 5*time.Millisecond)
+		dst := d.AddHost(atDst, 8*time.Millisecond)
+		d.SetDirectPath(src, dst,
+			netem.UniformJitter{Base: direct, Jitter: 2 * time.Millisecond},
+			netem.NewGilbertElliott(0.01, 3))
+		return src, dst
+	}
+
+	register := func(spec jqos.FlowSpec) error {
+		f, err := d.RegisterFlow(spec)
+		if err != nil {
+			return err
+		}
+		w.Flows = append(w.Flows, f)
+		return nil
+	}
+
+	// Interactive contracted flow a→c: tight budget, modest contract.
+	is, id := addPair(a, c, 60*time.Millisecond)
+	if err := register(jqos.FlowSpec{
+		Src: is, Dst: id, Budget: 150 * time.Millisecond,
+		Service: jqos.ServiceForwarding, ServiceFixed: true,
+		Rate: 200_000, Burst: 16 << 10,
+	}); err != nil {
+		return nil, err
+	}
+	// Two greedy contracted flows a→c. Each 500 kB/s contract fits the
+	// forwarding class's share (8/9 of 1 MB/s) individually; together
+	// with the interactive flow they oversubscribe it, so the shared
+	// class queue runs Hot and the AIMD pacers work all run long.
+	for i := 0; i < 2; i++ {
+		gs, gd := addPair(a, c, 60*time.Millisecond)
+		if err := register(jqos.FlowSpec{
+			Src: gs, Dst: gd, Budget: 500 * time.Millisecond,
+			Service: jqos.ServiceForwarding, ServiceFixed: true,
+			Rate: 500_000, Burst: 16 << 10,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	// Adaptive flow a→c: no contract, no fixed service — moves tiers on
+	// budget violations and preemptively on congestion signals.
+	as, ad := addPair(a, c, 60*time.Millisecond)
+	if err := register(jqos.FlowSpec{
+		Src: as, Dst: ad, Budget: 250 * time.Millisecond,
+	}); err != nil {
+		return nil, err
+	}
+	// Cheapest-pinned RepinOnHeal flow a→d: prefers the 1-hop a-d spur
+	// (fewest egress events); when chaos cuts it the flow fails over to
+	// a-c-d and must return once the spur heals.
+	ps, pd := addPair(a, e, 80*time.Millisecond)
+	if err := register(jqos.FlowSpec{
+		Src: ps, Dst: pd, Budget: 400 * time.Millisecond,
+		Service: jqos.ServiceForwarding, ServiceFixed: true,
+		Path:        jqos.PathPolicy{Kind: jqos.PathCheapest},
+		RepinOnHeal: true,
+	}); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// ScheduleTraffic queues every flow's constant-bitrate workload over
+// [0, horizon): interactive 100 kB/s, greedy 750 kB/s each (above their
+// 500 kB/s contracts — standing admission pressure), adaptive 50 kB/s,
+// pinned 100 kB/s. Call once, before running.
+func (w *World) ScheduleTraffic(horizon time.Duration) {
+	if w.horizonScheduled != 0 {
+		panic(fmt.Sprintf("chaos: traffic already scheduled to %v", w.horizonScheduled))
+	}
+	w.horizonScheduled = horizon
+	cbr := func(f *jqos.Flow, size int, every time.Duration) {
+		for at := time.Duration(0); at < horizon; at += every {
+			w.D.Sim().At(at, func() { f.Send(make([]byte, size)) })
+		}
+	}
+	cbr(w.Flows[0], 400, 4*time.Millisecond)  // interactive
+	cbr(w.Flows[1], 1500, 2*time.Millisecond) // greedy #1
+	cbr(w.Flows[2], 1500, 2*time.Millisecond) // greedy #2
+	cbr(w.Flows[3], 500, 10*time.Millisecond) // adaptive
+	cbr(w.Flows[4], 500, 5*time.Millisecond)  // pinned
+}

@@ -66,6 +66,42 @@ type GilbertElliott struct {
 	bad        bool
 }
 
+// NewGilbertElliott derives the two-state chain from operator targets
+// instead of raw transition probabilities: a stationary loss rate
+// (fraction of all packets lost, 0..1) and a mean loss-burst length in
+// packets (≥1). The Bad state loses everything and the Good state is
+// clean, so burst lengths are geometric with mean 1/PBadToGood and the
+// stationary Bad-state probability equals the loss rate:
+//
+//	PBadToGood = 1/meanBurst
+//	PGoodToBad = PBadToGood · lossRate/(1−lossRate)
+//
+// lossRate is clamped to [0, 0.9] (the chain needs Good-state dwell
+// time) and meanBurst is floored at 1.
+func NewGilbertElliott(lossRate, meanBurst float64) *GilbertElliott {
+	if lossRate < 0 {
+		lossRate = 0
+	}
+	if lossRate > 0.9 {
+		lossRate = 0.9
+	}
+	if meanBurst < 1 {
+		meanBurst = 1
+	}
+	pBG := 1 / meanBurst
+	pGB := 0.0
+	if lossRate > 0 {
+		pGB = pBG * lossRate / (1 - lossRate)
+		// A high loss rate with short bursts can demand PGoodToBad > 1;
+		// cap it (the chain then re-enters Bad every packet and the
+		// realized rate saturates below the target).
+		if pGB > 1 {
+			pGB = 1
+		}
+	}
+	return &GilbertElliott{PGoodToBad: pGB, PBadToGood: pBG, LossBad: 1}
+}
+
 // Lose implements LossModel.
 func (g *GilbertElliott) Lose(_ core.Time, r *rand.Rand) bool {
 	if g.bad {

@@ -1,0 +1,112 @@
+package netem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sampleGE drives n packets through a fresh chain and returns the
+// realized loss fraction plus every loss-burst length (runs of
+// consecutive lost packets). Seeded, so the statistics are exact and
+// repeatable — no flake tolerance games.
+func sampleGE(t *testing.T, lossRate, meanBurst float64, n int, seed int64) (rate float64, bursts []int) {
+	t.Helper()
+	g := NewGilbertElliott(lossRate, meanBurst)
+	r := rand.New(rand.NewSource(seed))
+	losses, run := 0, 0
+	for i := 0; i < n; i++ {
+		if g.Lose(0, r) {
+			losses++
+			run++
+		} else if run > 0 {
+			bursts = append(bursts, run)
+			run = 0
+		}
+	}
+	if run > 0 {
+		bursts = append(bursts, run)
+	}
+	return float64(losses) / float64(n), bursts
+}
+
+// TestGilbertElliottDerivedParameters checks the operator-target
+// constructor: the chain's transition probabilities must realize the
+// requested stationary loss rate and mean burst length, with out-of-
+// range targets clamped rather than producing a degenerate chain.
+func TestGilbertElliottDerivedParameters(t *testing.T) {
+	g := NewGilbertElliott(0.02, 4)
+	if got, want := g.PBadToGood, 0.25; math.Abs(got-want) > 1e-12 {
+		t.Errorf("PBadToGood = %v, want %v", got, want)
+	}
+	if got, want := g.PGoodToBad, 0.25*0.02/0.98; math.Abs(got-want) > 1e-12 {
+		t.Errorf("PGoodToBad = %v, want %v", got, want)
+	}
+	if g.LossBad != 1 || g.LossGood != 0 {
+		t.Errorf("loss probabilities = (%v, %v), want (0, 1)", g.LossGood, g.LossBad)
+	}
+	// Stationary Bad probability pGB/(pGB+pBG) must equal the target rate.
+	if pi := g.PGoodToBad / (g.PGoodToBad + g.PBadToGood); math.Abs(pi-0.02) > 1e-12 {
+		t.Errorf("stationary Bad probability = %v, want 0.02", pi)
+	}
+
+	// Clamps: negative rate → lossless; sub-packet bursts floor at 1;
+	// extreme rate/burst combinations cap PGoodToBad at 1.
+	if g := NewGilbertElliott(-0.5, 0.2); g.PGoodToBad != 0 || g.PBadToGood != 1 {
+		t.Errorf("clamped chain = %+v, want PGoodToBad 0 PBadToGood 1", g)
+	}
+	if g := NewGilbertElliott(0.99, 2); g.PGoodToBad != 1 {
+		t.Errorf("PGoodToBad = %v, want capped at 1", g.PGoodToBad)
+	}
+}
+
+// TestGilbertElliottStationaryLossRate: over a long seeded sample the
+// realized loss fraction must sit within 15% of the requested
+// stationary rate, across a spread of rate/burst combinations.
+func TestGilbertElliottStationaryLossRate(t *testing.T) {
+	const n = 300_000
+	for _, tc := range []struct {
+		rate, burst float64
+	}{
+		{0.01, 3},
+		{0.02, 4},
+		{0.05, 2},
+		{0.10, 6},
+	} {
+		got, _ := sampleGE(t, tc.rate, tc.burst, n, 42)
+		if math.Abs(got-tc.rate) > 0.15*tc.rate {
+			t.Errorf("rate %.3f burst %.1f: realized loss %.5f, want %.3f ±15%%",
+				tc.rate, tc.burst, got, tc.rate)
+		}
+	}
+}
+
+// TestGilbertElliottBurstLengths: loss bursts are the Bad-state dwell
+// times, geometric with the requested mean. The sample mean must land
+// within 10% of the target, and the geometric shape must show — the
+// fraction of bursts longer than one packet is 1 − 1/meanBurst.
+func TestGilbertElliottBurstLengths(t *testing.T) {
+	const (
+		rate  = 0.03
+		burst = 5.0
+		n     = 500_000
+	)
+	_, bursts := sampleGE(t, rate, burst, n, 7)
+	if len(bursts) < 1000 {
+		t.Fatalf("only %d bursts observed — sample too small to judge", len(bursts))
+	}
+	var sum, multi float64
+	for _, b := range bursts {
+		sum += float64(b)
+		if b > 1 {
+			multi++
+		}
+	}
+	if mean := sum / float64(len(bursts)); math.Abs(mean-burst) > 0.1*burst {
+		t.Errorf("mean burst length = %.3f over %d bursts, want %.1f ±10%%", mean, len(bursts), burst)
+	}
+	wantMulti := 1 - 1/burst
+	if gotMulti := multi / float64(len(bursts)); math.Abs(gotMulti-wantMulti) > 0.05 {
+		t.Errorf("multi-packet burst fraction = %.3f, want %.3f ±0.05 (geometric tail)", gotMulti, wantMulti)
+	}
+}

@@ -175,6 +175,38 @@
 //	defer srv.Close()
 //	// curl $URL/metrics, /snapshot, /trace; jqos-stat -addr $ADDR
 //
+// # Chaos testing
+//
+// Five interlocking control loops (routing, adaptation, admission,
+// scheduling, pacing) are only trustworthy if they hold up under
+// adversarial networks, so internal/chaos runs scripted fault timelines
+// against a live deployment and checks system invariants afterwards. A
+// chaos.Scenario is a list of timed steps — degrade a link (latency +
+// random loss), degrade one direction only, partition symmetrically or
+// asymmetrically, switch a link to bursty Gilbert-Elliott loss, flap
+// with a period faster than the probe hysteresis, crash and heal every
+// link of a DC — compiled by chaos.Bind into prebuilt delay/loss models
+// and direct link pointers, so applying a step is pure pointer swaps
+// (0 allocs/op; injection never perturbs the run it is measuring):
+//
+//	sc := chaos.Scenario{Name: "flap", Steps: chaos.Flap(time.Second, dc1, dc2, 300*time.Millisecond, 4)}
+//	eng, _ := chaos.Bind(dep, sc)
+//	eng.Schedule() // applies each step at its simulated time
+//
+// After the timeline heals and the run quiesces, chaos.Check* evaluate
+// the invariants: routing reconverged (no unreachable pairs), no
+// stranded pacers (every cut recovered once its queues left Hot), the
+// accounting balances (per-class egress bytes sum to direction totals;
+// trace ByKind counts match the flow/feedback counters), and — after
+// Flow.Close — no leaked receiver, registry, pin, watch, or repin
+// state. chaos.Fuzz derives a randomized scenario from a seed (same
+// seed → byte-identical Timeline), and cmd/jqos-chaos soaks N seeded
+// runs, printing per-run verdicts and writing failing seeds' timelines
+// and final snapshots:
+//
+//	jqos-chaos -runs 100 -seed 1          # CI smoke
+//	jqos-chaos -runs 1 -seed 1337 -v      # reproduce a failed seed
+//
 // # Quick start
 //
 //	cfg := jqos.DefaultConfig()
@@ -581,6 +613,30 @@ func (d *Deployment) DisconnectDCs(a, b core.NodeID) {
 	d.boostProbers()
 }
 
+// DisconnectDCsOneWay blackholes only the a→b direction of the inter-DC
+// link — an asymmetric partition (b's traffic toward a still flows). The
+// probe round-trip crosses both directions, so the monitor still times
+// its probes out and fails the whole link: routing treats a half-dead
+// link as dead, which is the correct control-plane reading of an
+// asymmetric cut. Restore the direction with ReconnectDCsOneWay.
+func (d *Deployment) DisconnectDCsOneWay(a, b core.NodeID) {
+	if l := d.net.LinkBetween(a, b); l != nil {
+		l.SetLoss(netem.Bernoulli{P: 1})
+	}
+	d.boostProbers()
+}
+
+// ReconnectDCsOneWay restores only the a→b direction of the inter-DC link
+// to the shape ConnectDCs gave it (recorded latency, lossless). Panics
+// when a↔b was never connected (a deployment wiring bug).
+func (d *Deployment) ReconnectDCsOneWay(a, b core.NodeID) {
+	x, ok := d.linkShape[dcPairKey(a, b)]
+	if !ok {
+		panic(fmt.Sprintf("jqos: ReconnectDCsOneWay(%v, %v): DCs were never connected", a, b))
+	}
+	d.SetLinkQualityAsym(a, b, x, 0)
+}
+
 // SetLinkQuality reshapes the inter-DC link a↔b in both directions to the
 // given one-way latency and random loss rate. Like DisconnectDCs it acts
 // on the emulated links only; the monitor observes the change through its
@@ -591,6 +647,25 @@ func (d *Deployment) SetLinkQuality(a, b core.NodeID, x time.Duration, loss floa
 		if l == nil {
 			continue
 		}
+		l.SetDelay(netem.UniformJitter{Base: x, Jitter: x / 50})
+		if loss > 0 {
+			l.SetLoss(netem.Bernoulli{P: loss})
+		} else {
+			l.SetLoss(nil)
+		}
+	}
+	d.boostProbers()
+}
+
+// SetLinkQualityAsym reshapes only the a→b direction of the inter-DC link
+// to the given one-way latency and random loss rate, leaving b→a alone —
+// the asymmetric-degradation form of SetLinkQuality (a's traffic to b
+// straggles or drops while b's answers arrive clean). The probe
+// round-trip crosses both directions, so the monitor observes the
+// degradation whichever direction carries it — through lost probes one
+// way, lost acks the other.
+func (d *Deployment) SetLinkQualityAsym(a, b core.NodeID, x time.Duration, loss float64) {
+	if l := d.net.LinkBetween(a, b); l != nil {
 		l.SetDelay(netem.UniformJitter{Base: x, Jitter: x / 50})
 		if loss > 0 {
 			l.SetLoss(netem.Bernoulli{P: loss})
@@ -768,3 +843,38 @@ func (d *Deployment) Flows() []*Flow {
 	}
 	return out
 }
+
+// HostIDs returns every host endpoint's node ID in ascending order —
+// the enumeration the chaos harness sweeps when checking that a run
+// left no receiver state behind.
+func (d *Deployment) HostIDs() []core.NodeID {
+	out := make([]core.NodeID, 0, len(d.hosts))
+	for id := core.NodeID(1); id < d.nextNode; id++ {
+		if _, ok := d.hosts[id]; ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// LinkShape returns the one-way latency ConnectDCs recorded for the
+// inter-DC pair a↔b — the shape ReconnectDCs restores. ok is false for
+// pairs that were never connected.
+func (d *Deployment) LinkShape(a, b core.NodeID) (time.Duration, bool) {
+	x, ok := d.linkShape[dcPairKey(a, b)]
+	return x, ok
+}
+
+// RepinWatchCount reports how many RepinOnHeal flows are currently
+// parked off their preferred path waiting for it to heal. It must drain
+// to zero once every preferred path is healthy again (and immediately
+// when such a flow closes) — the chaos harness's leak invariant.
+func (d *Deployment) RepinWatchCount() int { return len(d.repinWatch) }
+
+// NudgeFaultDetection grants every link prober a full detection burst
+// and wakes the load reporter, exactly as the built-in fault injectors
+// (DisconnectDCs, SetLinkQuality) do. The chaos engine calls it after
+// swapping link models directly on the emulated fabric, so scripted
+// faults are detected even when they land on an idle deployment. It is
+// allocation-free when nothing is parked.
+func (d *Deployment) NudgeFaultDetection() { d.boostProbers() }
