@@ -174,9 +174,24 @@ func runDemo(listen string) {
 	dep.SetDirectPath(bulkSrc, bulkDst,
 		netem.UniformJitter{Base: 50 * time.Millisecond, Jitter: 2 * time.Millisecond}, nil)
 
+	// Two tenants so the snapshot (and its summary) carries the
+	// per-tenant section the CI smoke test greps for.
+	if err := dep.RegisterTenant(jqos.TenantContract{
+		ID: 1, Name: "interactive-co", Rate: 256 << 10, Burst: 32 << 10,
+	}); err != nil {
+		fatal("jqos-stat: tenant: %v", err)
+	}
+	if err := dep.RegisterTenant(jqos.TenantContract{
+		ID: 2, Name: "bulk-co", Rate: 512 << 10, Burst: 32 << 10,
+		CostCeilingPerGB: 100,
+	}); err != nil {
+		fatal("jqos-stat: tenant: %v", err)
+	}
+
 	interactive, err := dep.RegisterFlow(jqos.FlowSpec{
 		Src: src, Dst: dst, Budget: 200 * time.Millisecond,
 		Rate: 64 << 10, Burst: 16 << 10,
+		Tenant: 1,
 	})
 	if err != nil {
 		fatal("jqos-stat: register: %v", err)
@@ -184,6 +199,7 @@ func runDemo(listen string) {
 	bulk, err := dep.RegisterFlow(jqos.FlowSpec{
 		Src: bulkSrc, Dst: bulkDst, Budget: 2 * time.Second,
 		Service: jqos.ServiceCaching, ServiceFixed: true,
+		Tenant: 2,
 	})
 	if err != nil {
 		fatal("jqos-stat: register: %v", err)

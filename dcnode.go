@@ -227,17 +227,20 @@ func (n *DCNode) onData(now core.Time, hdr *wire.Header, payload []byte, raw []b
 			n.drop++
 			return
 		}
+		pol := n.d.flowPathPolicy(hdr.Flow)
 		if dc2 == n.id {
 			// Partial overlay: DC1 and DC2 are the same DC. The
 			// encoder still runs; parity "transits" locally.
-			emits := n.enc.OnData(now, dc2, hdr.Dst, hdr.Flow, hdr.Seq, payload)
+			emits := n.enc.OnDataPolicy(now, dc2, hdr.Dst, hdr.Flow, hdr.Seq, pol, payload)
 			n.loopback(now, emits)
 			return
 		}
-		// Parity follows the pinned path of its batch's first source
-		// flow when one exists (cheapest-path coding) — the same key
-		// transit DCs use, so a batch rides one policy end to end.
-		n.transmitCoded(n.enc.OnData(now, dc2, hdr.Dst, hdr.Flow, hdr.Seq, payload))
+		// Cross-stream batches are policy-homogeneous (the encoder keys
+		// them by the flow's path policy), so the parity each batch emits
+		// follows the spec'd policy of EVERY flow in it — pinning by the
+		// batch's first source flow, the same key transit DCs use, routes
+		// the batch on that shared policy end to end.
+		n.transmitCoded(n.enc.OnDataPolicy(now, dc2, hdr.Dst, hdr.Flow, hdr.Seq, pol, payload))
 	default:
 		// Internet-service data should never reach a DC; forward it on
 		// so nothing silently vanishes.

@@ -54,6 +54,12 @@ func newEgressQueue(n *DCNode, to core.NodeID) *egressQueue {
 			fb.note(n.id, q.to, class, st, depth)
 		}
 	}
+	// Victim evictions (a full class queue making room by shedding the
+	// longest sibling sub-queue's tail) are egress drops like any other —
+	// charged to the flow that LOST bytes, not the one that arrived.
+	q.drr.OnVictimDrop = func(class core.Service, flow core.FlowID, size int64) {
+		n.d.noteEgressDrop(flow, class, int(size))
+	}
 	return q
 }
 

@@ -8,6 +8,7 @@ import (
 	"jqos/internal/feedback"
 	"jqos/internal/sched"
 	"jqos/internal/telemetry"
+	"jqos/internal/tenant"
 	"jqos/internal/wire"
 )
 
@@ -111,6 +112,11 @@ type FeedbackStats struct {
 	// RateCuts / RateRecoveries count pacer AIMD actions across flows.
 	RateCuts       uint64
 	RateRecoveries uint64
+	// TenantCuts / TenantRecoveries count aggregate tenant-pacer AIMD
+	// actions — one cut per delivered signal per TENANT, however many
+	// member flows heard it, so sibling flows back off as one sender.
+	TenantCuts       uint64
+	TenantRecoveries uint64
 	// PreemptiveMoves counts congestion-driven service changes of
 	// unpaced flows (ServiceChange reason ReasonCongestion).
 	PreemptiveMoves uint64
@@ -144,8 +150,9 @@ type feedbackPlane struct {
 	// reusable: the emulator defers delivery, so each TypeCongestion
 	// buffer is owned by its in-flight event — one allocation per
 	// remote signal (flush or refresh), never per packet.
-	ingScratch  []core.NodeID
-	flowScratch []core.FlowID
+	ingScratch    []core.NodeID
+	flowScratch   []core.FlowID
+	tenantScratch []*tenant.Tenant
 
 	stats FeedbackStats
 }
@@ -331,13 +338,48 @@ func (p *feedbackPlane) onCongestionMsg(ingress core.NodeID, msg []byte) bool {
 	return true
 }
 
-// deliver fans one signal out to the flows subscribed at this ingress.
+// deliver fans one signal out to the flows subscribed at this ingress,
+// then ONCE to each distinct tenant among them: sibling flows sharing a
+// hot bottleneck back off as one sender, not N independent ones.
 func (p *feedbackPlane) deliver(ingress core.NodeID, sig CongestionSignal) {
 	p.flowScratch = p.reg.FlowsAt(p.flowScratch[:0], ingress, sig.LinkA, sig.LinkB, core.Service(sig.Class))
+	p.tenantScratch = p.tenantScratch[:0]
 	for _, id := range p.flowScratch {
-		if f, ok := p.d.flows[id]; ok {
-			p.stats.FlowSignals++
-			f.onCongestionSignal(sig)
+		f, ok := p.d.flows[id]
+		if !ok {
+			continue
+		}
+		p.stats.FlowSignals++
+		f.onCongestionSignal(sig)
+		if f.tenant != nil && f.tenant.Pacer() != nil {
+			dup := false
+			for _, t := range p.tenantScratch {
+				if t == f.tenant {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				p.tenantScratch = append(p.tenantScratch, f.tenant)
+			}
+		}
+	}
+	now := p.d.sim.Now()
+	key := tenant.LinkClass{From: sig.LinkA, To: sig.LinkB, Class: core.Service(sig.Class)}
+	hot := sig.State == CongestionHot
+	for _, t := range p.tenantScratch {
+		pc := t.Pacer()
+		if pc.OnSignal(now, key, hot) {
+			p.stats.TenantCuts++
+			p.d.trace(telemetry.Event{
+				Kind: telemetry.KindTenantPacerCut, Tenant: t.ID(),
+				LinkA: sig.LinkA, LinkB: sig.LinkB, Class: sig.Class,
+				V1: pc.Rate(), V2: pc.Contract(),
+			})
+			p.d.tel.notePacer(pc.Rate(), pc.Contract())
+		}
+		if pc.Throttled() {
+			p.d.armTenantPacerTick()
 		}
 	}
 }
@@ -379,6 +421,14 @@ func (f *Flow) updateFeedbackSub() {
 	// spuriously unfrozen pacer would climb straight back into it.
 	if changed && f.pacer != nil {
 		f.pacer.Unfreeze()
+	}
+	// Same reasoning at tenant scope: the member that re-routed may have
+	// been the aggregate pacer's only ear on that bottleneck.
+	if changed && f.tenant != nil {
+		if pc := f.tenant.Pacer(); pc != nil {
+			pc.UnfreezeAll()
+			f.d.armTenantPacerTick()
+		}
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"jqos/internal/overlay"
 	"jqos/internal/stats"
 	"jqos/internal/telemetry"
+	"jqos/internal/tenant"
 	"jqos/internal/wire"
 )
 
@@ -99,6 +100,12 @@ type Flow struct {
 	bucket     *load.Bucket
 	pacer      *feedback.Pacer
 	pacerArmed bool
+
+	// tenant is the flow's customer contract (nil when untenanted): the
+	// aggregate quota its cloud copies draw from before the per-flow
+	// bucket, the cost budget its spend counts against, and the
+	// aggregate pacer congestion signals cut once per tenant.
+	tenant *tenant.Tenant
 
 	// lastCongMove timestamps the last congestion-driven service change
 	// of an unpaced flow (preemptive-adaptation cooldown).
@@ -220,6 +227,16 @@ func (f *Flow) Close() {
 	if d.fb != nil {
 		d.fb.reg.Remove(f.id)
 	}
+	if f.tenant != nil {
+		f.tenant.RemoveFlow()
+		// A closing member may have been the only subscriber on the
+		// bottleneck whose cooling signal would have let the aggregate
+		// pacer recover — unfreeze and let the recovery loop decide.
+		if pc := f.tenant.Pacer(); pc != nil {
+			pc.UnfreezeAll()
+			d.armTenantPacerTick()
+		}
+	}
 	delete(d.repinWatch, f.id)
 	delete(d.flows, f.id)
 	f.activePath = nil
@@ -297,6 +314,9 @@ func (f *Flow) SendFlagged(payload []byte, flags uint16) core.Seq {
 	f.seq++
 	f.d.noteActivity()
 	f.armAdaptTick()
+	if f.tenant != nil {
+		f.d.armTenantCostTick()
+	}
 	now := f.d.sim.Now()
 	hdr := wire.Header{
 		Type:    wire.TypeData,
@@ -355,17 +375,28 @@ func (f *Flow) SendFlagged(payload []byte, flags uint16) core.Seq {
 	return f.seq
 }
 
-// sendCloud puts one packet's cloud copy on the uplink, subject to the
-// flow's admission contract: no contract sends immediately, a policing
-// contract drops the excess, a shaping contract delays it into
-// conformance (bounded by the budget — a copy later than that cannot
-// help and drops like policed excess).
+// sendCloud puts one packet's cloud copy on the uplink, subject first
+// to the tenant's aggregate quota and then to the flow's own admission
+// contract: no contract sends immediately, a policing contract drops
+// the excess, a shaping contract delays it into conformance (bounded by
+// the budget — a copy later than that cannot help and drops like
+// policed excess). A multicast flow is charged at wire size × member
+// count against both contracts: one uplink copy fans out to every
+// member, and a contract that priced it as one copy would let a
+// thousand-member group consume a thousand times its quota.
 func (f *Flow) sendCloud(now core.Time, dc1 core.NodeID, msg []byte) {
+	n := len(msg)
+	if m := len(f.spec.Members); m > 0 {
+		n *= m
+	}
+	if f.tenant != nil && !f.tenant.Admit(now, n) {
+		f.noteTenantQuotaDrop(n)
+		return
+	}
 	if f.bucket == nil {
 		f.d.net.Send(f.src, dc1, msg)
 		return
 	}
-	n := len(msg)
 	if !f.spec.AdmissionShape {
 		if !f.bucket.Admit(now, n) {
 			f.noteAdmissionDrop(n)
@@ -421,6 +452,17 @@ func (f *Flow) notePaced(n int) {
 	if f.pacer != nil && f.pacer.Throttled() {
 		f.metrics.PacedBytes += uint64(n)
 	}
+}
+
+// noteTenantQuotaDrop accounts one cloud copy refused by the tenant's
+// aggregate quota — before the flow's own contract saw it, so the
+// flow's AdmissionDropped does NOT move; the tenant counts the drop
+// itself inside Admit and the trace carries the flow for attribution.
+func (f *Flow) noteTenantQuotaDrop(n int) {
+	f.d.trace(telemetry.Event{
+		Kind: telemetry.KindTenantQuotaDrop, Tenant: f.tenant.ID(),
+		Flow: f.id, Class: f.service, V1: int64(n),
+	})
 }
 
 // noteAdmissionDrop accounts one contract-refused cloud copy.

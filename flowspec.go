@@ -12,6 +12,7 @@ import (
 	"jqos/internal/overlay"
 	"jqos/internal/routing"
 	"jqos/internal/telemetry"
+	"jqos/internal/tenant"
 )
 
 // PathPolicyKind selects how a flow's overlay path is chosen among the
@@ -51,10 +52,11 @@ func (k PathPolicyKind) String() string {
 }
 
 // PathPolicy is a flow's declarative route preference over the overlay.
-// It governs the flow's own data and cache traffic exactly; coded parity
-// is batched across flows (cross-stream coding), and a parity packet can
-// only take one path — each batch follows its first source flow's
-// policy, so flows sharing an encoder may see each other's parity route.
+// It governs the flow's own data and cache traffic exactly, and its
+// coded parity too: the encoder batches cross-stream coding by (egress
+// DC, path policy), so a batch only ever mixes flows that declared the
+// same policy and its parity rides that policy — a pinned flow's parity
+// never strays onto a sibling's route.
 type PathPolicy struct {
 	Kind PathPolicyKind
 	// Alternate indexes the controller's k-alternate paths for
@@ -199,6 +201,15 @@ type FlowSpec struct {
 	// a zero budget merely marks every delivery late in the metrics).
 	Budget time.Duration
 
+	// Tenant attributes the flow to a registered customer contract
+	// (Deployment.RegisterTenant, which must run first). The flow's
+	// cloud copies then draw from the tenant's aggregate admission
+	// quota BEFORE the per-flow Rate contract, its egress spend counts
+	// against the tenant's cost budget, and congestion on a bottleneck
+	// shared with sibling flows paces the whole tenant as one. Zero
+	// means untenanted — per-flow enforcement only.
+	Tenant TenantID
+
 	// Service pins the flow to one service when ServiceFixed is set:
 	// selection is bypassed and the adaptation loop never changes the
 	// service (the Observer still receives OnBudgetViolation telemetry).
@@ -248,6 +259,12 @@ type FlowSpec struct {
 	// Internet copy is never policed: admission governs cloud resources
 	// only, so one greedy flow cannot starve the overlay (§2's judicious
 	// use). Zero disables admission — the exact pre-contract behavior.
+	//
+	// A multicast flow's single cloud copy fans out to every member at
+	// the egress DC, so admission charges it at wire size × member
+	// count — one shared bucket polices the whole fan-out instead of
+	// each destination riding unpoliced (the tenant quota charges the
+	// same way).
 	Rate int64
 	// Burst is the admission token-bucket depth in bytes. Zero with a
 	// positive Rate defaults to a quarter second of Rate, floored at one
@@ -330,6 +347,17 @@ func (d *Deployment) RegisterFlow(spec FlowSpec) (*Flow, error) {
 	if spec.Rate > 0 {
 		bucket = load.NewBucket(spec.Rate, spec.Burst)
 		spec.Burst = bucket.Burst()
+	}
+	// Tenancy: the contract must pre-exist — a typo'd tenant ID silently
+	// escaping aggregate enforcement is exactly the evasion tenancy is
+	// for. Membership is counted only after every later check passes.
+	var tn *tenant.Tenant
+	if spec.Tenant != 0 {
+		t, ok := d.tenants.Get(spec.Tenant)
+		if !ok {
+			return nil, fmt.Errorf("jqos: tenant %v not registered (RegisterTenant before RegisterFlow)", spec.Tenant)
+		}
+		tn = t
 	}
 	if spec.RepinOnHeal && spec.Path.Kind == PathFastest {
 		return nil, fmt.Errorf("jqos: RepinOnHeal needs a pinned path policy (PathCheapest or PathPinned) — PathFastest already follows the controller's best path")
@@ -449,6 +477,7 @@ func (d *Deployment) RegisterFlow(spec FlowSpec) (*Flow, error) {
 		service: svc,
 		spec:    spec,
 		bucket:  bucket,
+		tenant:  tn,
 		metrics: newFlowMetrics(),
 		dgNeed:  d.cfg.DowngradeAfter,
 	}
@@ -457,6 +486,9 @@ func (d *Deployment) RegisterFlow(spec FlowSpec) (*Flow, error) {
 	}
 	d.nextFlow++
 	d.flows[f.id] = f
+	if tn != nil {
+		tn.AddFlow()
+	}
 
 	// Pre-create receiver engines with the right RTT estimate so the
 	// first loss is already covered. Any receiver already present under
@@ -591,6 +623,19 @@ func (d *Deployment) choosePolicyPath(p PathPolicy, dcA, dcB core.NodeID) *routi
 		i = len(alts) - 1
 	}
 	return &alts[i]
+}
+
+// flowPathPolicy folds a flow's declared PathPolicy into the opaque
+// discriminator the encoder batches by: 0 for the default fastest-path
+// (and for unknown flows — a DC1 may see data before registration state,
+// and default-policy batching is always safe), else kind and alternate
+// packed so distinct policies never share a cross-stream batch.
+func (d *Deployment) flowPathPolicy(flow core.FlowID) uint32 {
+	f, ok := d.flows[flow]
+	if !ok || f.spec.Path.Kind == PathFastest {
+		return 0
+	}
+	return uint32(f.spec.Path.Kind)<<16 | uint32(uint16(f.spec.Path.Alternate))
 }
 
 // receiverRTT seeds a receiver's loss-detection timer: twice the direct

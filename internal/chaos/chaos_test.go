@@ -49,7 +49,8 @@ func TestRunDeterminism(t *testing.T) {
 		t.Errorf("timelines differ:\n%s\nvs\n%s", a.Timeline, b.Timeline)
 	}
 	if a.Delivered != b.Delivered || a.Reroutes != b.Reroutes ||
-		a.FlowSignals != b.FlowSignals || a.RateCuts != b.RateCuts {
+		a.FlowSignals != b.FlowSignals || a.RateCuts != b.RateCuts ||
+		a.TenantCuts != b.TenantCuts || a.QuotaDrops != b.QuotaDrops {
 		t.Errorf("same-seed verdicts differ: %+v vs %+v", a, b)
 	}
 }
@@ -68,7 +69,8 @@ func TestInvariantsHoldAcrossSeeds(t *testing.T) {
 			t.Errorf("seed %d: %v", f.Seed, viol)
 		}
 	}
-	if rep.Delivered == 0 || rep.FlowSignals == 0 || rep.RateCuts == 0 || rep.Reroutes == 0 {
+	if rep.Delivered == 0 || rep.FlowSignals == 0 || rep.RateCuts == 0 || rep.Reroutes == 0 ||
+		rep.TenantCuts == 0 || rep.QuotaDrops == 0 {
 		t.Errorf("soak exercised too little: %+v", rep)
 	}
 }

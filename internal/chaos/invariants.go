@@ -71,6 +71,12 @@ func CheckQuiesced(s *telemetry.Snapshot) []Violation {
 				f.ID, f.AdmissionRate)
 		}
 	}
+	for _, t := range s.Tenants {
+		if t.Throttled {
+			out = violate(out, "no-stranded-pacer", "tenant %d (%s) aggregate pacer still cut (rate %d, %d hot links) at quiesce",
+				t.ID, t.Name, t.PacerRate, t.HotLinks)
+		}
+	}
 	return out
 }
 
@@ -125,6 +131,40 @@ func CheckAccounting(s *telemetry.Snapshot) []Violation {
 			s.Totals.Sent, s.Totals.Delivered, s.Totals.EgressDropped, s.Totals.AdmissionDropped)
 	}
 
+	// Per-tenant rollups must partition the deployment: every tenant's
+	// sums plus the untenanted flows' sums reproduce the flow totals
+	// exactly — a flow counted under two tenants (or none) breaks the
+	// balance in opposite directions.
+	var tSent, tSentBytes, tDelivered, tEgressDropped, tAdmissionDropped uint64
+	var quotaDropped, costViolations uint64
+	for _, t := range s.Tenants {
+		tSent += t.Sent
+		tSentBytes += t.SentBytes
+		tDelivered += t.Delivered
+		tEgressDropped += t.EgressDropped
+		tAdmissionDropped += t.AdmissionDropped
+		quotaDropped += t.QuotaDropped
+		costViolations += t.CostViolations
+	}
+	var sentBytes uint64
+	for _, f := range s.Flows {
+		if f.Tenant == 0 {
+			tSent += f.Sent
+			tSentBytes += f.SentBytes
+			tDelivered += f.Delivered
+			tEgressDropped += f.EgressDropped
+			tAdmissionDropped += f.AdmissionDropped
+		}
+		sentBytes += f.SentBytes
+	}
+	if tSent != s.Totals.Sent || tSentBytes != sentBytes || tDelivered != s.Totals.Delivered ||
+		tEgressDropped != s.Totals.EgressDropped || tAdmissionDropped != s.Totals.AdmissionDropped {
+		out = violate(out, "tenant-rollup-balance",
+			"tenant sums + untenanted flows (%d sent/%d bytes/%d delivered/%d egress/%d admission) != totals (%d/%d/%d/%d/%d)",
+			tSent, tSentBytes, tDelivered, tEgressDropped, tAdmissionDropped,
+			s.Totals.Sent, sentBytes, s.Totals.Delivered, s.Totals.EgressDropped, s.Totals.AdmissionDropped)
+	}
+
 	type kindCheck struct {
 		kind    telemetry.Kind
 		counter uint64
@@ -138,6 +178,10 @@ func CheckAccounting(s *telemetry.Snapshot) []Violation {
 		{telemetry.KindCongestionSignal, fb.FlowSignals, "FeedbackStats.FlowSignals"},
 		{telemetry.KindPacerCut, fb.RateCuts, "FeedbackStats.RateCuts"},
 		{telemetry.KindPacerRecover, fb.RateRecoveries, "FeedbackStats.RateRecoveries"},
+		{telemetry.KindTenantQuotaDrop, quotaDropped, "tenant QuotaDropped sum"},
+		{telemetry.KindTenantPacerCut, fb.TenantCuts, "FeedbackStats.TenantCuts"},
+		{telemetry.KindTenantPacerRecover, fb.TenantRecoveries, "FeedbackStats.TenantRecoveries"},
+		{telemetry.KindTenantCostViolation, costViolations, "tenant CostViolations sum"},
 	} {
 		if got := s.Trace.ByKind[kc.kind]; got != kc.counter {
 			out = violate(out, "trace-counters", "trace %v count %d != %s %d", kc.kind, got, kc.name, kc.counter)
@@ -175,6 +219,11 @@ func CheckTeardown(d *jqos.Deployment) []Violation {
 	}
 	if n := d.RepinWatchCount(); n != 0 {
 		out = violate(out, "no-leaked-state", "%d repin-on-heal entries after teardown", n)
+	}
+	for _, id := range d.Tenants() {
+		if n := d.TenantFlowCount(id); n != 0 {
+			out = violate(out, "no-leaked-state", "tenant %d still counts %d member flows after teardown", id, n)
+		}
 	}
 	return out
 }

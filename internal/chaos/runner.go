@@ -21,6 +21,10 @@ type Verdict struct {
 	Reroutes    uint64 `json:"reroutes"`
 	FlowSignals uint64 `json:"flow_signals"`
 	RateCuts    uint64 `json:"rate_cuts"`
+	// TenantCuts counts aggregate tenant-pacer cuts (one per delivered
+	// signal per tenant); QuotaDrops sums tenant quota refusals.
+	TenantCuts uint64 `json:"tenant_cuts"`
+	QuotaDrops uint64 `json:"quota_drops"`
 	// Snapshot is the final pre-teardown snapshot, kept only for
 	// failing runs (it is the debugging artifact the soak uploads).
 	Snapshot *telemetry.Snapshot `json:"snapshot,omitempty"`
@@ -77,6 +81,10 @@ func RunScenario(w *World, sc Scenario, horizon time.Duration) (Verdict, error) 
 	v.Reroutes = s.Routing.Reroutes
 	v.FlowSignals = s.Feedback.FlowSignals
 	v.RateCuts = s.Feedback.RateCuts
+	v.TenantCuts = s.Feedback.TenantCuts
+	for _, t := range s.Tenants {
+		v.QuotaDrops += t.QuotaDropped
+	}
 	v.Violations = append(v.Violations, CheckConverged(w.D)...)
 	v.Violations = append(v.Violations, CheckQuiesced(s)...)
 	v.Violations = append(v.Violations, CheckAccounting(s)...)
@@ -132,6 +140,8 @@ type Report struct {
 	Reroutes    uint64
 	FlowSignals uint64
 	RateCuts    uint64
+	TenantCuts  uint64
+	QuotaDrops  uint64
 }
 
 // OK reports whether every run completed and held every invariant.
@@ -152,6 +162,8 @@ func Soak(o SoakOptions) Report {
 		rep.Reroutes += v.Reroutes
 		rep.FlowSignals += v.FlowSignals
 		rep.RateCuts += v.RateCuts
+		rep.TenantCuts += v.TenantCuts
+		rep.QuotaDrops += v.QuotaDrops
 		if !v.OK() {
 			rep.Failures = append(rep.Failures, v)
 		}
@@ -160,8 +172,8 @@ func Soak(o SoakOptions) Report {
 			if !v.OK() {
 				status = "FAIL"
 			}
-			o.Log("run %3d seed %-6d %s: %d steps, %d delivered, %d reroutes, %d signals, %d cuts",
-				i, seed, status, v.Steps, v.Delivered, v.Reroutes, v.FlowSignals, v.RateCuts)
+			o.Log("run %3d seed %-6d %s: %d steps, %d delivered, %d reroutes, %d signals, %d cuts, %d tenant cuts, %d quota drops",
+				i, seed, status, v.Steps, v.Delivered, v.Reroutes, v.FlowSignals, v.RateCuts, v.TenantCuts, v.QuotaDrops)
 			for _, viol := range v.Violations {
 				o.Log("  violation: %v", viol)
 			}

@@ -28,6 +28,12 @@ type World struct {
 	// Flows in registration order (interactive, greedy ×2, adaptive,
 	// pinned).
 	Flows []*jqos.Flow
+	// Tenants are the two registered contracts: [0] owns the greedy
+	// pair under a shared quota that binds (their combined contracts
+	// oversubscribe it), [1] owns the interactive flow under an ample
+	// quota and a generous cost ceiling (the budget loop runs without
+	// firing).
+	Tenants []core.TenantID
 
 	horizonScheduled time.Duration
 }
@@ -99,12 +105,35 @@ func BuildWorld(seed int64) (*World, error) {
 		return nil
 	}
 
+	// Two tenants so the per-tenant accounting rollups have something to
+	// balance: the greedy pair shares one binding quota (800 kB/s under
+	// their 1 MB/s combined contracts — standing tenant quota drops, and
+	// Hot signals cut their aggregate pacer once per signal), while the
+	// interactive flow's tenant never binds (ample quota, generous cost
+	// ceiling — the budget loop runs every UpgradeInterval but never
+	// fires). The adaptive and pinned flows stay untenanted, so the
+	// rollup-balance invariant covers the mixed case.
+	const tenantPair, tenantSolo = core.TenantID(1), core.TenantID(2)
+	if err := d.RegisterTenant(jqos.TenantContract{
+		ID: tenantPair, Name: "greedy-pair", Rate: 800_000, Burst: 32 << 10,
+	}); err != nil {
+		return nil, err
+	}
+	if err := d.RegisterTenant(jqos.TenantContract{
+		ID: tenantSolo, Name: "interactive-solo", Rate: 400_000, Burst: 32 << 10,
+		CostCeilingPerGB: 1000,
+	}); err != nil {
+		return nil, err
+	}
+	w.Tenants = []core.TenantID{tenantPair, tenantSolo}
+
 	// Interactive contracted flow a→c: tight budget, modest contract.
 	is, id := addPair(a, c, 60*time.Millisecond)
 	if err := register(jqos.FlowSpec{
 		Src: is, Dst: id, Budget: 150 * time.Millisecond,
 		Service: jqos.ServiceForwarding, ServiceFixed: true,
 		Rate: 200_000, Burst: 16 << 10,
+		Tenant: tenantSolo,
 	}); err != nil {
 		return nil, err
 	}
@@ -118,6 +147,7 @@ func BuildWorld(seed int64) (*World, error) {
 			Src: gs, Dst: gd, Budget: 500 * time.Millisecond,
 			Service: jqos.ServiceForwarding, ServiceFixed: true,
 			Rate: 500_000, Burst: 16 << 10,
+			Tenant: tenantPair,
 		}); err != nil {
 			return nil, err
 		}

@@ -136,6 +136,20 @@ type crossSet struct {
 	qs  []*crossQueue
 }
 
+// crossKey groups cross-stream batches: flows are coded together only
+// when they share the egress DC (the spatial constraint) AND the path
+// policy their parity should ride (policy-aware batching). A parity
+// packet can only take one path, so a batch mixing a pinned flow with
+// fastest-path flows would drag someone's parity off their policy;
+// keying the queue set by (dc2, policy) keeps every batch
+// policy-homogeneous and lets the batch's first source flow stand in
+// for all of them at pinning time. policy is an opaque discriminator
+// computed by the caller (0 = default fastest-path).
+type crossKey struct {
+	dc2    core.NodeID
+	policy uint32
+}
+
 // Encoder is the DC1-side CR-WAN engine. It is a sans-IO state machine:
 // feed it data packets and timer ticks, collect wire-encoded Emits bound
 // for DC2. Not safe for concurrent use — the parallel pipeline (Figure 10)
@@ -144,10 +158,14 @@ type Encoder struct {
 	cfg  EncoderConfig
 	self core.NodeID
 
-	inQs   map[core.FlowID]*inQueue
-	cross  map[core.NodeID]*crossSet
-	rrIdx  map[core.FlowID]int
-	codecs map[[2]int]*rs.Codec
+	inQs map[core.FlowID]*inQueue
+	// cross is keyed by (dc2, path policy); crossKeys mirrors it in
+	// ascending (dc2, policy) order so timer flushes emit
+	// deterministically however many sets are live.
+	cross     map[crossKey]*crossSet
+	crossKeys []crossKey
+	rrIdx     map[core.FlowID]int
+	codecs    map[[2]int]*rs.Codec
 
 	batchSeq uint64
 	stats    EncoderStats
@@ -162,7 +180,7 @@ func NewEncoder(self core.NodeID, cfg EncoderConfig) (*Encoder, error) {
 		cfg:    cfg,
 		self:   self,
 		inQs:   make(map[core.FlowID]*inQueue),
-		cross:  make(map[core.NodeID]*crossSet),
+		cross:  make(map[crossKey]*crossSet),
 		rrIdx:  make(map[core.FlowID]int),
 		codecs: make(map[[2]int]*rs.Codec),
 	}, nil
@@ -212,8 +230,17 @@ func (e *Encoder) codec(k, m int) *rs.Codec {
 // dc2 is the egress DC serving the flow's receiver (the spatial constraint:
 // only flows sharing dc2 are coded together); receiver is the flow's
 // endpoint, recorded in parity metadata for cooperative recovery.
-// The payload is copied; the caller keeps ownership.
+// The payload is copied; the caller keeps ownership. Equivalent to
+// OnDataPolicy with the default (fastest-path) policy discriminator.
 func (e *Encoder) OnData(now core.Time, dc2, receiver core.NodeID, flow core.FlowID, seq core.Seq, payload []byte) []core.Emit {
+	return e.OnDataPolicy(now, dc2, receiver, flow, seq, 0, payload)
+}
+
+// OnDataPolicy is OnData with an explicit path-policy discriminator:
+// only flows whose parity should ride the same path policy share
+// cross-stream batches (see crossKey). In-stream blocks are single-flow,
+// so policy never splits them.
+func (e *Encoder) OnDataPolicy(now core.Time, dc2, receiver core.NodeID, flow core.FlowID, seq core.Seq, policy uint32, payload []byte) []core.Emit {
 	e.stats.DataPackets++
 	e.stats.DataBytes += uint64(len(payload))
 	ref := wire.SourceRef{Flow: flow, Seq: seq, Receiver: receiver}
@@ -237,13 +264,15 @@ func (e *Encoder) OnData(now core.Time, dc2, receiver core.NodeID, flow core.Flo
 	}
 
 	// (2) Cross-stream coding (Algorithm 1 lines 6–23).
-	set := e.cross[dc2]
+	key := crossKey{dc2: dc2, policy: policy}
+	set := e.cross[key]
 	if set == nil {
 		set = &crossSet{dc2: dc2, qs: make([]*crossQueue, e.cfg.CrossQueues)}
 		for i := range set.qs {
 			set.qs[i] = &crossQueue{flows: make(map[core.FlowID]bool)}
 		}
-		e.cross[dc2] = set
+		e.cross[key] = set
+		e.insertCrossKey(key)
 	}
 	qi := e.rrIdx[flow] % e.cfg.CrossQueues
 	e.rrIdx[flow] = (qi + 1) % e.cfg.CrossQueues
@@ -275,6 +304,22 @@ func (e *Encoder) OnData(now core.Time, dc2, receiver core.NodeID, flow core.Flo
 		emits = append(emits, e.flushCross(now, dc2, q)...)
 	}
 	return emits
+}
+
+// insertCrossKey keeps crossKeys sorted ascending by (dc2, policy) as
+// new sets appear, so map-backed iteration stays deterministic.
+func (e *Encoder) insertCrossKey(k crossKey) {
+	i := 0
+	for i < len(e.crossKeys) {
+		c := e.crossKeys[i]
+		if c.dc2 > k.dc2 || (c.dc2 == k.dc2 && c.policy > k.policy) {
+			break
+		}
+		i++
+	}
+	e.crossKeys = append(e.crossKeys, crossKey{})
+	copy(e.crossKeys[i+1:], e.crossKeys[i:])
+	e.crossKeys[i] = k
 }
 
 // flushIn encodes an in-stream block and resets the queue.
@@ -388,10 +433,11 @@ func (e *Encoder) OnTimer(now core.Time) []core.Emit {
 			e.stats.TimerFlushes++
 		}
 	}
-	for dc2, set := range e.cross {
+	for _, k := range e.crossKeys {
+		set := e.cross[k]
 		for _, q := range set.qs {
 			if len(q.pkts) > 0 && q.deadline <= now {
-				emits = append(emits, e.flushCross(now, dc2, q)...)
+				emits = append(emits, e.flushCross(now, set.dc2, q)...)
 				e.stats.TimerFlushes++
 			}
 		}
@@ -405,9 +451,10 @@ func (e *Encoder) Flush(now core.Time) []core.Emit {
 	for _, q := range e.inQs {
 		emits = append(emits, e.flushIn(now, q)...)
 	}
-	for dc2, set := range e.cross {
+	for _, k := range e.crossKeys {
+		set := e.cross[k]
 		for _, q := range set.qs {
-			emits = append(emits, e.flushCross(now, dc2, q)...)
+			emits = append(emits, e.flushCross(now, set.dc2, q)...)
 		}
 	}
 	return emits

@@ -23,6 +23,15 @@ func (n NodeID) String() string { return fmt.Sprintf("node%d", uint32(n)) }
 // one registration). FlowIDs are globally unique within a deployment.
 type FlowID uint64
 
+// TenantID identifies one customer of the overlay — the unit that
+// admission quotas, cost budgets, and aggregate pacing are enforced
+// against. IDs are assigned by the operator at RegisterTenant; 0 is
+// reserved as "untenanted" (a flow outside any tenant contract).
+type TenantID uint64
+
+// String implements fmt.Stringer.
+func (t TenantID) String() string { return fmt.Sprintf("tenant%d", uint64(t)) }
+
 // Seq is a per-flow packet sequence number. The first packet of a flow has
 // sequence 1; 0 is reserved as "no packet".
 type Seq uint64

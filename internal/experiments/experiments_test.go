@@ -14,7 +14,7 @@ func tcpsimCRWAN() tcpsim.Recovery      { return tcpsim.DefaultCRWAN() }
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"10", "7a", "7b", "7c", "7d", "8a", "8b", "8c", "8d", "8e",
-		"9a", "9b", "backpressure", "chaos", "congestion", "cost", "fairshare", "k20", "mobile", "reroute"}
+		"9a", "9b", "backpressure", "chaos", "congestion", "cost", "fairshare", "k20", "mobile", "reroute", "tenancy"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))

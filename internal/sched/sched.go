@@ -103,6 +103,21 @@ type Config struct {
 	// low < high.
 	LowWatermark  float64
 	HighWatermark float64
+	// PerFlowQueues nests a second deficit round-robin INSIDE each class
+	// queue, one sub-queue per flow, so sibling flows of the same class
+	// share the class's bytes fairly — one bulk flow cannot starve its
+	// tenant-mates out of their common class. Each flow's sub-queue gets
+	// one quantum of credit per flow-level round (flows are equal within
+	// a class; the class weights arbitrate BETWEEN classes as before),
+	// and on class byte-cap overflow the LONGEST sub-queue loses its
+	// tail instead of the arrival being rejected (see DRR.OnVictimDrop),
+	// so a polite flow's packet is never the one dropped for a greedy
+	// sibling's backlog. Sub-queue state exists only while a flow has
+	// packets queued — a drained sub-queue is recycled immediately, and
+	// the steady-state path stays allocation-free
+	// (BenchmarkSubqueueEnqueueDequeue). Off (the default) keeps the
+	// single FIFO per class, byte-for-byte the previous discipline.
+	PerFlowQueues bool
 }
 
 // Enabled reports whether the config turns scheduling on.
@@ -179,6 +194,12 @@ type ClassStats struct {
 	// watermarks; StateChanges counts its transitions.
 	State        QueueState
 	StateChanges uint64
+	// FlowQueues is the live per-flow sub-queue count (0 unless
+	// Config.PerFlowQueues); VictimDrops counts packets dropped from the
+	// longest sub-queue's tail to admit another flow's arrival (a subset
+	// of DroppedPackets).
+	FlowQueues  int
+	VictimDrops uint64
 }
 
 // Stats is a scheduler snapshot: per-class counters plus totals.
@@ -227,6 +248,57 @@ func (r *ring) pop() Item {
 
 func (r *ring) peekSize() int { return len(r.items[r.head].Msg) }
 
+// popTail removes the most recent arrival — the victim-drop direction:
+// a sub-queue past its fair share loses the packet that has waited
+// least, preserving in-order delivery of what already queued.
+func (r *ring) popTail() Item {
+	i := (r.head + r.n - 1) % len(r.items)
+	it := r.items[i]
+	r.items[i] = Item{}
+	r.n--
+	return it
+}
+
+// flowQ is one flow's sub-queue inside a class: its own FIFO plus the
+// flow-level DRR bookkeeping. Instances are recycled through a per-class
+// free list the moment they drain, so churning flows reuse rings (and
+// their grown backing arrays) instead of allocating.
+type flowQ struct {
+	flow     core.FlowID
+	q        ring
+	bytes    int64
+	deficit  int64
+	credited bool
+}
+
+// classFlows is one class's flow-level round-robin: the active
+// (non-empty) sub-queues in service order, an index by flow, and the
+// free list.
+type classFlows struct {
+	active []*flowQ
+	rr     int // next sub-queue to visit
+	idx    map[core.FlowID]*flowQ
+	free   []*flowQ
+}
+
+// remove retires the drained sub-queue at active[i], preserving the
+// round-robin position of the remaining flows.
+func (cf *classFlows) remove(i int) {
+	fq := cf.active[i]
+	copy(cf.active[i:], cf.active[i+1:])
+	cf.active[len(cf.active)-1] = nil
+	cf.active = cf.active[:len(cf.active)-1]
+	if cf.rr > i {
+		cf.rr--
+	}
+	if cf.rr >= len(cf.active) {
+		cf.rr = 0
+	}
+	delete(cf.idx, fq.flow)
+	fq.flow, fq.bytes, fq.deficit, fq.credited = 0, 0, 0, false
+	cf.free = append(cf.free, fq)
+}
+
 // DRR is one egress link's deficit-round-robin scheduler. Not safe for
 // concurrent use — the hosting runtime is single-threaded (the emulator)
 // or serializes per link.
@@ -244,6 +316,17 @@ type DRR struct {
 	// called from inside Enqueue/Dequeue on the egress hot path: keep it
 	// allocation-free and do not call back into the scheduler.
 	OnStateChange func(class core.Service, st QueueState, depth int64)
+
+	// OnVictimDrop, when set, fires for every packet dropped from the
+	// longest sub-queue's tail to make room for another flow's arrival
+	// (Config.PerFlowQueues only) — the hosting runtime attributes the
+	// drop to the VICTIM flow, which is not the flow Enqueue was called
+	// for. Same hot-path rules as OnStateChange.
+	OnVictimDrop func(class core.Service, flow core.FlowID, size int64)
+
+	// perFlow switches each class from one FIFO to flow sub-queues.
+	perFlow bool
+	flows   [NumClasses]classFlows
 
 	q       [NumClasses]ring
 	deficit [NumClasses]int64
@@ -263,6 +346,12 @@ func New(cfg Config) *DRR {
 	s := &DRR{quantum: DefaultQuantum, cap: DefaultQueueBytes}
 	if cfg.Quantum > 0 {
 		s.quantum = int64(cfg.Quantum)
+	}
+	if cfg.PerFlowQueues {
+		s.perFlow = true
+		for i := range s.flows {
+			s.flows[i].idx = make(map[core.FlowID]*flowQ)
+		}
 	}
 	switch {
 	case cfg.QueueBytes > 0:
@@ -371,6 +460,12 @@ func (s *DRR) State(class core.Service) QueueState {
 // would blackhole it forever even on an idle link. Messages of unknown
 // classes are rejected too, so a corrupt class index can never scribble
 // past the queue array.
+//
+// Under Config.PerFlowQueues an over-cap arrival first tries to reclaim
+// room from the LONGEST sibling sub-queue's tail (surfaced through
+// OnVictimDrop); the arrival itself is only rejected when its own flow
+// holds the longest backlog — the greedy flow pays for its own
+// pressure, never a polite sibling.
 func (s *DRR) Enqueue(class core.Service, flow core.FlowID, msg []byte) bool {
 	if int(class) >= NumClasses {
 		return false
@@ -378,11 +473,33 @@ func (s *DRR) Enqueue(class core.Service, flow core.FlowID, msg []byte) bool {
 	c := &s.stats.PerClass[class]
 	size := int64(len(msg))
 	if s.cap >= 0 && c.QueuedPackets > 0 && c.QueuedBytes+size > s.cap {
-		c.DroppedBytes += uint64(size)
-		c.DroppedPackets++
-		return false
+		if !s.perFlow || !s.evictFor(class, flow, size) {
+			c.DroppedBytes += uint64(size)
+			c.DroppedPackets++
+			return false
+		}
 	}
-	s.q[class].push(Item{Class: class, Flow: flow, Msg: msg})
+	if s.perFlow {
+		cf := &s.flows[class]
+		fq, ok := cf.idx[flow]
+		if !ok {
+			if n := len(cf.free); n > 0 {
+				fq = cf.free[n-1]
+				cf.free[n-1] = nil
+				cf.free = cf.free[:n-1]
+			} else {
+				fq = &flowQ{}
+			}
+			fq.flow = flow
+			cf.idx[flow] = fq
+			cf.active = append(cf.active, fq)
+			c.FlowQueues = len(cf.active)
+		}
+		fq.q.push(Item{Class: class, Flow: flow, Msg: msg})
+		fq.bytes += size
+	} else {
+		s.q[class].push(Item{Class: class, Flow: flow, Msg: msg})
+	}
 	c.EnqueuedBytes += uint64(size)
 	c.EnqueuedPackets++
 	c.QueuedBytes += size
@@ -390,6 +507,47 @@ func (s *DRR) Enqueue(class core.Service, flow core.FlowID, msg []byte) bool {
 	s.stats.QueuedBytes += size
 	s.stats.QueuedPackets++
 	s.noteDepth(class)
+	return true
+}
+
+// evictFor reclaims room for a size-byte arrival of flow by dropping
+// packets from the tail of the longest sub-queue in the class. It
+// returns false — nothing more reclaimed, caller rejects the arrival —
+// as soon as the ARRIVING flow itself holds the longest backlog: the
+// fair victim is then the arrival. Victim selection is deterministic
+// (first-longest in round-robin order).
+func (s *DRR) evictFor(class core.Service, flow core.FlowID, size int64) bool {
+	c := &s.stats.PerClass[class]
+	cf := &s.flows[class]
+	for c.QueuedBytes+size > s.cap {
+		vi := -1
+		for i, fq := range cf.active {
+			if vi < 0 || fq.bytes > cf.active[vi].bytes {
+				vi = i
+			}
+		}
+		if vi < 0 || cf.active[vi].flow == flow {
+			return false
+		}
+		fq := cf.active[vi]
+		it := fq.q.popTail()
+		vsize := int64(len(it.Msg))
+		fq.bytes -= vsize
+		c.DroppedBytes += uint64(vsize)
+		c.DroppedPackets++
+		c.VictimDrops++
+		c.QueuedBytes -= vsize
+		c.QueuedPackets--
+		s.stats.QueuedBytes -= vsize
+		s.stats.QueuedPackets--
+		if fq.q.n == 0 {
+			cf.remove(vi)
+			c.FlowQueues = len(cf.active)
+		}
+		if s.OnVictimDrop != nil {
+			s.OnVictimDrop(class, it.Flow, vsize)
+		}
+	}
 	return true
 }
 
@@ -401,6 +559,9 @@ func (s *DRR) Enqueue(class core.Service, flow core.FlowID, msg []byte) bool {
 func (s *DRR) Dequeue() (Item, bool) {
 	if s.stats.QueuedPackets == 0 {
 		return Item{}, false
+	}
+	if s.perFlow {
+		return s.dequeuePerFlow()
 	}
 	for {
 		q := &s.q[s.cur]
@@ -440,6 +601,78 @@ func (s *DRR) Dequeue() (Item, bool) {
 		// visit grants more (credited resets so the grant repeats).
 		s.credited[s.cur] = false
 		s.cur = (s.cur + 1) % NumClasses
+	}
+}
+
+// dequeuePerFlow is Dequeue under Config.PerFlowQueues: the class-level
+// round-robin is unchanged (quantum×weight credit per visit), but the
+// class's head packet is chosen by a nested flow-level DRR — each
+// sub-queue earns one quantum per flow-round, so sibling flows split
+// the class's bytes evenly however unevenly they arrive.
+func (s *DRR) dequeuePerFlow() (Item, bool) {
+	for {
+		c := &s.stats.PerClass[s.cur]
+		if c.QueuedPackets == 0 {
+			// An emptied class forfeits unused credit, as in the
+			// single-FIFO discipline.
+			s.deficit[s.cur] = 0
+			s.credited[s.cur] = false
+			s.cur = (s.cur + 1) % NumClasses
+			continue
+		}
+		if !s.credited[s.cur] {
+			s.deficit[s.cur] += s.quantum * s.weights[s.cur]
+			s.credited[s.cur] = true
+			s.stats.Rounds++
+		}
+		// Flow-level DRR selects the fair head: visit sub-queues
+		// round-robin, granting one quantum per visit, until one's head
+		// fits its credit. Terminates — credit accumulates across
+		// visits, exactly like the class level.
+		cf := &s.flows[s.cur]
+		var fq *flowQ
+		var size int64
+		for {
+			fq = cf.active[cf.rr]
+			if !fq.credited {
+				fq.deficit += s.quantum
+				fq.credited = true
+			}
+			size = int64(fq.q.peekSize())
+			if size <= fq.deficit {
+				break
+			}
+			fq.credited = false
+			cf.rr = (cf.rr + 1) % len(cf.active)
+		}
+		if size > s.deficit[s.cur] {
+			// The fair head exceeds the class's credit: move on, the
+			// next class-round grants more.
+			s.credited[s.cur] = false
+			s.cur = (s.cur + 1) % NumClasses
+			continue
+		}
+		s.deficit[s.cur] -= size
+		fq.deficit -= size
+		it := fq.q.pop()
+		fq.bytes -= size
+		c.DequeuedBytes += uint64(size)
+		c.DequeuedPackets++
+		c.QueuedBytes -= size
+		c.QueuedPackets--
+		s.stats.QueuedBytes -= size
+		s.stats.QueuedPackets--
+		if fq.q.n == 0 {
+			cf.remove(cf.rr)
+			c.FlowQueues = len(cf.active)
+		}
+		if c.QueuedPackets == 0 {
+			s.deficit[s.cur] = 0
+			s.credited[s.cur] = false
+			s.cur = (s.cur + 1) % NumClasses
+		}
+		s.noteDepth(it.Class)
+		return it, true
 	}
 }
 

@@ -31,6 +31,10 @@ type Snapshot struct {
 	Queues []QueueSnapshot `json:"queues,omitempty"`
 	// Flows are the open flows in ascending ID order.
 	Flows []FlowSnapshot `json:"flows,omitempty"`
+	// Tenants are the registered tenants in ascending ID order (empty
+	// when no tenant was ever registered). Per-flow rollups sum over the
+	// tenant's member rows in Flows.
+	Tenants []TenantSnapshot `json:"tenants,omitempty"`
 	// Routing / Feedback mirror the control planes' counters.
 	Routing  RoutingSnapshot  `json:"routing"`
 	Feedback FeedbackSnapshot `json:"feedback"`
@@ -101,7 +105,9 @@ type QueueSnapshot struct {
 
 // FlowSnapshot is one open flow's delivery and policing rollup.
 type FlowSnapshot struct {
-	ID          core.FlowID   `json:"id"`
+	ID core.FlowID `json:"id"`
+	// Tenant is the owning tenant's ID (0 = untenanted).
+	Tenant      core.TenantID `json:"tenant,omitempty"`
 	Src         core.NodeID   `json:"src"`
 	Dsts        []core.NodeID `json:"dsts"`
 	Service     core.Service  `json:"service"`
@@ -120,6 +126,13 @@ type FlowSnapshot struct {
 	PacedBytes       uint64 `json:"paced_bytes"`
 	// ByService counts deliveries by the service that produced them.
 	ByService [NumClasses]uint64 `json:"by_service"`
+	// CostPerGB is the flow's live egress price under the default cost
+	// model — its CURRENT service priced at its observed loss, the same
+	// figure the cost-ceiling loops check. EstCostUSD prices the flow's
+	// lifetime application volume at it (SentBytes / 1e9 × CostPerGB) —
+	// what the tenant cost budget is enforced against.
+	CostPerGB  float64 `json:"cost_per_gb,omitempty"`
+	EstCostUSD float64 `json:"est_cost_usd,omitempty"`
 
 	// AdmissionRate is the live bucket refill rate (0 without a
 	// contract); Throttled reports an active pacer cut.
@@ -143,6 +156,63 @@ func (f FlowSnapshot) OnTimeFraction() float64 {
 	return float64(f.OnTime) / float64(f.Delivered)
 }
 
+// TenantSnapshot is one tenant's contract state and the rollup of its
+// member flows. The per-flow sums (Sent … PacedBytes, EstCostUSD) are
+// computed by summing the tenant's member rows from
+// Snapshot.Flows in ascending flow-ID order, so an auditor holding the
+// same snapshot reproduces them exactly; the remaining fields mirror
+// the live tenant runtime (quota bucket, aggregate pacer, violation
+// counters).
+type TenantSnapshot struct {
+	ID   core.TenantID `json:"id"`
+	Name string        `json:"name,omitempty"`
+	// Flows is the tenant's open member-flow count.
+	Flows int `json:"flows"`
+
+	// Member-flow rollups (sums over Snapshot.Flows rows with this
+	// tenant ID; EstCostUSD sums the members' EstCostUSD in the same
+	// ascending flow-ID order, so recomputation is bit-exact).
+	Sent             uint64  `json:"sent"`
+	SentBytes        uint64  `json:"sent_bytes"`
+	Delivered        uint64  `json:"delivered"`
+	OnTime           uint64  `json:"on_time"`
+	AdmissionDropped uint64  `json:"admission_dropped"`
+	EgressDropped    uint64  `json:"egress_dropped"`
+	PacedBytes       uint64  `json:"paced_bytes"`
+	EstCostUSD       float64 `json:"est_cost_usd"`
+
+	// Aggregate admission quota: the contract rate (0 = unmetered) and
+	// the copies it refused tenant-wide.
+	QuotaRate         int64  `json:"quota_rate"`
+	QuotaDropped      uint64 `json:"quota_dropped"`
+	QuotaDroppedBytes uint64 `json:"quota_dropped_bytes"`
+
+	// Aggregate pacer: the applied rate (== the contract when
+	// unthrottled), whether any bottleneck is currently tracked, and the
+	// lifetime cut/recovery counts — one cut per delivered signal, NOT
+	// one per member flow.
+	PacerRate       int64  `json:"pacer_rate,omitempty"`
+	Throttled       bool   `json:"throttled"`
+	HotLinks        int    `json:"hot_links,omitempty"`
+	PacerCuts       uint64 `json:"pacer_cuts"`
+	PacerRecoveries uint64 `json:"pacer_recoveries"`
+
+	// Cost budget: the contract ceiling ($/GB, 0 = unbudgeted), the
+	// observed volume-weighted aggregate price, and how many times the
+	// budget tick forced a member downgrade.
+	CostCeilingPerGB float64 `json:"cost_ceiling_per_gb,omitempty"`
+	CostPerGB        float64 `json:"cost_per_gb,omitempty"`
+	CostViolations   uint64  `json:"cost_violations"`
+}
+
+// OnTimeFraction returns OnTime/Delivered (1 when nothing delivered).
+func (t TenantSnapshot) OnTimeFraction() float64 {
+	if t.Delivered == 0 {
+		return 1
+	}
+	return float64(t.OnTime) / float64(t.Delivered)
+}
+
 // RoutingSnapshot mirrors the routing controller's counters.
 type RoutingSnapshot struct {
 	Recomputes         uint64 `json:"recomputes"`
@@ -159,18 +229,22 @@ type RoutingSnapshot struct {
 
 // FeedbackSnapshot mirrors the congestion-feedback plane's counters.
 type FeedbackSnapshot struct {
-	Enabled         bool   `json:"enabled"`
-	Transitions     uint64 `json:"transitions"`
-	Batches         uint64 `json:"batches"`
-	SignalsSent     uint64 `json:"signals_sent"`
-	SignalsLocal    uint64 `json:"signals_local"`
-	SignalsDropped  uint64 `json:"signals_dropped"`
-	FlowSignals     uint64 `json:"flow_signals"`
-	HotRefreshes    uint64 `json:"hot_refreshes"`
-	RateCuts        uint64 `json:"rate_cuts"`
-	RateRecoveries  uint64 `json:"rate_recoveries"`
-	PreemptiveMoves uint64 `json:"preemptive_moves"`
-	SubscribedFlows int    `json:"subscribed_flows"`
+	Enabled        bool   `json:"enabled"`
+	Transitions    uint64 `json:"transitions"`
+	Batches        uint64 `json:"batches"`
+	SignalsSent    uint64 `json:"signals_sent"`
+	SignalsLocal   uint64 `json:"signals_local"`
+	SignalsDropped uint64 `json:"signals_dropped"`
+	FlowSignals    uint64 `json:"flow_signals"`
+	HotRefreshes   uint64 `json:"hot_refreshes"`
+	RateCuts       uint64 `json:"rate_cuts"`
+	RateRecoveries uint64 `json:"rate_recoveries"`
+	// Aggregate tenant-pacer actions: one cut per delivered signal per
+	// tenant, not per member flow.
+	TenantCuts       uint64 `json:"tenant_cuts,omitempty"`
+	TenantRecoveries uint64 `json:"tenant_recoveries,omitempty"`
+	PreemptiveMoves  uint64 `json:"preemptive_moves"`
+	SubscribedFlows  int    `json:"subscribed_flows"`
 }
 
 // Totals are deployment-wide rollups.
@@ -238,6 +312,33 @@ func (s *Snapshot) Summary() string {
 				continue
 			}
 			fmt.Fprintf(&b, ", %v %d out / %d dropped", core.Service(c), cs.DequeuedPackets, cs.DroppedPackets)
+		}
+		b.WriteByte('\n')
+	}
+	for _, tn := range s.Tenants {
+		fmt.Fprintf(&b, "  tenant %d", tn.ID)
+		if tn.Name != "" {
+			fmt.Fprintf(&b, " (%s)", tn.Name)
+		}
+		fmt.Fprintf(&b, ": %d flows, %d sent, %.1f%% on time, %s sent ($%.4f est)",
+			tn.Flows, tn.Sent, 100*tn.OnTimeFraction(), humanBytes(float64(tn.SentBytes)), tn.EstCostUSD)
+		if tn.QuotaRate > 0 {
+			fmt.Fprintf(&b, ", quota %s/s", humanBytes(float64(tn.QuotaRate)))
+			if tn.QuotaDropped > 0 {
+				fmt.Fprintf(&b, " (%d refused)", tn.QuotaDropped)
+			}
+		}
+		if tn.Throttled {
+			fmt.Fprintf(&b, ", PACED to %s/s over %d hot", humanBytes(float64(tn.PacerRate)), tn.HotLinks)
+		}
+		if tn.PacerCuts > 0 {
+			fmt.Fprintf(&b, ", %d cuts / %d recoveries", tn.PacerCuts, tn.PacerRecoveries)
+		}
+		if tn.CostCeilingPerGB > 0 {
+			fmt.Fprintf(&b, ", $%.4f/GB of $%.4f/GB cap", tn.CostPerGB, tn.CostCeilingPerGB)
+			if tn.CostViolations > 0 {
+				fmt.Fprintf(&b, " (%d violations)", tn.CostViolations)
+			}
 		}
 		b.WriteByte('\n')
 	}

@@ -46,9 +46,29 @@ const (
 	// V1 is the window's on-time fraction in parts-per-million, V2 the
 	// window's delivered count.
 	KindBudgetViolation
+	// KindTenantQuotaDrop: the tenant's aggregate admission quota refused
+	// a cloud copy. Tenant is the tenant, Flow the member flow whose copy
+	// dropped, Class its service, V1 the copy's wire size in bytes.
+	KindTenantQuotaDrop
+	// KindTenantPacerCut: a Hot signal cut a tenant's AGGREGATE pacer —
+	// exactly once per delivered signal however many member flows
+	// subscribe to the bottleneck. Tenant is the tenant, LinkA→LinkB the
+	// congested direction, Class the queue's class, V1 the new aggregate
+	// rate (B/s), V2 the quota contract.
+	KindTenantPacerCut
+	// KindTenantPacerRecover: an additive-recovery tick raised a
+	// throttled tenant pacer. Tenant is the tenant, V1 the new aggregate
+	// rate (B/s), V2 the quota contract.
+	KindTenantPacerRecover
+	// KindTenantCostViolation: the tenant's volume-weighted aggregate
+	// $/GB broke its contract ceiling; the runtime forced the most
+	// expensive adaptive member flow down a tier. Tenant is the tenant,
+	// Flow the downgraded member, Class that member's OLD service, V1 the
+	// aggregate price in micro-dollars per GB, V2 the ceiling likewise.
+	KindTenantCostViolation
 
 	// NumKinds sizes per-kind count arrays.
-	NumKinds = int(KindBudgetViolation) + 1
+	NumKinds = int(KindTenantCostViolation) + 1
 )
 
 // String implements fmt.Stringer.
@@ -72,6 +92,14 @@ func (k Kind) String() string {
 		return "cost-violation"
 	case KindBudgetViolation:
 		return "budget-violation"
+	case KindTenantQuotaDrop:
+		return "tenant-quota-drop"
+	case KindTenantPacerCut:
+		return "tenant-pacer-cut"
+	case KindTenantPacerRecover:
+		return "tenant-pacer-recover"
+	case KindTenantCostViolation:
+		return "tenant-cost-violation"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -88,6 +116,7 @@ type Event struct {
 	At     time.Duration `json:"at"`
 	Kind   Kind          `json:"kind"`
 	Flow   core.FlowID   `json:"flow,omitempty"`
+	Tenant core.TenantID `json:"tenant,omitempty"`
 	LinkA  core.NodeID   `json:"link_a,omitempty"`
 	LinkB  core.NodeID   `json:"link_b,omitempty"`
 	Class  core.Service  `json:"class"`
@@ -118,6 +147,14 @@ func (e Event) Describe() string {
 		return fmt.Sprintf("%-12v flow %d cost-violation class %v $%.4f/GB", at, e.Flow, e.Class, float64(e.V1)/1e6)
 	case KindBudgetViolation:
 		return fmt.Sprintf("%-12v flow %d budget-violation on-time %.1f%% over %d delivered", at, e.Flow, float64(e.V1)/1e4, e.V2)
+	case KindTenantQuotaDrop:
+		return fmt.Sprintf("%-12v %v flow %d tenant-quota-drop class %v %dB", at, e.Tenant, e.Flow, e.Class, e.V1)
+	case KindTenantPacerCut:
+		return fmt.Sprintf("%-12v %v tenant-pacer-cut link %v→%v class %v rate %dB/s of %dB/s", at, e.Tenant, e.LinkA, e.LinkB, e.Class, e.V1, e.V2)
+	case KindTenantPacerRecover:
+		return fmt.Sprintf("%-12v %v tenant-pacer-recover rate %dB/s of %dB/s", at, e.Tenant, e.V1, e.V2)
+	case KindTenantCostViolation:
+		return fmt.Sprintf("%-12v %v tenant-cost-violation flow %d class %v $%.4f/GB over $%.4f/GB", at, e.Tenant, e.Flow, e.Class, float64(e.V1)/1e6, float64(e.V2)/1e6)
 	default:
 		return fmt.Sprintf("%-12v flow %d %v", at, e.Flow, e.Kind)
 	}

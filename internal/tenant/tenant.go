@@ -1,0 +1,402 @@
+// Package tenant is the multi-tenant control plane above FlowSpec: the
+// registry of customer contracts that admission quotas, egress-cost
+// budgets, and aggregate congestion pacing are enforced against.
+//
+// The paper's judicious QoS spends cloud $/GB only where it buys
+// outcome — but enforced per flow, every limit is trivially evaded by
+// splitting one workload into many small flows. This package makes the
+// CUSTOMER the enforcement unit:
+//
+//   - an aggregate admission quota: one shared token bucket
+//     (load.Bucket) across all the tenant's flows, consulted before any
+//     per-flow contract, so a thousand small flows and one big flow hit
+//     the same ceiling;
+//   - an egress-cost budget in $/GB, checked by the hosting runtime
+//     against the tenant's volume-weighted aggregate spend (violation →
+//     forced downgrade of the tenant's most expensive adaptive flow,
+//     mirroring the per-flow cost loop);
+//   - one AIMD pacer state per (tenant, bottleneck link-class), so
+//     sibling flows crossing the same Hot queue back off as ONE — a
+//     single multiplicative cut of the shared quota bucket instead of N
+//     independent per-flow cuts fighting each other.
+//
+// Like the protocol engines the package is sans-IO and deterministic:
+// the hosting runtime drives it with virtual time and delivers
+// congestion signals; iteration orders are fixed (ascending tenant ID,
+// signal-arrival order for pacer states) so same-seed runs reproduce
+// byte-identical traces.
+package tenant
+
+import (
+	"fmt"
+	"sort"
+
+	"jqos/internal/core"
+	"jqos/internal/feedback"
+	"jqos/internal/load"
+)
+
+// LinkClass keys one directed inter-DC link's class queue — the
+// bottleneck unit the aggregate pacer keeps AIMD state per.
+type LinkClass struct {
+	From, To core.NodeID
+	Class    core.Service
+}
+
+// Contract is one tenant's resource envelope.
+type Contract struct {
+	// ID is the operator-assigned tenant identity. 0 is reserved as
+	// "untenanted" and is rejected by Register.
+	ID core.TenantID
+	// Name labels the tenant in telemetry.
+	Name string
+	// Rate is the aggregate admission quota in bytes/second shared by
+	// ALL the tenant's flows' cloud copies (0 = unmetered: no quota, and
+	// therefore no aggregate pacer — there is no bucket to pace).
+	Rate int64
+	// Burst is the quota bucket's depth in bytes (0 defaults like
+	// load.NewBucket: a quarter second of Rate, floored at one MTU).
+	Burst int64
+	// CostCeilingPerGB caps the tenant's aggregate egress spend in $/GB
+	// across all member flows (0 = unbounded). The hosting runtime
+	// enforces it by forcing the most expensive adaptive member flow
+	// down a tier while the volume-weighted aggregate sits above the
+	// ceiling.
+	CostCeilingPerGB float64
+}
+
+// Tenant is one registered customer: the contract, the shared quota
+// bucket, the aggregate pacer, and the tenant-level counters that the
+// per-tenant telemetry slice and the chaos accounting invariant read.
+type Tenant struct {
+	contract Contract
+	bucket   *load.Bucket // nil when Contract.Rate == 0
+	pacer    *Pacer       // nil when bucket is nil
+
+	flows int // live member flows (registry leak invariant)
+
+	quotaDrops     uint64
+	quotaDropBytes uint64
+	costViolations uint64
+}
+
+// ID returns the tenant's identity.
+func (t *Tenant) ID() core.TenantID { return t.contract.ID }
+
+// Name returns the tenant's telemetry label.
+func (t *Tenant) Name() string { return t.contract.Name }
+
+// Contract returns the registered envelope.
+func (t *Tenant) Contract() Contract { return t.contract }
+
+// Admit consumes n bytes from the aggregate quota bucket and reports
+// whether the cloud copy conforms. An unmetered tenant admits
+// everything. A false return consumed nothing and was counted as a
+// quota drop — the caller drops the cloud copy (the direct best-effort
+// path is unaffected, exactly like per-flow policing).
+func (t *Tenant) Admit(now core.Time, n int) bool {
+	if t.bucket == nil {
+		return true
+	}
+	if t.bucket.Admit(now, n) {
+		return true
+	}
+	t.quotaDrops++
+	t.quotaDropBytes += uint64(n)
+	return false
+}
+
+// QuotaDrops returns the lifetime count and byte volume of cloud copies
+// refused by the aggregate quota.
+func (t *Tenant) QuotaDrops() (drops, bytes uint64) {
+	return t.quotaDrops, t.quotaDropBytes
+}
+
+// QuotaRate returns the quota bucket's CONTRACTED rate (0 = unmetered).
+// Under an aggregate pacer cut the bucket's live rate is lower; see
+// Pacer.Rate.
+func (t *Tenant) QuotaRate() int64 { return t.contract.Rate }
+
+// Pacer returns the tenant's aggregate pacer (nil for unmetered
+// tenants — no bucket, nothing to pace).
+func (t *Tenant) Pacer() *Pacer { return t.pacer }
+
+// AddFlow notes a member flow registration.
+func (t *Tenant) AddFlow() { t.flows++ }
+
+// RemoveFlow notes a member flow close.
+func (t *Tenant) RemoveFlow() {
+	if t.flows == 0 {
+		panic(fmt.Sprintf("tenant: %v flow count underflow", t.contract.ID))
+	}
+	t.flows--
+}
+
+// FlowCount returns the live member-flow count.
+func (t *Tenant) FlowCount() int { return t.flows }
+
+// NoteCostViolation counts one budget-driven forced downgrade.
+func (t *Tenant) NoteCostViolation() { t.costViolations++ }
+
+// CostViolations returns the lifetime count of budget-driven forced
+// downgrades.
+func (t *Tenant) CostViolations() uint64 { return t.costViolations }
+
+// Registry holds a deployment's tenants. Iteration is ascending by
+// tenant ID (deterministic enforcement and telemetry order).
+type Registry struct {
+	tenants map[core.TenantID]*Tenant
+	ids     []core.TenantID // ascending
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{tenants: make(map[core.TenantID]*Tenant)}
+}
+
+// Register creates a tenant under the contract. The pacer config is the
+// AIMD reaction of the aggregate pacer (zero value = the feedback
+// plane's defaults). Errors on a reserved or duplicate ID or a negative
+// rate.
+func (r *Registry) Register(c Contract, pcfg feedback.PacerConfig) (*Tenant, error) {
+	if c.ID == 0 {
+		return nil, fmt.Errorf("tenant: ID 0 is reserved for untenanted flows")
+	}
+	if _, dup := r.tenants[c.ID]; dup {
+		return nil, fmt.Errorf("tenant: %v already registered", c.ID)
+	}
+	if c.Rate < 0 {
+		return nil, fmt.Errorf("tenant: %v: negative quota rate %d", c.ID, c.Rate)
+	}
+	if c.CostCeilingPerGB < 0 {
+		return nil, fmt.Errorf("tenant: %v: negative cost ceiling %g", c.ID, c.CostCeilingPerGB)
+	}
+	t := &Tenant{contract: c}
+	if c.Rate > 0 {
+		t.bucket = load.NewBucket(c.Rate, c.Burst)
+		t.pacer = NewPacer(t.bucket, pcfg)
+	}
+	r.tenants[c.ID] = t
+	i := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= c.ID })
+	r.ids = append(r.ids, 0)
+	copy(r.ids[i+1:], r.ids[i:])
+	r.ids[i] = c.ID
+	return t, nil
+}
+
+// Get returns the tenant by ID.
+func (r *Registry) Get(id core.TenantID) (*Tenant, bool) {
+	t, ok := r.tenants[id]
+	return t, ok
+}
+
+// Len returns the number of registered tenants.
+func (r *Registry) Len() int { return len(r.tenants) }
+
+// Each calls fn for every tenant in ascending ID order.
+func (r *Registry) Each(fn func(*Tenant)) {
+	for _, id := range r.ids {
+		fn(r.tenants[id])
+	}
+}
+
+// aimd is the pacer's per-bottleneck state: the rate this link-class
+// alone would allow, cut multiplicatively while Hot and recovered
+// additively once cool. A state that recovers back to the contract is
+// dropped — steady state carries no memory of healed congestion.
+type aimd struct {
+	key  LinkClass
+	rate int64
+	hot  bool
+}
+
+// Pacer applies AIMD rate control to the tenant's shared quota bucket,
+// with ONE state per congested (link, class) bottleneck. The applied
+// rate is the MINIMUM across live states (a tenant crossing two hot
+// links paces to the tighter one), and the contract rate is the
+// ceiling. Unlike N per-flow pacers over one bucket — which would fight
+// (one flow's additive recovery raising the rate another flow's Hot
+// freeze is holding down) — the per-bottleneck states compose: each
+// link's congestion owns exactly one rate, and the bucket follows the
+// tightest.
+type Pacer struct {
+	bucket  *load.Bucket
+	base    int64 // contract (ceiling)
+	floor   int64
+	step    int64
+	backoff float64
+	cur     int64 // applied rate = min over states, capped at base
+
+	// states in signal-arrival order — deterministic under the
+	// simulator, linear-scanned (a tenant's working set of congested
+	// bottlenecks is small).
+	states []aimd
+
+	cuts       uint64
+	recoveries uint64
+}
+
+// NewPacer wraps the tenant's quota bucket. The bucket's current rate
+// is the contract (the AIMD ceiling); cfg's zero fields take the
+// feedback plane's defaults.
+func NewPacer(bucket *load.Bucket, cfg feedback.PacerConfig) *Pacer {
+	floor := cfg.Floor
+	if floor <= 0 || floor > 1 {
+		floor = feedback.DefaultPacerFloor
+	}
+	backoff := cfg.Backoff
+	if backoff <= 0 || backoff >= 1 {
+		backoff = feedback.DefaultPacerBackoff
+	}
+	recover := cfg.Recover
+	if recover <= 0 || recover > 1 {
+		recover = feedback.DefaultPacerRecover
+	}
+	base := bucket.Rate()
+	p := &Pacer{
+		bucket:  bucket,
+		base:    base,
+		backoff: backoff,
+		cur:     base,
+	}
+	p.floor = int64(float64(base) * floor)
+	if p.floor < 1 {
+		p.floor = 1
+	}
+	p.step = int64(float64(base) * recover)
+	if p.step < 1 {
+		p.step = 1
+	}
+	return p
+}
+
+func (p *Pacer) find(key LinkClass) int {
+	for i := range p.states {
+		if p.states[i].key == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// OnSignal applies one congestion signal for the bottleneck key,
+// returning whether the applied rate was cut. hot=true cuts that
+// bottleneck's state multiplicatively toward the floor (creating it at
+// the contract rate on first sight) and freezes its recovery; a cooler
+// signal unfreezes it. The hosting runtime calls this ONCE per tenant
+// per delivered signal, however many member flows subscribe to the
+// bottleneck — that is the whole point.
+func (p *Pacer) OnSignal(now core.Time, key LinkClass, hot bool) bool {
+	i := p.find(key)
+	if !hot {
+		if i >= 0 {
+			p.states[i].hot = false
+		}
+		return false
+	}
+	if i < 0 {
+		p.states = append(p.states, aimd{key: key, rate: p.base})
+		i = len(p.states) - 1
+	}
+	st := &p.states[i]
+	st.hot = true
+	next := int64(float64(st.rate) * p.backoff)
+	if next < p.floor {
+		next = p.floor
+	}
+	if next == st.rate {
+		return false
+	}
+	st.rate = next
+	p.cuts++
+	before := p.cur
+	p.apply(now)
+	return p.cur < before
+}
+
+// Tick is one additive-recovery step across every unfrozen state; a
+// state reaching the contract is dropped. Returns whether anything
+// recovered (the caller keeps ticking while Throttled reports true).
+func (p *Pacer) Tick(now core.Time) bool {
+	changed := false
+	w := 0
+	for i := range p.states {
+		st := p.states[i]
+		if !st.hot && st.rate < p.base {
+			st.rate += p.step
+			changed = true
+			if st.rate >= p.base {
+				continue // fully recovered: forget the bottleneck
+			}
+		}
+		p.states[w] = st
+		w++
+	}
+	p.states = p.states[:w]
+	if !changed {
+		return false
+	}
+	p.recoveries++
+	p.apply(now)
+	return true
+}
+
+// apply recomputes the applied rate (min across states, ceiling base)
+// and pushes it to the bucket when it moved.
+func (p *Pacer) apply(now core.Time) {
+	cur := p.base
+	for i := range p.states {
+		if p.states[i].rate < cur {
+			cur = p.states[i].rate
+		}
+	}
+	if cur != p.cur {
+		p.cur = cur
+		p.bucket.SetRate(now, cur)
+	}
+}
+
+// UnfreezeAll clears every state's hot-freeze without touching rates.
+// The hosting runtime calls it when a member flow's (path, class)
+// subscription changes or a member closes: a frozen state may describe
+// a queue whose cooling transition will never be delivered to this
+// tenant again, and recovery must not wedge. A still-congested queue
+// re-freezes (and re-cuts) on its next Hot refresh.
+func (p *Pacer) UnfreezeAll() {
+	for i := range p.states {
+		p.states[i].hot = false
+	}
+}
+
+// Rate returns the applied pacing rate in bytes/second.
+func (p *Pacer) Rate() int64 { return p.cur }
+
+// Contract returns the quota contract (the AIMD ceiling).
+func (p *Pacer) Contract() int64 { return p.base }
+
+// Throttled reports whether any bottleneck currently holds the tenant
+// below its contract.
+func (p *Pacer) Throttled() bool { return len(p.states) > 0 }
+
+// HotLinks returns how many tracked bottlenecks are currently frozen
+// Hot.
+func (p *Pacer) HotLinks() int {
+	n := 0
+	for i := range p.states {
+		if p.states[i].hot {
+			n++
+		}
+	}
+	return n
+}
+
+// Tracking returns how many bottleneck states are live (hot or
+// recovering).
+func (p *Pacer) Tracking() int { return len(p.states) }
+
+// Cuts returns the lifetime count of multiplicative cuts.
+func (p *Pacer) Cuts() uint64 { return p.cuts }
+
+// Recoveries returns the lifetime count of additive recovery ticks that
+// moved a rate.
+func (p *Pacer) Recoveries() uint64 { return p.recoveries }

@@ -207,6 +207,44 @@
 //	jqos-chaos -runs 100 -seed 1          # CI smoke
 //	jqos-chaos -runs 1 -seed 1337 -v      # reproduce a failed seed
 //
+// # Tenancy
+//
+// Every limit above is per flow, and a per-flow limit is trivially
+// evaded by splitting one workload into many small flows.
+// Deployment.RegisterTenant makes the CUSTOMER the enforcement unit
+// (internal/tenant): a TenantContract carries an aggregate admission
+// quota (one token bucket shared by ALL the tenant's flows' cloud
+// copies, consulted before any per-flow Rate contract), an egress-cost
+// budget in $/GB (the volume-weighted aggregate spend is re-checked on
+// the adaptation cadence; a violation forces the tenant's most
+// expensive adaptive flow down a tier), and — under Config.Feedback —
+// ONE aggregate AIMD pacer state per congested (link, class), so
+// sibling flows crossing the same hot queue back off as one cut
+// instead of N independent ones. Flows join a tenant via
+// FlowSpec.Tenant; a thousand small flows and one big flow then hit
+// exactly the same ceilings. Per-flow sub-queues
+// (Scheduler.PerFlowQueues) keep flows fair INSIDE each class queue,
+// so a tenant's own bulk flow cannot starve its interactive one.
+// Snapshot carries a per-tenant rollup slice (Snapshot.Tenants,
+// exposed over /snapshot and by jqos-stat), and TenantStats reads one
+// tenant's slice on demand:
+//
+//	dep.RegisterTenant(jqos.TenantContract{
+//	    ID: 1, Name: "acme", Rate: 512 << 10, CostCeilingPerGB: 0.06,
+//	})
+//	dep.RegisterTenant(jqos.TenantContract{ID: 2, Name: "umbrella", Rate: 256 << 10})
+//	fa, _ := dep.RegisterFlow(jqos.FlowSpec{
+//	    Src: src1, Dst: dst1, Budget: 150 * time.Millisecond, Tenant: 1,
+//	})
+//	fb, _ := dep.RegisterFlow(jqos.FlowSpec{
+//	    Src: src2, Dst: dst2, Budget: 150 * time.Millisecond, Tenant: 2,
+//	})
+//	_, _ = fa, fb
+//	dep.Run(10 * time.Second)
+//	ts, _ := dep.TenantStats(1) // quota drops, est. spend, pacer state
+//
+// See examples/tenancy and experiment "tenancy".
+//
 // # Quick start
 //
 //	cfg := jqos.DefaultConfig()
@@ -249,6 +287,7 @@ import (
 	"jqos/internal/netem"
 	"jqos/internal/overlay"
 	"jqos/internal/routing"
+	"jqos/internal/tenant"
 )
 
 // Re-exported identity types so example code rarely needs internal imports.
@@ -263,6 +302,8 @@ type (
 	Service = core.Service
 	// Delivery is a packet surfaced to a receiving endpoint.
 	Delivery = core.Delivery
+	// TenantID identifies a registered tenant contract (0 = untenanted).
+	TenantID = core.TenantID
 )
 
 // Services, re-exported.
@@ -402,6 +443,24 @@ type Deployment struct {
 	// non-nil; individual pieces disable via Config.Telemetry.
 	tel *telemetryPlane
 
+	// tenants is the multi-tenant control plane: per-customer contracts
+	// enforcing aggregate admission quotas, egress-cost budgets, and
+	// one-backoff-per-bottleneck congestion pacing across each tenant's
+	// member flows (see tenant.go).
+	tenants *tenant.Registry
+	// Tenant control-loop state: the cost-budget tick (UpgradeInterval
+	// cadence, parks when traffic stops) and the aggregate-pacer
+	// additive-recovery tick (Feedback.RecoverInterval cadence, stops
+	// when no tenant is throttled). Funcs are bound once so re-arming
+	// allocates no closures.
+	tenantCostArmed  bool
+	tenantCostNeeded bool // any tenant has a cost ceiling
+	tenantCostIdle   int
+	tenantCostLast   uint64 // activity mark for parking
+	tenantCostFn     func()
+	tenantPacerArmed bool
+	tenantPacerFn    func()
+
 	// repinWatch holds RepinOnHeal flows parked off their preferred
 	// path; every recompute checks whether the preferred path healed.
 	repinWatch map[core.FlowID]*Flow
@@ -467,7 +526,10 @@ func NewDeploymentWithConfig(seed int64, cfg Config) *Deployment {
 		egressBytes: make(map[core.NodeID]uint64),
 		linkShape:   make(map[[2]core.NodeID]time.Duration),
 		repinWatch:  make(map[core.FlowID]*Flow),
+		tenants:     tenant.NewRegistry(),
 	}
+	d.tenantCostFn = d.tenantCostRun
+	d.tenantPacerFn = d.tenantPacerRun
 	d.loadReg = load.NewRegistry(cfg.LoadWindow)
 	d.tel = newTelemetryPlane(d, cfg.Telemetry)
 	d.ctrl.SetCongestionConfig(cfg.Congestion)

@@ -7,6 +7,7 @@ import (
 	"jqos/internal/core"
 	"jqos/internal/load"
 	"jqos/internal/telemetry"
+	"jqos/internal/tenant"
 )
 
 // TelemetryConfig tunes the deployment's observability plane (see the
@@ -301,18 +302,29 @@ func (p *telemetryPlane) build() *telemetry.Snapshot {
 
 	fb := d.FeedbackStats()
 	s.Feedback = telemetry.FeedbackSnapshot{
-		Enabled:         d.fb != nil,
-		Transitions:     fb.Transitions,
-		Batches:         fb.Batches,
-		SignalsSent:     fb.SignalsSent,
-		SignalsLocal:    fb.SignalsLocal,
-		SignalsDropped:  fb.SignalsDropped,
-		FlowSignals:     fb.FlowSignals,
-		HotRefreshes:    fb.HotRefreshes,
-		RateCuts:        fb.RateCuts,
-		RateRecoveries:  fb.RateRecoveries,
-		PreemptiveMoves: fb.PreemptiveMoves,
-		SubscribedFlows: fb.SubscribedFlows,
+		Enabled:          d.fb != nil,
+		Transitions:      fb.Transitions,
+		Batches:          fb.Batches,
+		SignalsSent:      fb.SignalsSent,
+		SignalsLocal:     fb.SignalsLocal,
+		SignalsDropped:   fb.SignalsDropped,
+		FlowSignals:      fb.FlowSignals,
+		HotRefreshes:     fb.HotRefreshes,
+		RateCuts:         fb.RateCuts,
+		RateRecoveries:   fb.RateRecoveries,
+		TenantCuts:       fb.TenantCuts,
+		TenantRecoveries: fb.TenantRecoveries,
+		PreemptiveMoves:  fb.PreemptiveMoves,
+		SubscribedFlows:  fb.SubscribedFlows,
+	}
+
+	// Per-tenant slice: each rollup recomputed from the SAME member rows
+	// this snapshot carries (s.Flows is ascending), so an auditor holding
+	// only the snapshot reproduces every sum bit-exactly.
+	if d.tenants.Len() > 0 {
+		d.tenants.Each(func(t *tenant.Tenant) {
+			s.Tenants = append(s.Tenants, tenantSnap(t, s.Flows))
+		})
 	}
 
 	s.Totals.EgressBytes = d.TotalEgressBytes()
@@ -366,7 +378,10 @@ func flowSnap(f *Flow) telemetry.FlowSnapshot {
 		AdmissionRate:    f.AdmissionRate(),
 		Throttled:        f.pacer != nil && f.pacer.Throttled(),
 		ServiceChanges:   len(f.changes),
+		Tenant:           f.spec.Tenant,
 	}
+	fs.CostPerGB = f.costPerGB(f.service)
+	fs.EstCostUSD = float64(m.SentBytes) / 1e9 * fs.CostPerGB
 	for svc, n := range m.ByService {
 		if int(svc) < telemetry.NumClasses {
 			fs.ByService[svc] = n

@@ -1,0 +1,230 @@
+package jqos
+
+import (
+	"fmt"
+
+	"jqos/internal/core"
+	"jqos/internal/telemetry"
+	"jqos/internal/tenant"
+)
+
+// TenantContract is one customer's resource envelope: an aggregate
+// admission quota (Rate/Burst, shared by all member flows' cloud
+// copies), and an egress-cost budget (CostCeilingPerGB, enforced
+// against the tenant's volume-weighted aggregate spend). Re-exported
+// from internal/tenant; see the package docs' Tenancy section.
+type TenantContract = tenant.Contract
+
+// RegisterTenant registers a customer contract. Flows join it via
+// FlowSpec.Tenant and must register AFTER it; the contract itself is
+// immutable once registered. The aggregate pacer (one AIMD backoff per
+// congested bottleneck across the whole tenant) uses the deployment's
+// Feedback.Pacer parameters. Errors on the reserved ID 0, a duplicate
+// ID, or a negative rate/ceiling.
+func (d *Deployment) RegisterTenant(c TenantContract) error {
+	_, err := d.tenants.Register(c, d.cfg.Feedback.Pacer)
+	if err != nil {
+		return err
+	}
+	if c.CostCeilingPerGB > 0 {
+		d.tenantCostNeeded = true
+	}
+	return nil
+}
+
+// TenantStats builds one tenant's telemetry slice on demand — the same
+// rollup Snapshot carries in Snapshot.Tenants, without building the
+// whole snapshot. Like Snapshot it walks live simulator-owned state and
+// must run on the simulator goroutine; concurrent readers use
+// LatestSnapshot. ok is false for unregistered IDs.
+func (d *Deployment) TenantStats(id TenantID) (telemetry.TenantSnapshot, bool) {
+	t, ok := d.tenants.Get(id)
+	if !ok {
+		return telemetry.TenantSnapshot{}, false
+	}
+	var members []telemetry.FlowSnapshot
+	for fid := core.FlowID(1); fid < d.nextFlow; fid++ {
+		if f, ok := d.flows[fid]; ok && f.spec.Tenant == id {
+			members = append(members, flowSnap(f))
+		}
+	}
+	return tenantSnap(t, members), true
+}
+
+// Tenants returns the registered tenant IDs in ascending order.
+func (d *Deployment) Tenants() []TenantID {
+	out := make([]TenantID, 0, d.tenants.Len())
+	d.tenants.Each(func(t *tenant.Tenant) { out = append(out, t.ID()) })
+	return out
+}
+
+// TenantFlowCount returns the tenant's live member-flow count (panics
+// on an unregistered ID — a harness wiring bug). The chaos teardown
+// invariant drives it back to zero.
+func (d *Deployment) TenantFlowCount(id TenantID) int {
+	t, ok := d.tenants.Get(id)
+	if !ok {
+		panic(fmt.Sprintf("jqos: tenant %v not registered", id))
+	}
+	return t.FlowCount()
+}
+
+// armTenantCostTick starts (or restarts, after parking) the tenant
+// cost-budget loop. Called per application send of any tenanted flow —
+// a bool check when already armed — so the loop runs exactly while
+// tenanted traffic flows, and never at all when no tenant declared a
+// cost ceiling.
+func (d *Deployment) armTenantCostTick() {
+	if d.tenantCostArmed || !d.tenantCostNeeded || d.cfg.UpgradeInterval <= 0 {
+		return
+	}
+	d.tenantCostArmed = true
+	d.tenantCostIdle = 0
+	d.sim.After(d.cfg.UpgradeInterval, d.tenantCostFn)
+}
+
+// tenantCostRun is one budget evaluation: for every tenant with a cost
+// ceiling, price the membership's lifetime application volume at each
+// flow's live per-GB price (the same figure the per-flow cost loop
+// checks) and compare the volume-weighted aggregate against the
+// ceiling. A violation forces the tenant's most EXPENSIVE adaptive
+// member down a tier — the move that buys the most $/GB relief — and
+// counts on the tenant (one forced move per tick per tenant, mirroring
+// the per-flow loop's one-move-per-tick pacing). The loop parks after
+// two idle windows; the next tenanted send re-arms it.
+func (d *Deployment) tenantCostRun() {
+	d.tenantCostArmed = false
+	d.tenants.Each(func(t *tenant.Tenant) {
+		ceiling := t.Contract().CostCeilingPerGB
+		if ceiling <= 0 {
+			return
+		}
+		var costUSD float64
+		var bytes uint64
+		var victim *Flow
+		var victimPrice float64
+		for id := core.FlowID(1); id < d.nextFlow; id++ {
+			f, ok := d.flows[id]
+			if !ok || f.tenant != t {
+				continue
+			}
+			price := f.costPerGB(f.service)
+			costUSD += float64(f.metrics.SentBytes) / 1e9 * price
+			bytes += f.metrics.SentBytes
+			// Ascending scan + strictly-greater keeps the lowest flow ID
+			// among equally priced candidates — deterministic victim.
+			if !f.spec.ServiceFixed && (victim == nil || price > victimPrice) {
+				victim, victimPrice = f, price
+			}
+		}
+		if bytes == 0 {
+			return
+		}
+		agg := costUSD / (float64(bytes) / 1e9)
+		if agg <= ceiling || victim == nil {
+			return
+		}
+		d.trace(telemetry.Event{
+			Kind: telemetry.KindTenantCostViolation, Tenant: t.ID(),
+			Flow: victim.id, Class: victim.service,
+			V1: int64(agg * 1e6), V2: int64(ceiling * 1e6),
+		})
+		t.NoteCostViolation()
+		victim.forceCheaper()
+	})
+	if act := d.activity; act == d.tenantCostLast {
+		d.tenantCostIdle++
+	} else {
+		d.tenantCostLast = act
+		d.tenantCostIdle = 0
+	}
+	if d.tenantCostIdle < 2 {
+		d.tenantCostArmed = true
+		d.sim.After(d.cfg.UpgradeInterval, d.tenantCostFn)
+	}
+}
+
+// armTenantPacerTick schedules the next additive-recovery step of the
+// tenants' aggregate pacers (idempotent; the loop stops by itself once
+// no tenant is throttled). Armed wherever a tenant pacer can enter the
+// throttled state or lose a subscriber that would have delivered its
+// cooling signal: on aggregate cuts, on member (path, class) changes,
+// and on member close.
+func (d *Deployment) armTenantPacerTick() {
+	if d.tenantPacerArmed || d.fb == nil {
+		return
+	}
+	d.tenantPacerArmed = true
+	d.sim.After(d.fb.cfg.RecoverInterval, d.tenantPacerFn)
+}
+
+// tenantPacerRun is one recovery tick across every tenant, ascending ID
+// — the tenant-level mirror of Flow.pacerTickRun.
+func (d *Deployment) tenantPacerRun() {
+	d.tenantPacerArmed = false
+	now := d.sim.Now()
+	rearm := false
+	d.tenants.Each(func(t *tenant.Tenant) {
+		p := t.Pacer()
+		if p == nil {
+			return
+		}
+		if p.Tick(now) {
+			d.fb.stats.TenantRecoveries++
+			d.trace(telemetry.Event{
+				Kind: telemetry.KindTenantPacerRecover, Tenant: t.ID(),
+				V1: p.Rate(), V2: p.Contract(),
+			})
+			d.tel.notePacer(p.Rate(), p.Contract())
+		}
+		if p.Throttled() {
+			rearm = true
+		}
+	})
+	if rearm {
+		d.armTenantPacerTick()
+	}
+}
+
+// tenantSnap assembles one tenant's telemetry slice: contract and live
+// runtime state from the tenant itself, per-flow rollups summed over
+// the member rows (ascending flow-ID order — an auditor holding the
+// same snapshot reproduces the sums bit-exactly).
+func tenantSnap(t *tenant.Tenant, members []telemetry.FlowSnapshot) telemetry.TenantSnapshot {
+	drops, dropBytes := t.QuotaDrops()
+	ts := telemetry.TenantSnapshot{
+		ID:                t.ID(),
+		Name:              t.Name(),
+		Flows:             t.FlowCount(),
+		QuotaRate:         t.QuotaRate(),
+		QuotaDropped:      drops,
+		QuotaDroppedBytes: dropBytes,
+		CostCeilingPerGB:  t.Contract().CostCeilingPerGB,
+		CostViolations:    t.CostViolations(),
+	}
+	for i := range members {
+		fs := &members[i]
+		if fs.Tenant != t.ID() {
+			continue
+		}
+		ts.Sent += fs.Sent
+		ts.SentBytes += fs.SentBytes
+		ts.Delivered += fs.Delivered
+		ts.OnTime += fs.OnTime
+		ts.AdmissionDropped += fs.AdmissionDropped
+		ts.EgressDropped += fs.EgressDropped
+		ts.PacedBytes += fs.PacedBytes
+		ts.EstCostUSD += fs.EstCostUSD
+	}
+	if ts.SentBytes > 0 {
+		ts.CostPerGB = ts.EstCostUSD / (float64(ts.SentBytes) / 1e9)
+	}
+	if p := t.Pacer(); p != nil {
+		ts.PacerRate = p.Rate()
+		ts.Throttled = p.Throttled()
+		ts.HotLinks = p.HotLinks()
+		ts.PacerCuts = p.Cuts()
+		ts.PacerRecoveries = p.Recoveries()
+	}
+	return ts
+}
