@@ -8,6 +8,7 @@ import (
 	"jqos"
 	"jqos/internal/dataset"
 	"jqos/internal/netem"
+	"jqos/internal/telemetry"
 )
 
 // backpressureConfig is the shared-saturated-link scheduler+feedback
@@ -112,10 +113,10 @@ func TestBackpressureProtectsSharedLink(t *testing.T) {
 	dOn.Run(span + 8*time.Second)
 
 	var offDrops, onDrops uint64
-	if st, ok := dOff.SchedStats(o1, o2); ok {
+	if st, ok := dOff.Snapshot().Queue(o1, o2); ok {
 		offDrops = st.PerClass[jqos.ServiceForwarding].DroppedPackets
 	}
-	if st, ok := dOn.SchedStats(n1, n2); ok {
+	if st, ok := dOn.Snapshot().Queue(n1, n2); ok {
 		onDrops = st.PerClass[jqos.ServiceForwarding].DroppedPackets
 	}
 	mOff, mOn := iOff.Metrics(), iOn.Metrics()
@@ -144,7 +145,7 @@ func TestBackpressureProtectsSharedLink(t *testing.T) {
 	if paced == 0 {
 		t.Error("no bytes accounted as paced under cuts")
 	}
-	fb := dOn.FeedbackStats()
+	fb := dOn.Snapshot().Feedback
 	if fb.Transitions == 0 || fb.Batches == 0 || fb.RateCuts == 0 || fb.FlowSignals == 0 {
 		t.Errorf("feedback plane idle: %+v", fb)
 	}
@@ -154,8 +155,8 @@ func TestBackpressureProtectsSharedLink(t *testing.T) {
 	if fb.SubscribedFlows != 3 {
 		t.Errorf("subscribed flows = %d, want 3", fb.SubscribedFlows)
 	}
-	// Feedback disabled: the stats surface answers zeros.
-	if got := dOff.FeedbackStats(); got != (jqos.FeedbackStats{}) {
+	// Feedback disabled: the snapshot's feedback section is all zeros.
+	if got := dOff.Snapshot().Feedback; got != (telemetry.FeedbackSnapshot{}) {
 		t.Errorf("disabled feedback reports %+v", got)
 	}
 	// Teardown empties the registry.
@@ -163,7 +164,7 @@ func TestBackpressureProtectsSharedLink(t *testing.T) {
 	for _, gf := range gOn {
 		gf.Close()
 	}
-	if fb := dOn.FeedbackStats(); fb.SubscribedFlows != 0 {
+	if fb := dOn.Snapshot().Feedback; fb.SubscribedFlows != 0 {
 		t.Errorf("registry holds %d flows after close", fb.SubscribedFlows)
 	}
 }
@@ -236,7 +237,7 @@ func TestFeedbackSignalsCrossTheWire(t *testing.T) {
 	if !sawHot {
 		t.Error("no Hot signal delivered")
 	}
-	fb := d.FeedbackStats()
+	fb := d.Snapshot().Feedback
 	if fb.SignalsSent == 0 {
 		t.Errorf("no signals crossed the wire (remote ingress): %+v", fb)
 	}
@@ -288,7 +289,7 @@ func TestFeedbackSubscriptionFollowsReroute(t *testing.T) {
 			d.Sim().At(at, func() { f.Send(make([]byte, 1000)) })
 		}
 	}
-	d.Sim().At(failAt, func() { d.DisconnectDCs(dc1, dc2) })
+	d.Sim().At(failAt, func() { d.Link(dc1, dc2).Disconnect() })
 	d.Run(span + 10*time.Second)
 
 	var beforeVia2, afterVia3 bool
@@ -306,7 +307,7 @@ func TestFeedbackSubscriptionFollowsReroute(t *testing.T) {
 	if !afterVia3 {
 		t.Error("no signals for the alternate path after the reroute — subscription not repaired")
 	}
-	if fb := d.FeedbackStats(); fb.SubscribedFlows != 1 {
+	if fb := d.Snapshot().Feedback; fb.SubscribedFlows != 1 {
 		t.Errorf("subscribed flows = %d, want 1", fb.SubscribedFlows)
 	}
 }
@@ -453,8 +454,8 @@ func TestRepinOnHealReturnsPreferredPath(t *testing.T) {
 			at := time.Duration(i) * 5 * time.Millisecond
 			d.Sim().At(at, func() { f.Send([]byte("x")) })
 		}
-		d.Sim().At(1500*time.Millisecond, func() { d.DisconnectDCs(dcs[0], dcs[1]) })
-		d.Sim().At(3500*time.Millisecond, func() { d.ReconnectDCs(dcs[0], dcs[1]) })
+		d.Sim().At(1500*time.Millisecond, func() { d.Link(dcs[0], dcs[1]).Disconnect() })
+		d.Sim().At(3500*time.Millisecond, func() { d.Link(dcs[0], dcs[1]).Reconnect() })
 		d.Run(12 * time.Second)
 		return f.Path(), rec, dcs
 	}
@@ -702,7 +703,7 @@ func TestAdmissionShapeSchedulerInterplay(t *testing.T) {
 	if bm.EgressDropped == 0 || uint64(bulkWatch.egressDrops) != bm.EgressDropped {
 		t.Errorf("bulk egress drops inconsistent: observer %d, metrics %d", bulkWatch.egressDrops, bm.EgressDropped)
 	}
-	st, ok := d.SchedStats(dc1, dc2)
+	st, ok := d.Snapshot().Queue(dc1, dc2)
 	if !ok {
 		t.Fatal("no sched stats")
 	}
@@ -821,13 +822,14 @@ func TestStandingHotKeepsCutting(t *testing.T) {
 	// refresh-driven cuts converge, the drop counter must stop moving.
 	var midDrops uint64
 	d.Sim().At(span/2, func() {
-		if st, ok := d.SchedStats(dc1, dc2); ok {
+		if st, ok := d.Snapshot().Queue(dc1, dc2); ok {
 			midDrops = st.PerClass[jqos.ServiceForwarding].DroppedPackets
 		}
 	})
 	d.Run(span + 8*time.Second)
 
-	fb := d.FeedbackStats()
+	snap := d.Snapshot()
+	fb := snap.Feedback
 	if fb.HotRefreshes == 0 {
 		t.Fatalf("standing-hot queue never re-announced: %+v", fb)
 	}
@@ -836,7 +838,7 @@ func TestStandingHotKeepsCutting(t *testing.T) {
 	if fb.RateCuts < 6 {
 		t.Errorf("rate cuts = %d, want ≥2 per flow", fb.RateCuts)
 	}
-	st, ok := d.SchedStats(dc1, dc2)
+	st, ok := snap.Queue(dc1, dc2)
 	if !ok {
 		t.Fatal("no sched stats")
 	}

@@ -85,6 +85,32 @@ func (n *DCNode) transmit(emits []core.Emit) {
 	}
 }
 
+// transmitTagged is transmit with the hop re-resolution done against the
+// table version named by the packet's epoch tag. The forwarder already
+// picked each emit's hop under that version; re-resolving the hop through
+// the CURRENT table here would defeat the make-before-break drain — after
+// a reroute that flips this DC's route to the old hop backward, the
+// lookup would bounce in-flight old-epoch traffic into a loop between
+// the DCs on either side of the change until the epoch retires.
+func (n *DCNode) transmitTagged(tag uint8, emits []core.Emit) {
+	for _, em := range emits {
+		if via, ok := n.fwd.RouteTagged(tag, em.To); ok && via != n.id && n.d.net.HasRoute(n.id, via) {
+			n.send(via, em.Msg)
+			continue
+		}
+		if n.d.net.HasRoute(n.id, em.To) {
+			n.send(em.To, em.Msg)
+			continue
+		}
+		// Last resort: relay via the recipient's nearest DC.
+		if via, ok := n.d.topo.NearestDC(em.To); ok && via != n.id && n.d.net.HasRoute(n.id, via) {
+			n.send(via, em.Msg)
+			continue
+		}
+		n.drop++
+	}
+}
+
 // send moves one data-plane message toward hop. Inter-DC hops pass
 // through the per-link egress scheduler when Config.Scheduler enables it
 // — data, coded parity, and cloud copies alike — so service classes
@@ -267,7 +293,7 @@ func (n *DCNode) forwardData(hdr *wire.Header, raw []byte) {
 		}
 		return
 	}
-	n.forwardVia(hdr.Flow, hdr.Dst, raw)
+	n.forwardVia(hdr.Flow, hdr.Dst, hdr.Flags, raw)
 }
 
 // pinnedSend sends msg over flow's pinned next hop toward to, if one is
@@ -284,10 +310,16 @@ func (n *DCNode) pinnedSend(flow core.FlowID, to core.NodeID, msg []byte) bool {
 }
 
 // forwardVia relays raw toward dst, honoring the flow's pinned next hop
-// before the shared tables.
-func (n *DCNode) forwardVia(flow core.FlowID, dst core.NodeID, raw []byte) {
+// before the shared tables. Packets carrying an epoch tag (stamped at
+// ingress) resolve against the table version they entered the overlay
+// under while the controller's make-before-break drain holds it live.
+func (n *DCNode) forwardVia(flow core.FlowID, dst core.NodeID, flags uint16, raw []byte) {
 	if n.pinnedSend(flow, dst, raw) {
 		n.fwd.NotePinnedForward()
+		return
+	}
+	if tag, ok := wire.EpochTag(flags); ok {
+		n.transmitTagged(tag, n.fwd.ForwardTagged(tag, dst, raw))
 		return
 	}
 	n.transmit(n.fwd.Forward(dst, raw))
@@ -350,7 +382,7 @@ func (n *DCNode) transmitCoded(emits []core.Emit) {
 func (n *DCNode) onCoded(now core.Time, hdr *wire.Header, body []byte, raw []byte) {
 	if hdr.Dst != n.id {
 		if flow, ok := wire.PeekCodedFlow(body); ok {
-			n.forwardVia(flow, hdr.Dst, raw)
+			n.forwardVia(flow, hdr.Dst, hdr.Flags, raw)
 			return
 		}
 		n.transmit(n.fwd.Forward(hdr.Dst, raw))

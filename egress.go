@@ -164,6 +164,9 @@ func (d *Deployment) noteEgressDrop(flow core.FlowID, cls core.Service, size int
 // packets, live queue depth, and deficit rounds. ok is false when
 // scheduling is disabled (Config.Scheduler.Weights nil), a is not a DC,
 // or a never scheduled anything toward b.
+//
+// Deprecated: use Deployment.Snapshot().Queue(a, b), the coherent
+// whole-deployment view (one capture instead of per-subsystem polls).
 func (d *Deployment) SchedStats(a, b core.NodeID) (SchedulerStats, bool) {
 	dc, ok := d.dcs[a]
 	if !ok {

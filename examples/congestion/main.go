@@ -70,14 +70,15 @@ func main() {
 	// Let the bulk load build and the telemetry react.
 	d.Run(2500 * time.Millisecond)
 
-	hot, _ := d.LinkLoad(dc1, dc2)
-	cool, _ := d.LinkLoad(dc1, dc3)
+	snap := d.Snapshot()
+	hot, _ := snap.Link(dc1, dc2)
+	cool, _ := snap.Link(dc1, dc3)
 	fmt.Printf("after 2.5s of bulk:\n")
 	fmt.Printf("  dc1–dc2 (hot):  %.0f kB/s, utilization %.2f\n", hot.AB.Rate/1000, hot.Utilization)
 	fmt.Printf("  dc1–dc3 (idle): %.0f kB/s, utilization %.2f\n", cool.AB.Rate/1000, cool.Utilization)
 	l := d.Routing().Graph().Link(dc1, dc2)
 	fmt.Printf("  hot-link weight inflation: ×%.1f\n", l.Congest)
-	st := d.RoutingStats()
+	st := snap.Routing
 	fmt.Printf("  congestion reroutes: %d (of %d accepted load reports)\n",
 		st.CongestionReroutes, st.UtilizationUpdates)
 	fmt.Printf("  bulk2 admission: %d dropped at ingress (contract %d B/s)\n",

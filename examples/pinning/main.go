@@ -103,9 +103,9 @@ func main() {
 	// stays healed — re-pinning back is a future policy knob.
 	dep.Sim().At(3*time.Second, func() {
 		fmt.Printf("[%6.2fs] --- cutting the dc1—dc3 link ---\n", dep.Now().Seconds())
-		dep.DisconnectDCs(dc1, dc3)
+		dep.Link(dc1, dc3).Disconnect()
 	})
-	dep.Sim().At(5*time.Second, func() { dep.ReconnectDCs(dc1, dc3) })
+	dep.Sim().At(5*time.Second, func() { dep.Link(dc1, dc3).Reconnect() })
 	dep.Run(20 * time.Second)
 
 	report := func(name string, f *jqos.Flow) {

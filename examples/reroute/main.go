@@ -83,11 +83,11 @@ func main() {
 	}
 	dep.Sim().At(2*time.Second, func() {
 		fmt.Println("t=2.000s  dc2—dc4 link fails (blackhole)")
-		dep.DisconnectDCs(dc2, dc4)
+		dep.Link(dc2, dc4).Disconnect()
 	})
 	dep.Sim().At(4*time.Second, func() {
 		fmt.Println("t=4.000s  dc2—dc4 link repaired")
-		dep.SetLinkQuality(dc2, dc4, 15*time.Millisecond, 0)
+		dep.Link(dc2, dc4).Set(15*time.Millisecond, 0)
 	})
 	dep.Run(15 * time.Second)
 
@@ -109,7 +109,7 @@ func main() {
 	}
 
 	m := flow.Metrics()
-	st := dep.RoutingStats()
+	st := dep.Snapshot().Routing
 	h, _ := dep.LinkHealth(dc2, dc4)
 	fmt.Printf("\ndelivered:   %d of %d (%.1f%% lost in the detection gap)\n",
 		m.Delivered, m.Sent, 100*m.LossRate())

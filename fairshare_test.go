@@ -89,14 +89,15 @@ var fairWeights = map[jqos.Service]int{
 }
 
 // TestSchedulerDisabledReportsNoStats: with nil weights (the default),
-// no scheduler exists and SchedStats answers ok=false — the legacy send
-// path runs unchanged (every pre-existing test covers its behavior).
+// no scheduler exists and the snapshot has no queue row — the legacy
+// send path runs unchanged (every pre-existing test covers its
+// behavior).
 func TestSchedulerDisabledReportsNoStats(t *testing.T) {
 	w := buildSharedLink(t, 60, schedTestConfig(nil, 0), 0)
 	loadSharedLink(w, 200*time.Millisecond)
 	w.d.Run(2 * time.Second)
-	if _, ok := w.d.SchedStats(w.dc1, w.dc2); ok {
-		t.Fatal("SchedStats answered with scheduling disabled")
+	if _, ok := w.d.Snapshot().Queue(w.dc1, w.dc2); ok {
+		t.Fatal("snapshot grew a queue row with scheduling disabled")
 	}
 	if w.inter.Metrics().Delivered == 0 {
 		t.Fatal("legacy path delivered nothing")
@@ -126,7 +127,7 @@ func TestSchedulerPassThroughMatchesLegacy(t *testing.T) {
 		t.Fatalf("pass-through latency diverged: %.4f vs %.4f ms", lo, ln)
 	}
 	// The inline-drained scheduler still counted everything it moved.
-	st, ok := on.d.SchedStats(on.dc1, on.dc2)
+	st, ok := on.d.Snapshot().Queue(on.dc1, on.dc2)
 	if !ok {
 		t.Fatal("no sched stats on the enabled run")
 	}
@@ -228,7 +229,7 @@ func TestEgressDropSurfacedToObserver(t *testing.T) {
 	if watch.class != jqos.ServiceCaching {
 		t.Errorf("drops attributed to class %v, want caching", watch.class)
 	}
-	st, ok := w.d.SchedStats(w.dc1, w.dc2)
+	st, ok := w.d.Snapshot().Queue(w.dc1, w.dc2)
 	if !ok {
 		t.Fatal("no sched stats")
 	}
@@ -256,7 +257,7 @@ func TestDequeueSideMeteringBoundsLinkLoad(t *testing.T) {
 
 	var midRate, midUtil float64
 	w.d.Sim().At(span-100*time.Millisecond, func() {
-		if ll, ok := w.d.LinkLoad(w.dc1, w.dc2); ok {
+		if ll, ok := w.d.Snapshot().Link(w.dc1, w.dc2); ok {
 			midRate, midUtil = ll.AB.Rate, ll.Utilization
 		}
 	})
@@ -277,11 +278,12 @@ func TestDequeueSideMeteringBoundsLinkLoad(t *testing.T) {
 	// Lifetime conservation: bytes the meters recorded dc1→dc2 equal
 	// bytes the scheduler dequeued (both count exactly the data plane;
 	// probes bypass both).
-	ll, ok := w.d.LinkLoad(w.dc1, w.dc2)
+	snap := w.d.Snapshot()
+	ll, ok := snap.Link(w.dc1, w.dc2)
 	if !ok {
 		t.Fatal("no link load")
 	}
-	st, ok := w.d.SchedStats(w.dc1, w.dc2)
+	st, ok := snap.Queue(w.dc1, w.dc2)
 	if !ok {
 		t.Fatal("no sched stats")
 	}

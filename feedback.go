@@ -386,7 +386,14 @@ func (p *feedbackPlane) deliver(ingress core.NodeID, sig CongestionSignal) {
 
 // FeedbackStats returns the congestion-feedback plane's counters. Zero
 // everywhere when feedback is disabled.
-func (d *Deployment) FeedbackStats() FeedbackStats {
+//
+// Deprecated: use Deployment.Snapshot().Feedback, the coherent
+// whole-deployment view (one capture instead of per-subsystem polls).
+func (d *Deployment) FeedbackStats() FeedbackStats { return d.feedbackStats() }
+
+// feedbackStats assembles the live feedback counters (the snapshot
+// builder's source; zero everywhere when feedback is disabled).
+func (d *Deployment) feedbackStats() FeedbackStats {
 	if d.fb == nil {
 		return FeedbackStats{}
 	}

@@ -74,13 +74,15 @@ func TestRapidFlapLeavesNoResidue(t *testing.T) {
 		}
 	}
 
-	// Six rapid cycles: 150 ms down / 150 ms up, well under the
-	// 3-strike × 100 ms fail hysteresis — the monitor must absorb them.
+	// Six rapid cycles: 40 ms down / 260 ms up. Even at the suspicious
+	// fast cadence (25 ms rounds) a 40 ms outage fits at most two probes,
+	// so the 3-strike hysteresis must absorb the flaps without any route
+	// change; the long up phase lets the loss streak reset between cycles.
 	for i := 0; i < 6; i++ {
-		d.DisconnectDCs(dc1, dc3)
-		d.Run(150 * time.Millisecond)
-		d.ReconnectDCs(dc1, dc3)
-		d.Run(150 * time.Millisecond)
+		d.Link(dc1, dc3).Disconnect()
+		d.Run(40 * time.Millisecond)
+		d.Link(dc1, dc3).Reconnect()
+		d.Run(260 * time.Millisecond)
 		checkExactlyOnePin("rapid cycle")
 	}
 	if p := f.Path(); len(p) != 2 {
@@ -90,10 +92,10 @@ func TestRapidFlapLeavesNoResidue(t *testing.T) {
 	// Three slow cycles: 1 s down (failure detected, pin fails over to
 	// dc1→dc2→dc3), 1.5 s up (recovery detected, RepinOnHeal returns it).
 	for i := 0; i < 3; i++ {
-		d.DisconnectDCs(dc1, dc3)
+		d.Link(dc1, dc3).Disconnect()
 		d.Run(time.Second)
 		checkExactlyOnePin("slow cycle (down)")
-		d.ReconnectDCs(dc1, dc3)
+		d.Link(dc1, dc3).Reconnect()
 		d.Run(1500 * time.Millisecond)
 		checkExactlyOnePin("slow cycle (up)")
 	}
@@ -124,8 +126,8 @@ func TestRapidFlapLeavesNoResidue(t *testing.T) {
 // direction carries the fault — and the one-way reconnect must heal it.
 func TestOneWayPartitionDetected(t *testing.T) {
 	for name, cut := range map[string]func(d *jqos.Deployment, a, b core.NodeID){
-		"forward": func(d *jqos.Deployment, a, b core.NodeID) { d.DisconnectDCsOneWay(a, b) },
-		"reverse": func(d *jqos.Deployment, a, b core.NodeID) { d.DisconnectDCsOneWay(b, a) },
+		"forward": func(d *jqos.Deployment, a, b core.NodeID) { d.Link(a, b).DisconnectOneWay() },
+		"reverse": func(d *jqos.Deployment, a, b core.NodeID) { d.Link(b, a).DisconnectOneWay() },
 	} {
 		t.Run(name, func(t *testing.T) {
 			d, dcs, f := buildTriangle(t, 61)
@@ -141,9 +143,9 @@ func TestOneWayPartitionDetected(t *testing.T) {
 			}
 			// Heal only the direction that was cut.
 			if name == "forward" {
-				d.ReconnectDCsOneWay(dc1, dc3)
+				d.Link(dc1, dc3).ReconnectOneWay()
 			} else {
-				d.ReconnectDCsOneWay(dc3, dc1)
+				d.Link(dc3, dc1).ReconnectOneWay()
 			}
 			d.Run(2 * time.Second)
 			if h, ok := d.LinkHealth(dc1, dc3); !ok || h.State == routing.LinkDown {
@@ -156,7 +158,7 @@ func TestOneWayPartitionDetected(t *testing.T) {
 	}
 }
 
-// TestAsymmetricDegradeRaisesRTT: SetLinkQualityAsym on one direction
+// TestAsymmetricDegradeRaisesRTT: Link.SetOneWay on one direction
 // must show up in the monitor's round-trip estimate (probes pay the
 // extra one-way latency) without taking the link down.
 func TestAsymmetricDegradeRaisesRTT(t *testing.T) {
@@ -167,7 +169,7 @@ func TestAsymmetricDegradeRaisesRTT(t *testing.T) {
 	if !ok || h0.RTT == 0 {
 		t.Fatalf("no baseline RTT estimate: %+v", h0)
 	}
-	d.SetLinkQualityAsym(dc1, dc3, 120*time.Millisecond, 0)
+	d.Link(dc1, dc3).SetOneWay(120*time.Millisecond, 0)
 	d.Run(3 * time.Second)
 	h1, ok := d.LinkHealth(dc1, dc3)
 	if !ok {

@@ -358,14 +358,23 @@ func (f *Flow) SendFlagged(payload []byte, flags uint16) core.Seq {
 	if f.service != core.ServiceInternet {
 		if f.spec.Duplication == nil || f.spec.Duplication(f.seq, payload) {
 			if dc1, ok := f.d.topo.NearestDC(f.src); ok {
+				// Cloud copies are stamped with the ingress DC's current
+				// table epoch: transit DCs resolve the packet against that
+				// table version for as long as it stays live, so a reroute
+				// mid-flight never re-resolves (and reorders) traffic that
+				// entered the overlay under the old tables.
+				cflags := flags | wire.FlagDup
+				if dc, okDC := f.d.dcs[dc1]; okDC {
+					cflags |= wire.EpochFlags(dc.fwd.Epoch())
+				}
 				var msg []byte
 				if encoded != nil {
 					msg = append([]byte(nil), encoded...)
 					wire.RewriteDst(msg, f.cloud)
-					wire.RewriteFlags(msg, flags|wire.FlagDup)
+					wire.RewriteFlags(msg, cflags)
 				} else {
 					hdr.Dst = f.cloud
-					hdr.Flags = flags | wire.FlagDup
+					hdr.Flags = cflags
 					msg = wire.AppendMessage(nil, &hdr, payload)
 				}
 				f.sendCloud(now, dc1, msg)

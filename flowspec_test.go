@@ -397,7 +397,7 @@ func TestPinnedPathForwardingAndFailover(t *testing.T) {
 		at := time.Duration(i) * 5 * time.Millisecond
 		d.Sim().At(at, func() { f.Send([]byte("pin me")) })
 	}
-	d.Sim().At(failAt, func() { d.DisconnectDCs(dcs[0], dcs[2]) }) // dc1—dc3 dies
+	d.Sim().At(failAt, func() { d.Link(dcs[0], dcs[2]).Disconnect() }) // dc1—dc3 dies
 	d.Run(10 * time.Second)
 
 	// Pre-failure traffic rode the pinned 50 ms path (≈63 ms end to
@@ -508,8 +508,8 @@ func TestPinnedPolicySurvivesTotalOutage(t *testing.T) {
 		at := time.Duration(i) * 5 * time.Millisecond
 		d.Sim().At(at, func() { f.Send([]byte("x")) })
 	}
-	d.Sim().At(1500*time.Millisecond, func() { d.DisconnectDCs(dc1, dc2) })
-	d.Sim().At(3500*time.Millisecond, func() { d.ReconnectDCs(dc1, dc2) })
+	d.Sim().At(1500*time.Millisecond, func() { d.Link(dc1, dc2).Disconnect() })
+	d.Sim().At(3500*time.Millisecond, func() { d.Link(dc1, dc2).Reconnect() })
 	d.Run(12 * time.Second)
 	if h, _ := d.LinkHealth(dc1, dc2); h.State != routing.LinkUp {
 		t.Fatalf("link never recovered: %v", h.State)
@@ -601,7 +601,9 @@ func TestCheapestPathPolicy(t *testing.T) {
 }
 
 // TestReconnectDCs restores a blackholed link to its original shape
-// without the caller re-specifying the latency.
+// without the caller re-specifying the latency. It deliberately stays on
+// the deprecated DisconnectDCs/ReconnectDCs wrappers so the compatibility
+// shims over Deployment.Link keep test coverage.
 func TestReconnectDCs(t *testing.T) {
 	cfg := jqos.DefaultConfig()
 	cfg.UpgradeInterval = 0
@@ -621,7 +623,7 @@ func TestReconnectDCs(t *testing.T) {
 	d.Sim().At(1500*time.Millisecond, func() { d.DisconnectDCs(dcs[1], dcs[3]) })
 	d.Sim().At(3500*time.Millisecond, func() { d.ReconnectDCs(dcs[1], dcs[3]) })
 	d.Run(12 * time.Second)
-	st := d.RoutingStats()
+	st := d.Snapshot().Routing
 	if st.LinkFailures == 0 || st.LinkRecoveries == 0 {
 		t.Fatalf("failure/recovery not observed: %+v", st)
 	}

@@ -78,13 +78,13 @@ func (e *Engine) pairOps(a, b core.NodeID, delay func() netem.DelayModel, loss f
 	return ops, nil
 }
 
-// shapeDelay mirrors ConnectDCs/SetLinkQuality's delay family: base
+// shapeDelay mirrors ConnectDCs/Link.Set's delay family: base
 // latency with 2% uniform jitter.
 func shapeDelay(x time.Duration) netem.DelayModel {
 	return netem.UniformJitter{Base: x, Jitter: x / 50}
 }
 
-// degradeLoss mirrors SetLinkQuality: positive rates are Bernoulli,
+// degradeLoss mirrors Link.Set: positive rates are Bernoulli,
 // zero is lossless.
 func degradeLoss(p float64) netem.LossModel {
 	if p > 0 {

@@ -208,7 +208,7 @@ func CheckTeardown(d *jqos.Deployment) []Violation {
 				id, n, h.UnsolicitedReceivers())
 		}
 	}
-	if n := d.FeedbackStats().SubscribedFlows; n != 0 {
+	if n := d.Snapshot().Feedback.SubscribedFlows; n != 0 {
 		out = violate(out, "no-leaked-state", "%d feedback subscriptions after teardown", n)
 	}
 	if n := d.Routing().PinnedCount(); n != 0 {

@@ -24,17 +24,17 @@ type StepKind uint8
 
 const (
 	// StepDegrade reshapes the link A↔B in both directions to Latency
-	// one-way delay and Loss random loss (SetLinkQuality semantics).
+	// one-way delay and Loss random loss (Link.Set semantics).
 	StepDegrade StepKind = iota
 	// StepDegradeAsym reshapes only the A→B direction.
 	StepDegradeAsym
 	// StepPartition blackholes A↔B in both directions, keeping each
-	// direction's current delay process (DisconnectDCs semantics).
+	// direction's current delay process (Link.Disconnect semantics).
 	StepPartition
 	// StepPartitionAsym blackholes only the A→B direction.
 	StepPartitionAsym
 	// StepHeal restores A↔B in both directions to the shape ConnectDCs
-	// recorded (ReconnectDCs semantics).
+	// recorded (Link.Reconnect semantics).
 	StepHeal
 	// StepHealAsym restores only the A→B direction.
 	StepHealAsym

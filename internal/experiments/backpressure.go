@@ -7,6 +7,7 @@ import (
 	"jqos/internal/core"
 	"jqos/internal/dataset"
 	"jqos/internal/stats"
+	"jqos/internal/telemetry"
 )
 
 func init() {
@@ -51,7 +52,7 @@ func runBackpressure(o Options) (Result, error) {
 		classDrops uint64 // forwarding-class egress tail-drops
 		admDrops   uint64 // greedy ingress admission drops
 		pacedKB    uint64
-		fb         jqos.FeedbackStats
+		fb         telemetry.FeedbackSnapshot
 	}
 
 	run := func(name string, withFeedback bool) (outcome, error) {
@@ -136,7 +137,8 @@ func runBackpressure(o Options) (Result, error) {
 
 		m := inter.Metrics()
 		out.sent, out.onTime = m.Sent, m.OnTime
-		if st, ok := d.SchedStats(dc1, dc2); ok {
+		snap := d.Snapshot()
+		if st, ok := snap.Queue(dc1, dc2); ok {
 			out.classDrops = st.PerClass[jqos.ServiceForwarding].DroppedPackets
 		}
 		for _, gf := range greedy {
@@ -144,7 +146,7 @@ func runBackpressure(o Options) (Result, error) {
 			out.admDrops += gm.AdmissionDropped
 			out.pacedKB += gm.PacedBytes / 1000
 		}
-		out.fb = d.FeedbackStats()
+		out.fb = snap.Feedback
 		out.latency = stats.Series{Name: name}
 		for b := 0; b < nBuckets; b++ {
 			if counts[b] > 0 {

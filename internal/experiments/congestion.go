@@ -78,7 +78,7 @@ func runCongestion(o Options) (Result, error) {
 	for at := sample; at <= span; at += sample {
 		at := at
 		d.Sim().At(at, func() {
-			if ll, ok := d.LinkLoad(dc1, dc2); ok {
+			if ll, ok := d.Snapshot().Link(dc1, dc2); ok {
 				util.Append(at.Seconds(), 100*ll.Utilization)
 			}
 		})
@@ -118,7 +118,7 @@ func runCongestion(o Options) (Result, error) {
 		regPath = f.Path()
 		hot := d.Routing().Graph().Link(dc1, dc2)
 		regCongest, regUtil = hot.Congest, hot.Util
-		regStats = int(d.RoutingStats().CongestionReroutes)
+		regStats = int(d.Snapshot().Routing.CongestionReroutes)
 		for i := 0; int(interAt)+i*int(5*time.Millisecond) < int(span); i++ {
 			at := interAt + time.Duration(i)*5*time.Millisecond
 			d.Sim().At(at, func() { f.Send(make([]byte, 200)) })
@@ -145,7 +145,7 @@ func runCongestion(o Options) (Result, error) {
 	}
 	fig.AddSeries(latency)
 	fig.AddSeries(util)
-	st := d.RoutingStats()
+	st := d.Snapshot().Routing
 	im := inter.Metrics()
 	fig.AddNote("bulk saturates dc1–dc2–dc4 from t=0; interactive flow registers at %.1fs with a 100ms budget",
 		interAt.Seconds())

@@ -7,6 +7,7 @@ import (
 	"jqos/internal/core"
 	"jqos/internal/dataset"
 	"jqos/internal/stats"
+	"jqos/internal/telemetry"
 )
 
 func init() {
@@ -44,7 +45,7 @@ func runFairshare(o Options) (Result, error) {
 		onTime   uint64
 		worst    time.Duration
 		dropped  uint64 // bulk egress tail-drops
-		sched    jqos.SchedulerStats
+		sched    telemetry.QueueSnapshot
 		schedOK  bool
 		linkUtil float64
 	}
@@ -122,7 +123,7 @@ func runFairshare(o Options) (Result, error) {
 		// Sample the shared link's utilization mid-run (dequeue-side
 		// metering: never above capacity even at 2× offered load).
 		d.Sim().At(span/2, func() {
-			if ll, ok := d.LinkLoad(dc1, dc2); ok {
+			if ll, ok := d.Snapshot().Link(dc1, dc2); ok {
 				out.linkUtil = ll.Utilization
 			}
 		})
@@ -134,7 +135,7 @@ func runFairshare(o Options) (Result, error) {
 		for _, bf := range bulks {
 			out.dropped += bf.Metrics().EgressDropped
 		}
-		out.sched, out.schedOK = d.SchedStats(dc1, dc2)
+		out.sched, out.schedOK = d.Snapshot().Queue(dc1, dc2)
 		out.latency = stats.Series{Name: name}
 		for b := 0; b < nBuckets; b++ {
 			if counts[b] > 0 {

@@ -71,8 +71,8 @@ func runReroute(o Options) (Result, error) {
 		at := time.Duration(i) * spacing
 		d.Sim().At(at, func() { flow.Send(make([]byte, 200)) })
 	}
-	d.Sim().At(failAt, func() { d.DisconnectDCs(dc2, dc4) })
-	d.Sim().At(healAt, func() { d.SetLinkQuality(dc2, dc4, 15*time.Millisecond, 0) })
+	d.Sim().At(failAt, func() { d.Link(dc2, dc4).Disconnect() })
+	d.Sim().At(healAt, func() { d.Link(dc2, dc4).Set(15*time.Millisecond, 0) })
 	d.Run(span + 5*time.Second)
 
 	latency := stats.Series{Name: "mean delivery latency (ms)"}
@@ -96,7 +96,7 @@ func runReroute(o Options) (Result, error) {
 	}
 	fig.AddSeries(latency)
 	fig.AddSeries(delivered)
-	st := d.RoutingStats()
+	st := d.Snapshot().Routing
 	h, _ := d.LinkHealth(dc2, dc4)
 	m := flow.Metrics()
 	fig.AddNote("link dc2—dc4 fails at %.1fs, heals at %.1fs; probe interval %v",

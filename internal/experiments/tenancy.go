@@ -236,7 +236,7 @@ func runSingleCut(o Options, fig *stats.Figure) error {
 			return fmt.Errorf("tenancy: %d tenant pacer cuts at %v — want one per tenant per signal", n, at)
 		}
 	}
-	fb := d.FeedbackStats()
+	fb := d.Snapshot().Feedback
 	if fb.TenantCuts == 0 {
 		return fmt.Errorf("tenancy: shared Hot bottleneck never cut the tenant pacer")
 	}
@@ -341,10 +341,10 @@ func runSubqueueIsolation(o Options, fig *stats.Figure) error {
 
 		m := inter.Metrics()
 		out.sent, out.onTime = m.Sent, m.OnTime
-		if st, ok := d.SchedStats(dc1, dc2); ok {
+		s := d.Snapshot()
+		if st, ok := s.Queue(dc1, dc2); ok {
 			out.victims = st.PerClass[jqos.ServiceForwarding].VictimDrops
 		}
-		s := d.Snapshot()
 		if len(s.Tenants) == 1 {
 			out.tenant = s.Tenants[0]
 		}

@@ -117,6 +117,11 @@ func (b *Broadcaster) Flushes() uint64 { return b.flushes }
 type Registry struct {
 	subs  map[linkClass]map[core.FlowID]core.NodeID // flow → ingress DC
 	flows map[core.FlowID]flowSub                   // reverse index for update/remove
+	// keyFree / mapFree recycle key slices and emptied fan-out maps so
+	// subscription churn (every flow open, close, and reroute) settles at
+	// zero allocations per update.
+	keyFree [][]linkClass
+	mapFree []map[core.FlowID]core.NodeID
 }
 
 // flowSub is one flow's stored subscription: its ingress plus the
@@ -145,18 +150,19 @@ func (r *Registry) Update(flow core.FlowID, ingress core.NodeID, class core.Serv
 	if len(path) < 2 {
 		return r.Remove(flow)
 	}
-	keys := make([]linkClass, 0, len(path)-1)
+	keys := r.getKeys()
 	for i := 0; i+1 < len(path); i++ {
 		keys = append(keys, linkClass{path[i], path[i+1], class})
 	}
 	if prev, ok := r.flows[flow]; ok && prev.ingress == ingress && slices.Equal(prev.keys, keys) {
+		r.keyFree = append(r.keyFree, keys)
 		return false
 	}
 	r.Remove(flow)
 	for _, k := range keys {
 		m, ok := r.subs[k]
 		if !ok {
-			m = make(map[core.FlowID]core.NodeID)
+			m = r.getMap()
 			r.subs[k] = m
 		}
 		m[flow] = ingress
@@ -174,11 +180,38 @@ func (r *Registry) Remove(flow core.FlowID) bool {
 			delete(m, flow)
 			if len(m) == 0 {
 				delete(r.subs, k)
+				r.mapFree = append(r.mapFree, m)
 			}
 		}
 	}
-	delete(r.flows, flow)
+	if had {
+		delete(r.flows, flow)
+		r.keyFree = append(r.keyFree, sub.keys)
+	}
 	return had
+}
+
+// getKeys pops a recycled key slice (empty, capacity retained) or
+// returns nil for append to grow — the amortized cost of a new path
+// length, paid once.
+func (r *Registry) getKeys() []linkClass {
+	if n := len(r.keyFree); n > 0 {
+		keys := r.keyFree[n-1]
+		r.keyFree = r.keyFree[:n-1]
+		return keys[:0]
+	}
+	return nil
+}
+
+// getMap pops a recycled fan-out map (emptied by Remove, buckets
+// retained) or makes a fresh one.
+func (r *Registry) getMap() map[core.FlowID]core.NodeID {
+	if n := len(r.mapFree); n > 0 {
+		m := r.mapFree[n-1]
+		r.mapFree = r.mapFree[:n-1]
+		return m
+	}
+	return make(map[core.FlowID]core.NodeID)
 }
 
 // Subscribed returns how many flows currently hold subscriptions.

@@ -25,6 +25,11 @@ type Stats struct {
 	// FlowPinned counts copies that followed a per-flow pinned next hop
 	// instead of the shared table (path-pinned flows).
 	FlowPinned uint64
+	// OldEpochResolves counts packets resolved against the previous table
+	// epoch during a make-before-break drain window — in-flight traffic
+	// that would have been re-resolved (and possibly reordered or
+	// blackholed) by an in-place table swap.
+	OldEpochResolves uint64
 	// ClassBytes / ClassPackets account every packet leaving this DC per
 	// service class — the per-DC face of the load-telemetry layer (the
 	// per-link breakdown lives in internal/load). The hosting runtime
@@ -54,7 +59,19 @@ type Forwarder struct {
 	flowRoutes map[flowKey]core.NodeID
 	// groups maps a multicast group ID to its member endpoints.
 	groups map[core.NodeID][]core.NodeID
-	stats  Stats
+
+	// Make-before-break state: epoch is the current table version
+	// (announced by the controller via BeginEpoch); while prevLive,
+	// prevRoutes overlays the OLD value of every entry the current epoch
+	// changed (0 = the old table had no entry), so packets tagged with the
+	// previous epoch keep resolving the routes they entered the overlay
+	// under until the controller retires them. Only one previous version
+	// is kept — a new BeginEpoch force-retires the older overlay.
+	epoch      uint64
+	prevLive   bool
+	prevRoutes map[core.NodeID]core.NodeID
+
+	stats Stats
 }
 
 // New creates a forwarder for the DC with identity self.
@@ -75,10 +92,107 @@ func (f *Forwarder) Stats() Stats { return f.stats }
 
 // SetRoute installs next hop via for destination dst. via == dst means
 // direct delivery.
-func (f *Forwarder) SetRoute(dst, via core.NodeID) { f.routes[dst] = via }
+func (f *Forwarder) SetRoute(dst, via core.NodeID) {
+	f.saveOld(dst)
+	f.routes[dst] = via
+}
 
 // DeleteRoute removes the route for dst.
-func (f *Forwarder) DeleteRoute(dst core.NodeID) { delete(f.routes, dst) }
+func (f *Forwarder) DeleteRoute(dst core.NodeID) {
+	f.saveOld(dst)
+	delete(f.routes, dst)
+}
+
+// saveOld snapshots dst's pre-write value into the previous-epoch overlay
+// (first write per entry per epoch wins — that IS the old table's value).
+func (f *Forwarder) saveOld(dst core.NodeID) {
+	if !f.prevLive {
+		return
+	}
+	if _, saved := f.prevRoutes[dst]; saved {
+		return
+	}
+	f.prevRoutes[dst] = f.routes[dst] // zero value = no prior entry
+}
+
+// BeginEpoch opens table version epoch (routing.EpochSink). From here
+// until RetireEpoch, writes snapshot their previous values so old-epoch
+// lookups still resolve. An un-retired older overlay is force-dropped:
+// the drain window ended the moment its successor epoch opened.
+func (f *Forwarder) BeginEpoch(epoch uint64) {
+	if f.prevRoutes == nil {
+		f.prevRoutes = make(map[core.NodeID]core.NodeID)
+	} else {
+		clear(f.prevRoutes)
+	}
+	f.epoch = epoch
+	f.prevLive = true
+}
+
+// RetireEpoch drops the overlay protecting epoch's predecessor (no-op
+// unless epoch is still current — a stale retire races a newer epoch
+// that already force-dropped it).
+func (f *Forwarder) RetireEpoch(epoch uint64) {
+	if epoch != f.epoch || !f.prevLive {
+		return
+	}
+	f.prevLive = false
+	clear(f.prevRoutes)
+}
+
+// Epoch returns the current table version.
+func (f *Forwarder) Epoch() uint64 { return f.epoch }
+
+// EpochTag returns the current table version's 2-bit wire tag.
+func (f *Forwarder) EpochTag() uint8 { return uint8(f.epoch & 3) }
+
+// routePrev resolves dst against the previous table version: the saved
+// old value for entries the current epoch changed, the (shared) current
+// table for everything else.
+func (f *Forwarder) routePrev(dst core.NodeID) (core.NodeID, bool) {
+	if old, saved := f.prevRoutes[dst]; saved {
+		if old == 0 {
+			return 0, false
+		}
+		return old, true
+	}
+	return f.Route(dst)
+}
+
+// RouteTagged resolves dst against the table version carried by a
+// packet's 2-bit epoch tag: the current table when the tag matches (or
+// no older version is live), the previous version otherwise.
+func (f *Forwarder) RouteTagged(tag uint8, dst core.NodeID) (core.NodeID, bool) {
+	if !f.prevLive || tag == f.EpochTag() {
+		return f.Route(dst)
+	}
+	return f.routePrev(dst)
+}
+
+// ForwardTagged is Forward resolved against the table version named by a
+// packet's epoch tag. Multicast fan-out always uses the current group
+// membership (groups are member sets, not hops — there is nothing to
+// drain), so only unicast resolution consults the overlay.
+func (f *Forwarder) ForwardTagged(tag uint8, dst core.NodeID, msg []byte) []core.Emit {
+	if !f.prevLive || tag == f.EpochTag() {
+		return f.Forward(dst, msg)
+	}
+	if _, isGroup := f.groups[dst]; isGroup {
+		return f.Forward(dst, msg)
+	}
+	f.stats.OldEpochResolves++
+	hop, ok := f.routePrev(dst)
+	if !ok {
+		hop = dst // no entry in the old table = direct delivery, as in NextHops
+	}
+	if hop == f.self {
+		f.stats.NoRoute++
+		return nil
+	}
+	f.stats.Unicast++
+	f.stats.Copies++
+	return []core.Emit{{To: hop, Msg: msg}}
+}
 
 // Route returns the installed next hop for dst, if any. Transmit paths use
 // it to reach nodes this DC has no direct link to (multi-hop overlays).

@@ -68,6 +68,69 @@ func BenchmarkKShortestPaths(b *testing.B) {
 	}
 }
 
+// nullFlowSink counts per-flow pushes without storing them, so the churn
+// benchmark measures the controller's own pin-table mutation path — the
+// one RegisterFlow/Close ride — and not a fake's map bookkeeping.
+type nullFlowSink struct{ sets, dels int }
+
+func (s *nullFlowSink) SetRoute(dst, via core.NodeID)                       {}
+func (s *nullFlowSink) DeleteRoute(dst core.NodeID)                         {}
+func (s *nullFlowSink) SetFlowRoute(flow core.FlowID, dst, via core.NodeID) { s.sets++ }
+func (s *nullFlowSink) DeleteFlowRoute(flow core.FlowID, dst core.NodeID)   { s.dels++ }
+
+// BenchmarkPinChurn measures one pin + unpin cycle along a 7-hop path —
+// the flow open/close hot path. Must stay at 0 allocs/op: the pin
+// freelist and entry-slice reuse make churn steady-state allocation-free.
+func BenchmarkPinChurn(b *testing.B) {
+	c := NewController(2)
+	for id := core.NodeID(1); id <= 8; id++ {
+		c.AddDC(id, &nullFlowSink{})
+	}
+	for id := core.NodeID(1); id < 8; id++ {
+		c.SetLink(id, id+1, 10*time.Millisecond)
+	}
+	c.AttachHost(100, 8)
+	c.Recompute()
+	ps := c.Paths(1, 8, 1)
+	if len(ps) == 0 {
+		b.Fatal("no path to pin")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.PinFlow(7, 100, ps[0])
+		c.UnpinFlow(7)
+	}
+	b.StopTimer()
+	if c.PinnedCount() != 0 {
+		b.Fatal("pin leaked")
+	}
+}
+
+// BenchmarkIncrementalRecompute measures a scoped recompute: one link's
+// utilization swings past the hysteresis (inflate, then back to
+// baseline), so only the sources whose trees actually cross that link
+// re-run Dijkstra — the delta path BenchmarkRouteCompute's full
+// all-pairs pass is the ceiling for.
+func BenchmarkIncrementalRecompute(b *testing.B) {
+	c := benchController()
+	ps := c.Paths(1, 26, 1)
+	if len(ps) == 0 || len(ps[0].Nodes) < 2 {
+		b.Fatal("no path to exercise")
+	}
+	la, lb := ps[0].Nodes[0], ps[0].Nodes[1]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.SetLinkUtilization(la, lb, 0.95)
+		c.SetLinkUtilization(la, lb, 0)
+	}
+	b.StopTimer()
+	if c.Stats().IncrementalRecomputes == 0 {
+		b.Fatal("bench never took the incremental path")
+	}
+}
+
 // BenchmarkMonitorProbe measures the per-probe bookkeeping cost (sent +
 // acked + state evaluation) on a healthy link.
 func BenchmarkMonitorProbe(b *testing.B) {

@@ -114,11 +114,12 @@ func (c *Controller) applyLinkUtilization(a, b core.NodeID, util float64) bool {
 	return true
 }
 
-// congestionRecompute recomputes after accepted utilization changes and
-// counts a congestion reroute when routes actually moved.
-func (c *Controller) congestionRecompute() {
+// congestionRecompute recomputes after accepted utilization changes —
+// incrementally, scoped to the reweighted links — and counts a congestion
+// reroute when routes actually moved.
+func (c *Controller) congestionRecompute(links ...[2]core.NodeID) {
 	pre := c.stats.Reroutes
-	c.Recompute()
+	c.recomputeLinks(links...)
 	if c.stats.Reroutes > pre {
 		c.stats.CongestionReroutes++
 	}
@@ -131,7 +132,7 @@ func (c *Controller) SetLinkUtilization(a, b core.NodeID, util float64) {
 		return
 	}
 	c.stats.UtilizationUpdates++
-	c.congestionRecompute()
+	c.congestionRecompute([2]core.NodeID{a, b})
 }
 
 // UtilizationReport is one link's utilization reading in a batch.
@@ -147,14 +148,15 @@ type UtilizationReport struct {
 // SPF + push cycles (and count phantom intermediate reroutes) where one
 // suffices.
 func (c *Controller) SetLinkUtilizations(reports []UtilizationReport) {
-	accepted := false
+	changed := c.utilBuf[:0]
 	for _, r := range reports {
 		if c.applyLinkUtilization(r.A, r.B, r.Util) {
 			c.stats.UtilizationUpdates++
-			accepted = true
+			changed = append(changed, linkKey(r.A, r.B))
 		}
 	}
-	if accepted {
-		c.congestionRecompute()
+	c.utilBuf = changed
+	if len(changed) > 0 {
+		c.congestionRecompute(changed...)
 	}
 }

@@ -104,6 +104,11 @@ type Graph struct {
 	order []core.NodeID // sorted node IDs
 	links map[[2]core.NodeID]*Link
 	nbrs  map[core.NodeID][]core.NodeID // sorted adjacency
+	// gen counts structural changes (nodes or links added/removed) so the
+	// controller's index-space adjacency cache knows when it is stale.
+	// Weight and health changes mutate Link fields in place and do not
+	// bump it.
+	gen uint64
 }
 
 // NewGraph returns an empty graph.
@@ -144,6 +149,7 @@ func (g *Graph) AddNode(id core.NodeID) {
 	}
 	g.nodes[id] = true
 	g.order = insortID(g.order, id)
+	g.gen++
 }
 
 // HasNode reports whether id is a registered vertex.
@@ -169,6 +175,7 @@ func (g *Graph) SetLink(a, b core.NodeID, base core.Time) *Link {
 		g.links[k] = l
 		g.addNeighbor(a, b)
 		g.addNeighbor(b, a)
+		g.gen++
 	}
 	l.Base = base
 	l.State = LinkUp
@@ -191,6 +198,7 @@ func (g *Graph) RemoveLink(a, b core.NodeID) {
 	delete(g.links, k)
 	g.dropNeighbor(a, b)
 	g.dropNeighbor(b, a)
+	g.gen++
 }
 
 func (g *Graph) dropNeighbor(a, b core.NodeID) {

@@ -15,6 +15,19 @@ type MonitorConfig struct {
 	// ProbeTimeout is the floor for declaring a probe lost; the effective
 	// per-link timeout is max(ProbeTimeout, 3× the link's base RTT).
 	ProbeTimeout time.Duration
+	// FastProbeInterval, when nonzero, is the probe period for SUSPICIOUS
+	// links — links that are down or degraded, just lost a probe, or
+	// still carry meaningful window loss. Healthy links amble along at
+	// ProbeInterval (probing is overhead); the first hint of trouble
+	// drops the link to the fast cadence so failure detection completes
+	// in FailAfter fast rounds instead of FailAfter slow ones. Zero
+	// disables adaptation (every link probes at ProbeInterval).
+	FastProbeInterval time.Duration
+	// FastProbeTimeout, when nonzero, replaces ProbeTimeout as the
+	// timeout floor for suspicious links (the 3×RTT terms still apply) —
+	// a link under suspicion is declared lost on the RTT evidence, not
+	// the conservative healthy-path floor.
+	FastProbeTimeout time.Duration
 	// FailAfter consecutive probe losses mark the link down.
 	FailAfter int
 	// RecoverAfter consecutive probe answers bring a down link back up.
@@ -36,19 +49,24 @@ type MonitorConfig struct {
 	RefreshFraction float64
 }
 
-// DefaultMonitorConfig returns production defaults: 500 ms probes, three
-// strikes down, three answers up, 25% probe loss = degraded.
+// DefaultMonitorConfig returns production defaults: 500 ms probes on
+// healthy links dropping to 25 ms on suspicious ones (sub-100 ms failure
+// detection on short links: FailAfter fast rounds plus the adaptive
+// timeout), three strikes down, three answers up, 25% probe loss =
+// degraded.
 func DefaultMonitorConfig() MonitorConfig {
 	return MonitorConfig{
-		ProbeInterval:   500 * time.Millisecond,
-		ProbeTimeout:    200 * time.Millisecond,
-		FailAfter:       3,
-		RecoverAfter:    3,
-		DegradeLoss:     0.25,
-		ClearLoss:       0.10,
-		LossWindow:      16,
-		EWMAAlpha:       0.3,
-		RefreshFraction: 0.25,
+		ProbeInterval:     500 * time.Millisecond,
+		ProbeTimeout:      200 * time.Millisecond,
+		FastProbeInterval: 25 * time.Millisecond,
+		FastProbeTimeout:  25 * time.Millisecond,
+		FailAfter:         3,
+		RecoverAfter:      3,
+		DegradeLoss:       0.25,
+		ClearLoss:         0.10,
+		LossWindow:        16,
+		EWMAAlpha:         0.3,
+		RefreshFraction:   0.25,
 	}
 }
 
@@ -145,9 +163,15 @@ func (m *Monitor) Track(a, b core.NodeID, base core.Time) {
 // link that legitimately slowed past the static timeout would otherwise
 // read as lossy forever (late answers re-teach the estimate, which
 // stretches the timeout back over the real RTT).
+// Suspicious links swap the ProbeTimeout floor for FastProbeTimeout (when
+// configured): once a link is under suspicion the RTT-derived terms carry
+// the timeout, not the conservative healthy-path floor.
 func (m *Monitor) CurrentTimeout(a, b core.NodeID) core.Time {
 	t := m.cfg.ProbeTimeout
 	if h, ok := m.links[linkKey(a, b)]; ok {
+		if m.cfg.FastProbeTimeout > 0 && h.suspicious(m.cfg) {
+			t = m.cfg.FastProbeTimeout
+		}
 		if c := 3 * 2 * h.base; c > t {
 			t = c
 		}
@@ -156,6 +180,36 @@ func (m *Monitor) CurrentTimeout(a, b core.NodeID) core.Time {
 		}
 	}
 	return t
+}
+
+// suspicious reports whether this link deserves the fast probe cadence:
+// anything short of a clean bill of health — not Up, a loss streak in
+// progress, or window loss still above the degrade-clear threshold.
+func (h *linkHealth) suspicious(cfg MonitorConfig) bool {
+	if h.state != LinkUp || h.consecLoss > 0 {
+		return true
+	}
+	return cfg.ClearLoss > 0 && h.lossFrac() >= cfg.ClearLoss
+}
+
+// Suspicious reports whether the link a↔b is currently probing (or should
+// probe) at the fast cadence. Untracked links are never suspicious.
+func (m *Monitor) Suspicious(a, b core.NodeID) bool {
+	h, ok := m.links[linkKey(a, b)]
+	return ok && h.suspicious(m.cfg)
+}
+
+// ProbeIntervalFor returns the probe period the hosting runtime should use
+// for the link a↔b right now: FastProbeInterval while the link is
+// suspicious (failure detection then completes in FailAfter fast rounds),
+// ProbeInterval otherwise or when adaptation is disabled.
+func (m *Monitor) ProbeIntervalFor(a, b core.NodeID) time.Duration {
+	if m.cfg.FastProbeInterval > 0 {
+		if h, ok := m.links[linkKey(a, b)]; ok && h.suspicious(m.cfg) {
+			return m.cfg.FastProbeInterval
+		}
+	}
+	return m.cfg.ProbeInterval
 }
 
 // Health returns the current snapshot for a link.

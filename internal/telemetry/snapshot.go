@@ -50,6 +50,34 @@ type Snapshot struct {
 	Trace TraceStats `json:"trace"`
 }
 
+// Link returns the snapshot row for the inter-DC link a↔b (order
+// agnostic). ok is false when the pair was not tracked at capture time —
+// the migration target for callers polling Deployment.LinkLoad.
+func (s *Snapshot) Link(a, b core.NodeID) (LinkSnapshot, bool) {
+	if a > b {
+		a, b = b, a
+	}
+	for i := range s.Links {
+		if s.Links[i].A == a && s.Links[i].B == b {
+			return s.Links[i], true
+		}
+	}
+	return LinkSnapshot{}, false
+}
+
+// Queue returns the snapshot row for the directed egress scheduler
+// from→to. ok is false when no scheduler was instantiated for that
+// direction — the migration target for callers polling
+// Deployment.SchedStats.
+func (s *Snapshot) Queue(from, to core.NodeID) (QueueSnapshot, bool) {
+	for i := range s.Queues {
+		if s.Queues[i].From == from && s.Queues[i].To == to {
+			return s.Queues[i], true
+		}
+	}
+	return QueueSnapshot{}, false
+}
+
 // DirSnapshot is one link direction's load rollup.
 type DirSnapshot struct {
 	// Rate / Smoothed / Peak are windowed bytes-per-second readings.
@@ -91,6 +119,11 @@ type ClassQueueSnapshot struct {
 	// 2 hot); StateChanges counts watermark transitions.
 	State        uint8  `json:"state"`
 	StateChanges uint64 `json:"state_changes"`
+	// FlowQueues is the live per-flow sub-queue count (0 unless per-flow
+	// queueing is configured); VictimDrops counts longest-queue victim
+	// evictions (a subset of DroppedPackets).
+	FlowQueues  int    `json:"flow_queues,omitempty"`
+	VictimDrops uint64 `json:"victim_drops,omitempty"`
 }
 
 // QueueSnapshot is one directed inter-DC egress scheduler.
@@ -215,16 +248,27 @@ func (t TenantSnapshot) OnTimeFraction() float64 {
 
 // RoutingSnapshot mirrors the routing controller's counters.
 type RoutingSnapshot struct {
-	Recomputes         uint64 `json:"recomputes"`
-	Pushes             uint64 `json:"pushes"`
-	RouteChanges       uint64 `json:"route_changes"`
-	Reroutes           uint64 `json:"reroutes"`
-	LinkFailures       uint64 `json:"link_failures"`
-	LinkRecoveries     uint64 `json:"link_recoveries"`
-	LinkDegrades       uint64 `json:"link_degrades"`
-	UtilizationUpdates uint64 `json:"utilization_updates"`
-	CongestionReroutes uint64 `json:"congestion_reroutes"`
-	Unreachable        int    `json:"unreachable"`
+	Recomputes uint64 `json:"recomputes"`
+	// IncrementalRecomputes counts recomputes served by the delta engine
+	// (affected sources only); SourcesRecomputed sums the per-source
+	// Dijkstra runs those performed — together they expose how much work
+	// incremental SPF saved over full recomputation.
+	IncrementalRecomputes uint64 `json:"incremental_recomputes"`
+	SourcesRecomputed     uint64 `json:"sources_recomputed"`
+	Pushes                uint64 `json:"pushes"`
+	RouteChanges          uint64 `json:"route_changes"`
+	Reroutes              uint64 `json:"reroutes"`
+	LinkFailures          uint64 `json:"link_failures"`
+	LinkRecoveries        uint64 `json:"link_recoveries"`
+	LinkDegrades          uint64 `json:"link_degrades"`
+	UtilizationUpdates    uint64 `json:"utilization_updates"`
+	CongestionReroutes    uint64 `json:"congestion_reroutes"`
+	Unreachable           int    `json:"unreachable"`
+	// EpochAdvances / EpochRetires count make-before-break table versions
+	// opened and drained (an advance without a matching retire yet means
+	// a drain window is in flight).
+	EpochAdvances uint64 `json:"epoch_advances"`
+	EpochRetires  uint64 `json:"epoch_retires"`
 }
 
 // FeedbackSnapshot mirrors the congestion-feedback plane's counters.

@@ -128,6 +128,32 @@ const (
 	FlagDrain
 )
 
+// Routing-epoch tag: data packets carry the 2-bit table version they
+// entered the overlay under (bits 13–14, validity bit 15), so transit DCs
+// resolve them against that version across a make-before-break reroute.
+// Two bits suffice — forwarders hold at most two live versions, and a
+// tag older than both falls back to the current table.
+const (
+	// FlagEpochValid marks Flags bits 13–14 as carrying an epoch tag.
+	FlagEpochValid uint16 = 1 << 15
+	epochShift            = 13
+	epochMask      uint16 = 3 << epochShift
+)
+
+// EpochFlags encodes a routing-table epoch as header flag bits.
+func EpochFlags(epoch uint64) uint16 {
+	return FlagEpochValid | uint16(epoch&3)<<epochShift
+}
+
+// EpochTag extracts a packet's routing-epoch tag; ok is false for
+// packets sent without one (pre-epoch senders, control traffic).
+func EpochTag(flags uint16) (tag uint8, ok bool) {
+	if flags&FlagEpochValid == 0 {
+		return 0, false
+	}
+	return uint8(flags & epochMask >> epochShift), true
+}
+
 // Errors returned by decoding.
 var (
 	ErrShort      = errors.New("wire: buffer too short")

@@ -28,13 +28,45 @@
 // link graph, computes all-pairs shortest paths (deterministic Dijkstra,
 // plus Yen k-alternate paths), and pushes next-hop tables to every DC's
 // forwarder, so forwarded traffic crosses as many overlay hops as the
-// graph requires. A link-health monitor probes each inter-DC link
-// (Config.Monitor), maintains RTT/loss estimates, and on failure,
-// degradation past a threshold, or recovery triggers recomputation and a
-// route re-push — flows reroute around mid-path failures with no sender
-// involvement (DisconnectDCs and SetLinkQuality inject such events).
-// Service selection sees routed latencies through the topology's
-// PathOracle, so PredictDelay and Register work on sparse graphs too.
+// graph requires. The controller recomputes INCREMENTALLY: a link event
+// names the links that changed, an affected-source cut keeps every
+// source whose shortest-path tree cannot have moved (no changed link on
+// or cheaper than its tree), and only the rest re-run Dijkstra —
+// sharded across workers when the affected set is large
+// (SetRecomputeParallelism), falling back to a full recompute on
+// topology edits or SetIncrementalRecompute(false). RoutingStats counts
+// the split (IncrementalRecomputes, SourcesRecomputed).
+//
+// Table pushes are make-before-break. Each recompute opens a new table
+// EPOCH at every forwarder it touches; cloud copies are stamped at the
+// ingress DC with the epoch they entered under (a 2-bit wire tag), and
+// transit DCs resolve old-epoch packets — hop re-resolution included —
+// against the retiring table for Config.RouteDrain (default 200 ms)
+// before the overlay is dropped. A reroute therefore never re-resolves
+// traffic already in flight: on a healthy path change (say a
+// congestion-priced link) old packets finish on the path they started,
+// new packets take the new one, and nothing blackholes, loops, or
+// arrives out of order. RouteDrain = 0 restores the legacy in-place
+// swap.
+//
+// A link-health monitor probes each inter-DC link (Config.Monitor),
+// maintains RTT/loss estimates, and on failure, degradation past a
+// threshold, or recovery triggers recomputation and a route re-push —
+// flows reroute around mid-path failures with no sender involvement.
+// Probing is adaptive: healthy links amble at ProbeInterval (500 ms
+// default), while a link that is down, degraded, or just lost a probe
+// drops to FastProbeInterval (25 ms) with a tightened timeout, so
+// failure detection completes in under 100 ms on short links without
+// paying always-fast probe overhead.
+//
+// Fault injection and link inspection go through one surface:
+// Deployment.Link(a, b) returns a LinkHandle with Set / SetOneWay /
+// Disconnect / DisconnectOneWay / Reconnect / ReconnectOneWay mutators
+// plus Shape, Health, Load, and SetCapacity accessors. The legacy
+// Deployment-level forms (SetLinkQuality, DisconnectDCs, ...) remain as
+// deprecated wrappers. Service selection sees routed latencies through
+// the topology's PathOracle, so PredictDelay and Register work on
+// sparse graphs too.
 //
 // # Flow API
 //
@@ -273,6 +305,11 @@
 //	})
 //	flow.Send([]byte("hello"))
 //	dep.Run(time.Second)
+//	// Fault-inject through the link handle: degrade, let the monitor
+//	// reroute (make-before-break), then restore the connected shape.
+//	dep.Link(dc1, dc2).Set(120*time.Millisecond, 0.05)
+//	dep.Run(time.Second)
+//	dep.Link(dc1, dc2).Reconnect()
 //	flow.Close()
 package jqos
 
@@ -356,6 +393,13 @@ type Config struct {
 	// Monitor tunes the inter-DC link-health prober. ProbeInterval 0
 	// disables active probing (routes still follow explicit graph edits).
 	Monitor routing.MonitorConfig
+	// RouteDrain is the make-before-break drain window: after a route
+	// recompute changes next-hop tables, the previous table version stays
+	// resolvable for this long so in-flight packets stamped with the old
+	// epoch finish their journey on the path they started — a reroute
+	// never blackholes or reorders mid-flight traffic. Zero retires the
+	// old version immediately (the legacy in-place table swap).
+	RouteDrain time.Duration
 	// LinkCapacity is the default accounting capacity assumed for every
 	// inter-DC link in utilization telemetry, in bytes/second. Zero means
 	// uncapacitated: the link never reads as congested. Override per link
@@ -412,6 +456,7 @@ func DefaultConfig() Config {
 		DowngradeOnTime:    0.99,
 		KAltPaths:          2,
 		Monitor:            routing.DefaultMonitorConfig(),
+		RouteDrain:         200 * time.Millisecond,
 		LoadWindow:         time.Second,
 		LoadReportInterval: 500 * time.Millisecond,
 		Congestion:         routing.DefaultCongestionConfig(),
@@ -537,6 +582,7 @@ func NewDeploymentWithConfig(seed int64, cfg Config) *Deployment {
 	d.topo.Oracle = d.ctrl
 	d.ctrl.OnFlowPath = d.onFlowPath
 	d.ctrl.OnRecompute = d.onRecompute
+	d.ctrl.OnEpochAdvance = d.onEpochAdvance
 	if cfg.Feedback.Enabled && cfg.Scheduler.Enabled() {
 		d.fb = newFeedbackPlane(d, cfg.Feedback)
 	}
@@ -546,6 +592,18 @@ func NewDeploymentWithConfig(seed int64, cfg Config) *Deployment {
 		}
 	}
 	return d
+}
+
+// onEpochAdvance runs after a recompute that modified next-hop tables
+// opened a new table epoch: hold the previous version live for the
+// configured drain window, then retire it everywhere. With no drain
+// window the old version retires immediately (in-place swap semantics).
+func (d *Deployment) onEpochAdvance(epoch uint64) {
+	if d.cfg.RouteDrain <= 0 {
+		d.ctrl.RetireEpoch(epoch)
+		return
+	}
+	d.sim.After(d.cfg.RouteDrain, func() { d.ctrl.RetireEpoch(epoch) })
 }
 
 // Sim exposes the simulator (clock, scheduling, RNG).
@@ -564,6 +622,9 @@ func (d *Deployment) Routing() *routing.Controller { return d.ctrl }
 
 // RoutingStats returns the control plane's counters (recomputes, pushes,
 // reroutes, link failures/recoveries).
+//
+// Deprecated: use Deployment.Snapshot().Routing, the coherent
+// whole-deployment view (one capture instead of per-subsystem polls).
 func (d *Deployment) RoutingStats() routing.Stats { return d.ctrl.Stats() }
 
 // LinkHealth returns the monitor's view of the inter-DC link a↔b.
@@ -650,6 +711,9 @@ func (d *Deployment) SetLinkCapacity(a, b core.NodeID, bytesPerSec int64) {
 // windowed/EWMA rates and peaks per direction, per-service-class
 // breakdowns, and the utilization reading that congestion-aware routing
 // inflates weights from. ok is false for unconnected pairs.
+//
+// Deprecated: use Deployment.Snapshot().Link(a, b), the coherent
+// whole-deployment view (one capture instead of per-subsystem polls).
 func (d *Deployment) LinkLoad(a, b core.NodeID) (load.LinkLoad, bool) {
 	return d.loadReg.Load(d.sim.Now(), a, b)
 }
@@ -661,96 +725,42 @@ func dcPairKey(a, b core.NodeID) [2]core.NodeID {
 	return [2]core.NodeID{a, b}
 }
 
-// DisconnectDCs blackholes the inter-DC link a↔b in both directions — a
-// mid-path failure as the data plane experiences it. The control plane is
-// NOT told directly: the link-health monitor detects the probe losses,
-// marks the link down, and reroutes affected flows onto alternate paths.
-// Restore the link with ReconnectDCs (or reshape it with SetLinkQuality).
-func (d *Deployment) DisconnectDCs(a, b core.NodeID) {
-	for _, pair := range [][2]core.NodeID{{a, b}, {b, a}} {
-		if l := d.net.LinkBetween(pair[0], pair[1]); l != nil {
-			l.SetLoss(netem.Bernoulli{P: 1})
-		}
-	}
-	d.boostProbers()
-}
+// DisconnectDCs blackholes the inter-DC link a↔b in both directions.
+//
+// Deprecated: use Deployment.Link(a, b).Disconnect().
+func (d *Deployment) DisconnectDCs(a, b core.NodeID) { d.Link(a, b).Disconnect() }
 
-// DisconnectDCsOneWay blackholes only the a→b direction of the inter-DC
-// link — an asymmetric partition (b's traffic toward a still flows). The
-// probe round-trip crosses both directions, so the monitor still times
-// its probes out and fails the whole link: routing treats a half-dead
-// link as dead, which is the correct control-plane reading of an
-// asymmetric cut. Restore the direction with ReconnectDCsOneWay.
-func (d *Deployment) DisconnectDCsOneWay(a, b core.NodeID) {
-	if l := d.net.LinkBetween(a, b); l != nil {
-		l.SetLoss(netem.Bernoulli{P: 1})
-	}
-	d.boostProbers()
-}
+// DisconnectDCsOneWay blackholes only the a→b direction of the link.
+//
+// Deprecated: use Deployment.Link(a, b).DisconnectOneWay().
+func (d *Deployment) DisconnectDCsOneWay(a, b core.NodeID) { d.Link(a, b).DisconnectOneWay() }
 
-// ReconnectDCsOneWay restores only the a→b direction of the inter-DC link
-// to the shape ConnectDCs gave it (recorded latency, lossless). Panics
-// when a↔b was never connected (a deployment wiring bug).
-func (d *Deployment) ReconnectDCsOneWay(a, b core.NodeID) {
-	x, ok := d.linkShape[dcPairKey(a, b)]
-	if !ok {
-		panic(fmt.Sprintf("jqos: ReconnectDCsOneWay(%v, %v): DCs were never connected", a, b))
-	}
-	d.SetLinkQualityAsym(a, b, x, 0)
-}
+// ReconnectDCsOneWay restores only the a→b direction to the connected
+// shape.
+//
+// Deprecated: use Deployment.Link(a, b).ReconnectOneWay().
+func (d *Deployment) ReconnectDCsOneWay(a, b core.NodeID) { d.Link(a, b).ReconnectOneWay() }
 
 // SetLinkQuality reshapes the inter-DC link a↔b in both directions to the
-// given one-way latency and random loss rate. Like DisconnectDCs it acts
-// on the emulated links only; the monitor observes the change through its
-// probes and adjusts routing (degrade, recover, or cost refresh).
+// given one-way latency and random loss rate.
+//
+// Deprecated: use Deployment.Link(a, b).Set(x, loss).
 func (d *Deployment) SetLinkQuality(a, b core.NodeID, x time.Duration, loss float64) {
-	for _, pair := range [][2]core.NodeID{{a, b}, {b, a}} {
-		l := d.net.LinkBetween(pair[0], pair[1])
-		if l == nil {
-			continue
-		}
-		l.SetDelay(netem.UniformJitter{Base: x, Jitter: x / 50})
-		if loss > 0 {
-			l.SetLoss(netem.Bernoulli{P: loss})
-		} else {
-			l.SetLoss(nil)
-		}
-	}
-	d.boostProbers()
+	d.Link(a, b).Set(x, loss)
 }
 
-// SetLinkQualityAsym reshapes only the a→b direction of the inter-DC link
-// to the given one-way latency and random loss rate, leaving b→a alone —
-// the asymmetric-degradation form of SetLinkQuality (a's traffic to b
-// straggles or drops while b's answers arrive clean). The probe
-// round-trip crosses both directions, so the monitor observes the
-// degradation whichever direction carries it — through lost probes one
-// way, lost acks the other.
+// SetLinkQualityAsym reshapes only the a→b direction of the link.
+//
+// Deprecated: use Deployment.Link(a, b).SetOneWay(x, loss).
 func (d *Deployment) SetLinkQualityAsym(a, b core.NodeID, x time.Duration, loss float64) {
-	if l := d.net.LinkBetween(a, b); l != nil {
-		l.SetDelay(netem.UniformJitter{Base: x, Jitter: x / 50})
-		if loss > 0 {
-			l.SetLoss(netem.Bernoulli{P: loss})
-		} else {
-			l.SetLoss(nil)
-		}
-	}
-	d.boostProbers()
+	d.Link(a, b).SetOneWay(x, loss)
 }
 
 // ReconnectDCs restores a disconnected (or reshaped) inter-DC link a↔b to
-// the shape ConnectDCs originally gave it — the latency the deployment
-// recorded, lossless. Like DisconnectDCs it acts on the emulated links;
-// the monitor observes the recovery through its probes and brings the
-// link back into routing. Panics when a↔b was never connected (a
-// deployment wiring bug, like DC on a host ID).
-func (d *Deployment) ReconnectDCs(a, b core.NodeID) {
-	x, ok := d.linkShape[dcPairKey(a, b)]
-	if !ok {
-		panic(fmt.Sprintf("jqos: ReconnectDCs(%v, %v): DCs were never connected", a, b))
-	}
-	d.SetLinkQuality(a, b, x, 0)
-}
+// the shape ConnectDCs originally gave it.
+//
+// Deprecated: use Deployment.Link(a, b).Reconnect().
+func (d *Deployment) ReconnectDCs(a, b core.NodeID) { d.Link(a, b).Reconnect() }
 
 // HostOption customizes AddHost.
 type HostOption func(*hostParams)

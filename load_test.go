@@ -41,7 +41,7 @@ func buildSquare(t *testing.T, seed int64, capacity int64) (*jqos.Deployment, [4
 // paths of equal latency; a pinned bulk flow saturates one; the load
 // telemetry inflates its weight, the controller recomputes, and a newly
 // registered flow rides the idle branch within budget — observable via
-// LinkLoad and the congestion-reroute counter.
+// Snapshot link rows and the congestion-reroute counter.
 func TestCongestionShiftsNewPaths(t *testing.T) {
 	d, dcs := buildSquare(t, 70, 1_000_000) // 1 MB/s accounting capacity
 	bs := d.AddHost(dcs[0], 5*time.Millisecond)
@@ -67,17 +67,18 @@ func TestCongestionShiftsNewPaths(t *testing.T) {
 	}
 	d.Run(2500 * time.Millisecond)
 
-	ll, ok := d.LinkLoad(dcs[0], dcs[1])
+	snap := d.Snapshot()
+	ll, ok := snap.Link(dcs[0], dcs[1])
 	if !ok || ll.Utilization < 0.9 {
 		t.Fatalf("hot link load = %+v %v, want utilization ≥ 0.9", ll, ok)
 	}
-	if ll.AB.ByClass[jqos.ServiceForwarding] == 0 {
+	if ll.AB.ClassRate[jqos.ServiceForwarding] == 0 {
 		t.Fatalf("per-class breakdown empty: %+v", ll.AB)
 	}
-	if cool, ok := d.LinkLoad(dcs[0], dcs[2]); !ok || cool.Utilization > 0.1 {
+	if cool, ok := snap.Link(dcs[0], dcs[2]); !ok || cool.Utilization > 0.1 {
 		t.Fatalf("idle link reads hot: %+v", cool)
 	}
-	st := d.RoutingStats()
+	st := snap.Routing
 	if st.UtilizationUpdates == 0 || st.CongestionReroutes == 0 {
 		t.Fatalf("load feed never moved routes: %+v", st)
 	}

@@ -5,20 +5,26 @@ import (
 	"jqos/internal/wire"
 )
 
-// prober drives the link-health monitor for one inter-DC link: every
-// Config.Monitor.ProbeInterval it sends a TypeProbe one hop over the link
-// and times it out if no TypeProbeAck returns. Outcomes feed
-// routing.Monitor, whose fail/degrade/recover verdicts make the
-// controller recompute and re-push routes.
+// prober drives the link-health monitor for one inter-DC link: it sends a
+// TypeProbe one hop over the link at the monitor's adaptive cadence
+// (Config.Monitor.ProbeInterval while healthy, FastProbeInterval while the
+// link is suspicious) and times it out if no TypeProbeAck returns.
+// Outcomes feed routing.Monitor, whose fail/degrade/recover verdicts make
+// the controller recompute and re-push routes.
+//
+// Scheduling is generation-counted: every (re)schedule supersedes any
+// still-pending round, so a probe timeout can kick the prober onto the
+// fast cadence immediately instead of waiting out a healthy-pace interval.
 //
 // Probers park themselves after two intervals without application sends so
 // an idle deployment's event heap drains (the same discipline as the
-// flow-upgrade loop); Flow.Send, DisconnectDCs, and SetLinkQuality wake
+// flow-upgrade loop); Flow.Send and the Link handle's fault injectors wake
 // them again.
 type prober struct {
 	d            *Deployment
 	a, b         core.NodeID // probes travel a→b, acks b→a
 	seq          uint64
+	gen          uint64 // scheduling generation; stale rounds no-op
 	parked       bool
 	idle         int
 	lastActivity uint64
@@ -33,7 +39,24 @@ func (d *Deployment) startProber(a, b core.NodeID, base core.Time) {
 	d.mon.Track(a, b, base)
 	p := &prober{d: d, a: a, b: b}
 	d.probers = append(d.probers, p)
-	d.sim.After(d.cfg.Monitor.ProbeInterval, p.round)
+	p.schedule(d.cfg.Monitor.ProbeInterval)
+}
+
+// schedule queues the next round after the given delay, cancelling any
+// round already pending (latest schedule wins).
+func (p *prober) schedule(after core.Time) {
+	p.gen++
+	gen := p.gen
+	p.d.sim.After(after, func() {
+		if p.gen == gen && !p.parked {
+			p.round()
+		}
+	})
+}
+
+// interval is the current adaptive probe period for this prober's link.
+func (p *prober) interval() core.Time {
+	return p.d.mon.ProbeIntervalFor(p.a, p.b)
 }
 
 // round sends one probe and reschedules itself.
@@ -68,9 +91,29 @@ func (p *prober) round() {
 	d.mon.ProbeSent(p.a, p.b, seq, now)
 	d.sendControl(p.a, p.b, wire.AppendMessage(nil, &hdr, nil))
 	// The timeout adapts to the measured RTT so a slowed-but-alive link
-	// keeps answering in time instead of reading as lossy forever.
-	d.sim.After(d.mon.CurrentTimeout(p.a, p.b), func() { d.mon.ProbeTimedOut(p.a, p.b, seq) })
-	d.sim.After(d.cfg.Monitor.ProbeInterval, p.round)
+	// keeps answering in time instead of reading as lossy forever. A
+	// timeout that leaves the link suspicious kicks the prober onto the
+	// fast cadence right away — waiting out the healthy-pace round already
+	// scheduled would stretch detection back to ProbeInterval granularity.
+	d.sim.After(d.mon.CurrentTimeout(p.a, p.b), func() {
+		d.mon.ProbeTimedOut(p.a, p.b, seq)
+		p.kick()
+	})
+	p.schedule(p.interval())
+}
+
+// kick reschedules the next round at the link's current adaptive interval
+// (called after a timeout so a freshly suspicious link starts fast rounds
+// immediately). Parked probers restart with full burst credit.
+func (p *prober) kick() {
+	if !p.d.mon.Suspicious(p.a, p.b) {
+		return
+	}
+	if p.parked {
+		p.boost()
+		return
+	}
+	p.schedule(p.interval())
 }
 
 // burstCredit is the idle allowance that takes a link all the way through
@@ -88,11 +131,11 @@ func (p *prober) boost() {
 	}
 	p.parked = false
 	p.d.parkedProbers--
-	p.d.sim.After(p.d.cfg.Monitor.ProbeInterval, p.round)
+	p.schedule(p.interval())
 }
 
 // boostProbers gives every prober — parked or running — enough credit to
-// finish a detection: DisconnectDCs and SetLinkQuality call it so a
+// finish a detection: Link.Disconnect and Link.Set call it so a
 // failure injected just as application traffic stops (or while the
 // deployment is idle) is still observed rather than parked over.
 func (d *Deployment) boostProbers() {

@@ -119,14 +119,14 @@ func TestRerouteAcrossLinkFailure(t *testing.T) {
 		at := time.Duration(i) * 5 * time.Millisecond
 		d.Sim().At(at, func() { sent[f.Send([]byte("reroute me"))] = at })
 	}
-	d.Sim().At(failAt, func() { d.DisconnectDCs(dcs[1], dcs[3]) }) // dc2—dc4 dies
+	d.Sim().At(failAt, func() { d.Link(dcs[1], dcs[3]).Disconnect() }) // dc2—dc4 dies
 	d.Run(10 * time.Second)
 
 	// The link must be observed down and routes must have moved.
 	if h, ok := d.LinkHealth(dcs[1], dcs[3]); !ok || h.State != routing.LinkDown {
 		t.Fatalf("link health = %+v %v, want down", h, ok)
 	}
-	st := d.RoutingStats()
+	st := d.Snapshot().Routing
 	if st.LinkFailures == 0 || st.Reroutes == 0 || st.RouteChanges == 0 {
 		t.Fatalf("no reroute recorded: %+v", st)
 	}
@@ -200,12 +200,12 @@ func TestRerouteRecovery(t *testing.T) {
 		at := time.Duration(i) * 5 * time.Millisecond
 		d.Sim().At(at, func() { f.Send([]byte("x")) })
 	}
-	d.Sim().At(1500*time.Millisecond, func() { d.DisconnectDCs(dcs[1], dcs[3]) })
+	d.Sim().At(1500*time.Millisecond, func() { d.Link(dcs[1], dcs[3]).Disconnect() })
 	d.Sim().At(3500*time.Millisecond, func() {
-		d.SetLinkQuality(dcs[1], dcs[3], 15*time.Millisecond, 0)
+		d.Link(dcs[1], dcs[3]).Set(15*time.Millisecond, 0)
 	})
 	d.Run(12 * time.Second)
-	st := d.RoutingStats()
+	st := d.Snapshot().Routing
 	if st.LinkFailures == 0 || st.LinkRecoveries == 0 {
 		t.Fatalf("failure/recovery not observed: %+v", st)
 	}
@@ -240,10 +240,10 @@ func TestDegradedLinkQualityShiftsRoutes(t *testing.T) {
 	// Slow dc2—dc4 from 15 ms to 120 ms: still up, but the backup path
 	// (50 ms) is now far better.
 	d.Sim().At(time.Second, func() {
-		d.SetLinkQuality(dcs[1], dcs[3], 120*time.Millisecond, 0)
+		d.Link(dcs[1], dcs[3]).Set(120*time.Millisecond, 0)
 	})
 	d.Run(12 * time.Second)
-	st := d.RoutingStats()
+	st := d.Snapshot().Routing
 	if st.LinkDegrades == 0 && st.RouteChanges == 0 {
 		t.Fatalf("degradation never moved routes: %+v", st)
 	}
@@ -257,6 +257,8 @@ func TestDegradedLinkQualityShiftsRoutes(t *testing.T) {
 }
 
 // TestRoutingStatsSurface sanity-checks the deployment-level accessors.
+// It deliberately stays on the deprecated RoutingStats poll so the
+// compatibility shim over Snapshot().Routing keeps test coverage.
 func TestRoutingStatsSurface(t *testing.T) {
 	d, dcs, _, _ := buildDiamond(t, 64, jqos.DefaultConfig())
 	st := d.RoutingStats()

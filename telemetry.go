@@ -259,6 +259,8 @@ func (p *telemetryPlane) build() *telemetry.Snapshot {
 					QueuedPackets:   cs.QueuedPackets,
 					State:           uint8(cs.State),
 					StateChanges:    cs.StateChanges,
+					FlowQueues:      cs.FlowQueues,
+					VictimDrops:     cs.VictimDrops,
 				}
 			}
 			s.Queues = append(s.Queues, qs)
@@ -288,19 +290,23 @@ func (p *telemetryPlane) build() *telemetry.Snapshot {
 
 	rt := d.ctrl.Stats()
 	s.Routing = telemetry.RoutingSnapshot{
-		Recomputes:         rt.Recomputes,
-		Pushes:             rt.Pushes,
-		RouteChanges:       rt.RouteChanges,
-		Reroutes:           rt.Reroutes,
-		LinkFailures:       rt.LinkFailures,
-		LinkRecoveries:     rt.LinkRecoveries,
-		LinkDegrades:       rt.LinkDegrades,
-		UtilizationUpdates: rt.UtilizationUpdates,
-		CongestionReroutes: rt.CongestionReroutes,
-		Unreachable:        rt.Unreachable,
+		Recomputes:            rt.Recomputes,
+		IncrementalRecomputes: rt.IncrementalRecomputes,
+		SourcesRecomputed:     rt.SourcesRecomputed,
+		Pushes:                rt.Pushes,
+		RouteChanges:          rt.RouteChanges,
+		Reroutes:              rt.Reroutes,
+		LinkFailures:          rt.LinkFailures,
+		LinkRecoveries:        rt.LinkRecoveries,
+		LinkDegrades:          rt.LinkDegrades,
+		UtilizationUpdates:    rt.UtilizationUpdates,
+		CongestionReroutes:    rt.CongestionReroutes,
+		Unreachable:           rt.Unreachable,
+		EpochAdvances:         rt.EpochAdvances,
+		EpochRetires:          rt.EpochRetires,
 	}
 
-	fb := d.FeedbackStats()
+	fb := d.feedbackStats()
 	s.Feedback = telemetry.FeedbackSnapshot{
 		Enabled:          d.fb != nil,
 		Transitions:      fb.Transitions,
