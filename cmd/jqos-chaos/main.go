@@ -58,9 +58,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("jqos-chaos: %d runs (seeds %d..%d) in %v: %d delivered, %d reroutes, %d flow signals, %d rate cuts, %d failing runs\n",
+	fmt.Printf("jqos-chaos: %d runs (seeds %d..%d) in %v: %d delivered, %d reroutes, %d flow signals, %d rate cuts, %d/%d slo degrades/recovers (%d during-fault checks), %d failing runs\n",
 		rep.Runs, o.Seed, o.Seed+int64(rep.Runs)-1, time.Since(start).Round(time.Millisecond),
-		rep.Delivered, rep.Reroutes, rep.FlowSignals, rep.RateCuts, len(rep.Failures))
+		rep.Delivered, rep.Reroutes, rep.FlowSignals, rep.RateCuts,
+		rep.SLODegrades, rep.SLORecovers, rep.SLOChecks, len(rep.Failures))
 
 	for _, v := range rep.Failures {
 		fmt.Printf("\nFAIL seed %d (run %d): %d violations\n", v.Seed, v.Run, len(v.Violations))

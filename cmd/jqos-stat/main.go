@@ -160,6 +160,13 @@ func runDemo(listen string) {
 		QueueBytes: 64 << 10,
 	}
 	cfg.Feedback.Enabled = true
+	// Exercise the full observability surface: the continuous SLO engine
+	// and (below, per flow) hop-level latency attribution.
+	cfg.Telemetry.SLO = telemetry.SLOConfig{
+		Objective:  0.9,
+		FastWindow: 500 * time.Millisecond,
+		SlowWindow: 2 * time.Second,
+	}
 	dep := jqos.NewDeploymentWithConfig(7, cfg)
 	dc1 := dep.AddDC("us-east", dataset.RegionUSEast)
 	dc2 := dep.AddDC("eu-west", dataset.RegionEU)
@@ -191,7 +198,8 @@ func runDemo(listen string) {
 	interactive, err := dep.RegisterFlow(jqos.FlowSpec{
 		Src: src, Dst: dst, Budget: 200 * time.Millisecond,
 		Rate: 64 << 10, Burst: 16 << 10,
-		Tenant: 1,
+		Tenant:        1,
+		TraceSampling: 0.1,
 	})
 	if err != nil {
 		fatal("jqos-stat: register: %v", err)

@@ -147,9 +147,14 @@ func (n *DCNode) putOnWire(hop core.NodeID, msg []byte) {
 // on dequeue, not enqueue, so LinkLoad reflects what actually left the
 // DC rather than what piled up behind the scheduler.
 func (n *DCNode) putOnWireClass(hop core.NodeID, cls core.Service, msg []byte) {
+	now := n.d.sim.Now()
+	// Wire departure for a traced packet: opens the propagation leg the
+	// next DC's arrival (or the delivery itself, for the final hop)
+	// closes.
+	n.d.tel.spanTx(msg, now)
 	n.d.net.Send(n.id, hop, msg)
 	n.fwd.NoteEgress(cls, len(msg))
-	n.d.loadReg.Record(n.d.sim.Now(), n.id, hop, cls, len(msg))
+	n.d.loadReg.Record(now, n.id, hop, cls, len(msg))
 }
 
 // handle is the DC's network receive entry point.
@@ -170,6 +175,11 @@ func (n *DCNode) handle(from, to core.NodeID, data []byte) {
 	case wire.TypeProbeAck:
 		n.onProbeAck(now, &hdr)
 	case wire.TypeData:
+		if hdr.Flags&wire.FlagTraced != 0 {
+			// DC arrival closes the open propagation leg; time spent
+			// inside the DC until the next departure lands in SpanRelay.
+			n.d.tel.spanRx(hdr.ID(), now)
+		}
 		n.onData(now, &hdr, body, data)
 	case wire.TypeCoded:
 		n.onCoded(now, &hdr, body, data)

@@ -83,7 +83,10 @@ func (n *DCNode) scheduledSend(hop core.NodeID, msg []byte) bool {
 		n.egress[hop] = q
 	}
 	flow := peekFlow(msg)
-	if !q.drr.Enqueue(cls, flow, msg) {
+	// Stamp the enqueue time so the pump can attribute the queue wait
+	// (dequeue − enqueue) to this (link, class) for traced packets.
+	if !q.drr.EnqueueStamped(cls, flow, msg, n.d.sim.Now()) {
+		n.d.tel.spanDropMsg(msg)
 		n.d.noteEgressDrop(flow, cls, len(msg))
 		return true
 	}
@@ -126,6 +129,7 @@ func (q *egressQueue) pump() {
 			q.busy = false
 			return
 		}
+		d.tel.spanQueue(it.Msg, q.n.id, q.to, it.Class, d.sim.Now()-it.Stamp)
 		q.n.putOnWireClass(q.to, it.Class, it.Msg)
 		rate := d.loadReg.Capacity(q.n.id, q.to)
 		if rate <= 0 {

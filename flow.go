@@ -131,6 +131,11 @@ type Flow struct {
 	// ticker stops, and the deployment no longer tracks it.
 	closed bool
 
+	// traceEvery selects every Nth cloud copy for hop-level latency
+	// attribution (0 = no sampling), derived from FlowSpec.TraceSampling
+	// at registration. Deterministic — same seed, same sampled packets.
+	traceEvery uint64
+
 	seq     core.Seq
 	metrics *FlowMetrics
 	changes []ServiceChange
@@ -239,6 +244,7 @@ func (f *Flow) Close() {
 	}
 	delete(d.repinWatch, f.id)
 	delete(d.flows, f.id)
+	d.tel.forgetFlow(f)
 	f.activePath = nil
 }
 
@@ -367,6 +373,14 @@ func (f *Flow) SendFlagged(payload []byte, flags uint16) core.Seq {
 				if dc, okDC := f.d.dcs[dc1]; okDC {
 					cflags |= wire.EpochFlags(dc.fwd.Epoch())
 				}
+				// Deterministic trace sampling: every Nth cloud copy is
+				// stamped FlagTraced so the choke points downstream
+				// record spans for it. The trace opens here — ingress
+				// waits (quota, admission, pacing) are budget spend too.
+				traced := f.traceEvery > 0 && uint64(f.seq)%f.traceEvery == 0
+				if traced {
+					cflags |= wire.FlagTraced
+				}
 				var msg []byte
 				if encoded != nil {
 					msg = append([]byte(nil), encoded...)
@@ -377,7 +391,10 @@ func (f *Flow) SendFlagged(payload []byte, flags uint16) core.Seq {
 					hdr.Flags = cflags
 					msg = wire.AppendMessage(nil, &hdr, payload)
 				}
-				f.sendCloud(now, dc1, msg)
+				if traced {
+					f.d.tel.spanBegin(core.PacketID{Flow: f.id, Seq: f.seq}, now)
+				}
+				f.sendCloud(now, dc1, msg, traced)
 			}
 		}
 	}
@@ -393,25 +410,44 @@ func (f *Flow) SendFlagged(payload []byte, flags uint16) core.Seq {
 // count against both contracts: one uplink copy fans out to every
 // member, and a contract that priced it as one copy would let a
 // thousand-member group consume a thousand times its quota.
-func (f *Flow) sendCloud(now core.Time, dc1 core.NodeID, msg []byte) {
+func (f *Flow) sendCloud(now core.Time, dc1 core.NodeID, msg []byte, traced bool) {
 	n := len(msg)
 	if m := len(f.spec.Members); m > 0 {
 		n *= m
 	}
+	// pid identifies this copy's pending hop trace: abandoned when an
+	// ingress contract kills the copy, stamped with the uplink departure
+	// when it passes.
+	var pid core.PacketID
+	if traced {
+		pid = core.PacketID{Flow: f.id, Seq: f.seq}
+	}
 	if f.tenant != nil && !f.tenant.Admit(now, n) {
+		if traced {
+			f.d.tel.spanDrop(pid)
+		}
 		f.noteTenantQuotaDrop(n)
 		return
 	}
 	if f.bucket == nil {
+		if traced {
+			f.d.tel.spanTxID(pid, now)
+		}
 		f.d.net.Send(f.src, dc1, msg)
 		return
 	}
 	if !f.spec.AdmissionShape {
 		if !f.bucket.Admit(now, n) {
+			if traced {
+				f.d.tel.spanDrop(pid)
+			}
 			f.noteAdmissionDrop(n)
 			return
 		}
 		f.notePaced(n)
+		if traced {
+			f.d.tel.spanTxID(pid, now)
+		}
 		f.d.net.Send(f.src, dc1, msg)
 		return
 	}
@@ -432,9 +468,15 @@ func (f *Flow) sendCloud(now core.Time, dc1 core.NodeID, msg []byte) {
 	wait, ok := f.bucket.ReserveWithin(now, n, limit)
 	switch {
 	case !ok:
+		if traced {
+			f.d.tel.spanDrop(pid)
+		}
 		f.noteAdmissionDrop(n)
 	case wait == 0:
 		f.notePaced(n)
+		if traced {
+			f.d.tel.spanTxID(pid, now)
+		}
 		f.d.net.Send(f.src, dc1, msg)
 	default:
 		f.metrics.AdmissionShaped++
@@ -443,12 +485,29 @@ func (f *Flow) sendCloud(now core.Time, dc1 core.NodeID, msg []byte) {
 		// Close can cancel the deferred send, and PacedBytes promises
 		// bytes that CROSSED the ingress.
 		paced := f.pacer != nil && f.pacer.Throttled()
+		// The shaper hold is budget spend: charged to SpanPacer when a
+		// congestion cut is holding the rate down (the wait exists
+		// because of backpressure), to SpanAdmission otherwise (plain
+		// contract conformance).
+		if traced {
+			comp := telemetry.SpanAdmission
+			if paced {
+				comp = telemetry.SpanPacer
+			}
+			f.d.tel.spanWait(pid, comp, wait)
+		}
 		f.d.sim.After(wait, func() {
 			if f.closed {
+				if traced {
+					f.d.tel.spanDrop(pid)
+				}
 				return
 			}
 			if paced {
 				f.metrics.PacedBytes += uint64(n)
+			}
+			if traced {
+				f.d.tel.spanTxID(pid, f.d.sim.Now())
 			}
 			f.d.net.Send(f.src, dc1, msg)
 		})
@@ -499,6 +558,7 @@ func (f *Flow) recordDelivery(del core.Delivery) {
 		lat = 0
 	}
 	f.d.tel.noteDelivery(lat, f.spec.Budget)
+	f.d.tel.observeDelivery(f, del, lat)
 	m.Latency.Add(float64(lat) / float64(time.Millisecond))
 	if !del.Recovered {
 		m.DirectLatency.Add(float64(lat) / float64(time.Millisecond))

@@ -2,6 +2,7 @@ package jqos
 
 import (
 	"fmt"
+	"math"
 	"slices"
 	"sort"
 	"time"
@@ -288,6 +289,15 @@ type FlowSpec struct {
 	// DeliverySample invokes Observer.OnDelivery every N-th delivery
 	// (0 disables delivery sampling).
 	DeliverySample uint64
+
+	// TraceSampling enables hop-level latency attribution for this
+	// flow: the fraction of cloud copies (in (0, 1]) stamped with the
+	// wire-level trace flag so every choke point records where their
+	// latency budget was spent (see Snapshot.Attribution). Rounded to
+	// an every-Nth-packet stride for determinism; 0 disables sampling.
+	// Budget-violating deliveries land in the late-delivery reservoir
+	// regardless.
+	TraceSampling float64
 }
 
 // RegisterFlow creates a flow from declarative intent: it validates the
@@ -342,6 +352,18 @@ func (d *Deployment) RegisterFlow(spec FlowSpec) (*Flow, error) {
 	}
 	if spec.Rate == 0 && (spec.Burst != 0 || spec.AdmissionShape) {
 		return nil, fmt.Errorf("jqos: Burst/AdmissionShape need a positive admission Rate contract")
+	}
+	if spec.TraceSampling < 0 || spec.TraceSampling > 1 {
+		return nil, fmt.Errorf("jqos: TraceSampling %v outside [0, 1]", spec.TraceSampling)
+	}
+	// Sampling rate → deterministic every-Nth stride (≥ 1), so the same
+	// seed always traces the same packets.
+	var traceEvery uint64
+	if spec.TraceSampling > 0 {
+		traceEvery = uint64(math.Round(1 / spec.TraceSampling))
+		if traceEvery == 0 {
+			traceEvery = 1
+		}
 	}
 	var bucket *load.Bucket
 	if spec.Rate > 0 {
@@ -469,23 +491,27 @@ func (d *Deployment) RegisterFlow(spec FlowSpec) (*Flow, error) {
 		spec.Members = dsts
 	}
 	f := &Flow{
-		id:      d.nextFlow,
-		d:       d,
-		src:     spec.Src,
-		dsts:    dsts,
-		cloud:   cloud,
-		service: svc,
-		spec:    spec,
-		bucket:  bucket,
-		tenant:  tn,
-		metrics: newFlowMetrics(),
-		dgNeed:  d.cfg.DowngradeAfter,
+		id:         d.nextFlow,
+		d:          d,
+		src:        spec.Src,
+		dsts:       dsts,
+		cloud:      cloud,
+		service:    svc,
+		spec:       spec,
+		bucket:     bucket,
+		tenant:     tn,
+		metrics:    newFlowMetrics(),
+		dgNeed:     d.cfg.DowngradeAfter,
+		traceEvery: traceEvery,
 	}
 	if d.fb != nil && bucket != nil {
 		f.pacer = feedback.NewPacer(bucket, d.cfg.Feedback.Pacer)
 	}
 	d.nextFlow++
 	d.flows[f.id] = f
+	if traceEvery > 0 {
+		d.tel.tracedFlows++
+	}
 	if tn != nil {
 		tn.AddFlow()
 	}

@@ -182,6 +182,8 @@ func CheckAccounting(s *telemetry.Snapshot) []Violation {
 		{telemetry.KindTenantPacerCut, fb.TenantCuts, "FeedbackStats.TenantCuts"},
 		{telemetry.KindTenantPacerRecover, fb.TenantRecoveries, "FeedbackStats.TenantRecoveries"},
 		{telemetry.KindTenantCostViolation, costViolations, "tenant CostViolations sum"},
+		{telemetry.KindSLODegrade, s.SLO.Degrades, "SLOSnapshot.Degrades"},
+		{telemetry.KindSLORecover, s.SLO.Recovers, "SLOSnapshot.Recovers"},
 	} {
 		if got := s.Trace.ByKind[kc.kind]; got != kc.counter {
 			out = violate(out, "trace-counters", "trace %v count %d != %s %d", kc.kind, got, kc.name, kc.counter)

@@ -1,8 +1,10 @@
 package chaos
 
 import (
+	"sort"
 	"time"
 
+	"jqos/internal/core"
 	"jqos/internal/telemetry"
 )
 
@@ -25,6 +27,12 @@ type Verdict struct {
 	// signal per tenant); QuotaDrops sums tenant quota refusals.
 	TenantCuts uint64 `json:"tenant_cuts"`
 	QuotaDrops uint64 `json:"quota_drops"`
+	// SLODegrades / SLORecovers count the continuous SLO engine's state
+	// transitions across every tracker; SLOChecks counts the during-fault
+	// sample points the slo-during-fault invariant actually asserted at.
+	SLODegrades uint64 `json:"slo_degrades"`
+	SLORecovers uint64 `json:"slo_recovers"`
+	SLOChecks   int    `json:"slo_checks"`
 	// Snapshot is the final pre-teardown snapshot, kept only for
 	// failing runs (it is the debugging artifact the soak uploads).
 	Snapshot *telemetry.Snapshot `json:"snapshot,omitempty"`
@@ -66,6 +74,7 @@ func RunScenario(w *World, sc Scenario, horizon time.Duration) (Verdict, error) 
 	}
 	eng.Schedule()
 	w.ScheduleTraffic(horizon)
+	scheduleSLOChecks(w, sc, horizon, &v)
 	w.D.Run(horizon)
 
 	// 60 s of virtual drain bounds every legitimate tail: probe
@@ -82,6 +91,8 @@ func RunScenario(w *World, sc Scenario, horizon time.Duration) (Verdict, error) 
 	v.FlowSignals = s.Feedback.FlowSignals
 	v.RateCuts = s.Feedback.RateCuts
 	v.TenantCuts = s.Feedback.TenantCuts
+	v.SLODegrades = s.SLO.Degrades
+	v.SLORecovers = s.SLO.Recovers
 	for _, t := range s.Tenants {
 		v.QuotaDrops += t.QuotaDropped
 	}
@@ -102,6 +113,110 @@ func RunScenario(w *World, sc Scenario, horizon time.Duration) (Verdict, error) 
 		v.Snapshot = s
 	}
 	return v, nil
+}
+
+// scheduleSLOChecks installs the slo-during-fault invariant: at sample
+// points DURING the timeline where only degrade/bursty-loss faults are
+// live — never mid-partition or mid-crash, and only once a settle period
+// (slow window + clear hold + margin) has passed since a partition or
+// crash was last active — the interactive flow's SLO state must not read
+// Violated. Its direct host path is untouched by DC-link faults, so
+// deliveries keep landing on time and a Violated reading there would
+// mean the engine latched or leaked state. Partition windows are
+// excluded because blackholing the overlay legitimately burns budget;
+// degrade-only windows are exactly where a false alarm would page.
+func scheduleSLOChecks(w *World, sc Scenario, horizon time.Duration, v *Verdict) {
+	settle := worldSLO.SlowWindow + worldSLO.ClearHold + 500*time.Millisecond
+	const step = 250 * time.Millisecond
+	flow := w.Flows[0].ID()
+	for _, at := range sloSamplePoints(sc, horizon, settle, step) {
+		at := at
+		w.D.Sim().At(at, func() {
+			s := w.D.Snapshot()
+			v.SLOChecks++
+			if e, ok := s.SLO.Flow(flow); ok && e.State == telemetry.SLOViolated {
+				v.Violations = violate(v.Violations, "slo-during-fault",
+					"interactive flow SLO violated at %v in a degrade-only window (burn fast %.2f slow %.2f)",
+					at, e.BurnFast, e.BurnSlow)
+			}
+		})
+	}
+}
+
+// sloSamplePoints replays the timeline's fault intervals and returns the
+// multiples of step in (0, horizon) that fall inside degrade-only
+// windows: at least one degrade/bursty-loss live, no partition or DC
+// crash live, and none was live within the trailing settle period.
+// StepHeal clears both fault classes on its pair (it restores the base
+// link shape); asymmetric heals are treated as full clears — that only
+// shrinks the sampled set, never asserts inside an unhealed window.
+func sloSamplePoints(sc Scenario, horizon, settle, step time.Duration) []time.Duration {
+	type pair [2]core.NodeID
+	norm := func(a, b core.NodeID) pair {
+		if a > b {
+			a, b = b, a
+		}
+		return pair{a, b}
+	}
+	steps := append([]Step(nil), sc.Steps...)
+	sort.SliceStable(steps, func(i, j int) bool { return steps[i].At < steps[j].At })
+
+	degraded := map[pair]bool{}
+	partitioned := map[pair]bool{}
+	crashed := map[core.NodeID]bool{}
+	lastBadEnd := time.Duration(-1) << 40 // "long before the run"
+	anyLive := func(m map[pair]bool) bool {
+		for _, on := range m {
+			if on {
+				return true
+			}
+		}
+		return false
+	}
+
+	var pts []time.Duration
+	i := 0
+	for at := step; at < horizon; at += step {
+		for i < len(steps) && steps[i].At <= at {
+			st := steps[i]
+			i++
+			switch st.Kind {
+			case StepDegrade, StepDegradeAsym, StepBurstyLoss:
+				degraded[norm(st.A, st.B)] = true
+			case StepPartition, StepPartitionAsym:
+				partitioned[norm(st.A, st.B)] = true
+			case StepHeal, StepHealAsym:
+				k := norm(st.A, st.B)
+				if partitioned[k] {
+					partitioned[k] = false
+					if st.At > lastBadEnd {
+						lastBadEnd = st.At
+					}
+				}
+				degraded[k] = false
+			case StepCrashDC:
+				crashed[st.A] = true
+			case StepHealDC:
+				if crashed[st.A] {
+					delete(crashed, st.A)
+					if st.At > lastBadEnd {
+						lastBadEnd = st.At
+					}
+				}
+			}
+		}
+		if len(crashed) > 0 || anyLive(partitioned) {
+			continue
+		}
+		if !anyLive(degraded) {
+			continue
+		}
+		if at-lastBadEnd < settle {
+			continue
+		}
+		pts = append(pts, at)
+	}
+	return pts
 }
 
 // RunOne builds the canonical world for seed, fuzzes a timeline from
@@ -145,6 +260,11 @@ type Report struct {
 	RateCuts    uint64
 	TenantCuts  uint64
 	QuotaDrops  uint64
+	// SLO engine aggregates: state transitions observed across runs and
+	// the number of during-fault sample points asserted.
+	SLODegrades uint64
+	SLORecovers uint64
+	SLOChecks   int
 }
 
 // OK reports whether every run completed and held every invariant.
@@ -167,6 +287,9 @@ func Soak(o SoakOptions) Report {
 		rep.RateCuts += v.RateCuts
 		rep.TenantCuts += v.TenantCuts
 		rep.QuotaDrops += v.QuotaDrops
+		rep.SLODegrades += v.SLODegrades
+		rep.SLORecovers += v.SLORecovers
+		rep.SLOChecks += v.SLOChecks
 		if !v.OK() {
 			rep.Failures = append(rep.Failures, v)
 		}
@@ -175,8 +298,8 @@ func Soak(o SoakOptions) Report {
 			if !v.OK() {
 				status = "FAIL"
 			}
-			o.Log("run %3d seed %-6d %s: %d steps, %d delivered, %d reroutes, %d signals, %d cuts, %d tenant cuts, %d quota drops",
-				i, seed, status, v.Steps, v.Delivered, v.Reroutes, v.FlowSignals, v.RateCuts, v.TenantCuts, v.QuotaDrops)
+			o.Log("run %3d seed %-6d %s: %d steps, %d delivered, %d reroutes, %d signals, %d cuts, %d tenant cuts, %d quota drops, %d/%d slo transitions (%d checks)",
+				i, seed, status, v.Steps, v.Delivered, v.Reroutes, v.FlowSignals, v.RateCuts, v.TenantCuts, v.QuotaDrops, v.SLODegrades, v.SLORecovers, v.SLOChecks)
 			for _, viol := range v.Violations {
 				o.Log("  violation: %v", viol)
 			}

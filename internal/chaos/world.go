@@ -42,6 +42,19 @@ const (
 	worldCapacity = 1_000_000 // 1 MB/s accounting + serialization per link
 )
 
+// worldSLO is the canonical world's SLO configuration. The runner's
+// during-fault invariant derives its settle time from these windows, so
+// they live here, next to the deployment they configure.
+var worldSLO = jqos.SLOConfig{
+	Objective:    0.9,
+	FastWindow:   500 * time.Millisecond,
+	SlowWindow:   2 * time.Second,
+	AtRiskBurn:   2,
+	ViolatedBurn: 4,
+	MinSamples:   20,
+	ClearHold:    500 * time.Millisecond,
+}
+
 // BuildWorld constructs the canonical world from one seed. Same seed →
 // identical deployment (the simulator drives every random process).
 func BuildWorld(seed int64) (*World, error) {
@@ -63,6 +76,12 @@ func BuildWorld(seed int64) (*World, error) {
 	// Faster adaptation than the production default so an 8-second
 	// fault window sees service moves, not just their absence.
 	cfg.UpgradeInterval = time.Second
+	// Continuous SLO engine, scaled to chaos horizons: windows short
+	// enough that an 8-second timeline sees transitions, thresholds
+	// standard SRE multi-window burn rates. Degrade/recover totals must
+	// reconcile with the trace ring (CheckAccounting) and the
+	// interactive flow's state feeds the during-fault invariant.
+	cfg.Telemetry.SLO = worldSLO
 	d := jqos.NewDeploymentWithConfig(seed, cfg)
 
 	w := &World{D: d}
@@ -128,12 +147,16 @@ func BuildWorld(seed int64) (*World, error) {
 	w.Tenants = []core.TenantID{tenantPair, tenantSolo}
 
 	// Interactive contracted flow a→c: tight budget, modest contract.
+	// Trace sampling on: chaos soaks double as attribution coverage —
+	// the span collector's pending table churns under drops, reroutes,
+	// and recovery while the invariants watch the books balance.
 	is, id := addPair(a, c, 60*time.Millisecond)
 	if err := register(jqos.FlowSpec{
 		Src: is, Dst: id, Budget: 150 * time.Millisecond,
 		Service: jqos.ServiceForwarding, ServiceFixed: true,
 		Rate: 200_000, Burst: 16 << 10,
-		Tenant: tenantSolo,
+		Tenant:        tenantSolo,
+		TraceSampling: 0.05,
 	}); err != nil {
 		return nil, err
 	}

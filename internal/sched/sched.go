@@ -173,10 +173,14 @@ func (c Config) EffectiveQueueBytes() int64 {
 // Item is one scheduled message: the marshaled bytes plus the metadata
 // the hosting runtime needs to account its departure (class) and to
 // attribute drops (flow; 0 when the packet carries no single flow).
+// Stamp is the caller's enqueue timestamp (EnqueueStamped), carried
+// through to Dequeue so the runtime can attribute queue wait without a
+// side table; plain Enqueue leaves it zero.
 type Item struct {
 	Class core.Service
 	Flow  core.FlowID
 	Msg   []byte
+	Stamp core.Time
 }
 
 // ClassStats counts one class queue's activity.
@@ -467,6 +471,13 @@ func (s *DRR) State(class core.Service) QueueState {
 // holds the longest backlog — the greedy flow pays for its own
 // pressure, never a polite sibling.
 func (s *DRR) Enqueue(class core.Service, flow core.FlowID, msg []byte) bool {
+	return s.EnqueueStamped(class, flow, msg, 0)
+}
+
+// EnqueueStamped is Enqueue carrying the caller's clock reading through
+// to the dequeued Item (Item.Stamp) — the hop-attribution layer computes
+// queue wait as dequeue time minus it.
+func (s *DRR) EnqueueStamped(class core.Service, flow core.FlowID, msg []byte, stamp core.Time) bool {
 	if int(class) >= NumClasses {
 		return false
 	}
@@ -495,10 +506,10 @@ func (s *DRR) Enqueue(class core.Service, flow core.FlowID, msg []byte) bool {
 			cf.active = append(cf.active, fq)
 			c.FlowQueues = len(cf.active)
 		}
-		fq.q.push(Item{Class: class, Flow: flow, Msg: msg})
+		fq.q.push(Item{Class: class, Flow: flow, Msg: msg, Stamp: stamp})
 		fq.bytes += size
 	} else {
-		s.q[class].push(Item{Class: class, Flow: flow, Msg: msg})
+		s.q[class].push(Item{Class: class, Flow: flow, Msg: msg, Stamp: stamp})
 	}
 	c.EnqueuedBytes += uint64(size)
 	c.EnqueuedPackets++

@@ -136,6 +136,72 @@ func WriteMetrics(w io.Writer, s *Snapshot) error {
 	counter("jqos_feedback_rate_recoveries_total", "AIMD pacer recovery steps.")
 	fmt.Fprintf(bw, "jqos_feedback_rate_recoveries_total %d\n", s.Feedback.RateRecoveries)
 
+	// SLO engine.
+	if s.SLO.Enabled {
+		gauge("jqos_slo_objective", "Configured on-time objective, 0-1.")
+		fmt.Fprintf(bw, "jqos_slo_objective %v\n", s.SLO.Objective)
+		counter("jqos_slo_degrades_total", "SLO state degradations (met→at-risk→violated).")
+		fmt.Fprintf(bw, "jqos_slo_degrades_total %d\n", s.SLO.Degrades)
+		counter("jqos_slo_recovers_total", "SLO state recoveries after the hysteresis hold.")
+		fmt.Fprintf(bw, "jqos_slo_recovers_total %d\n", s.SLO.Recovers)
+		if len(s.SLO.Flows)+len(s.SLO.Classes)+len(s.SLO.Tenants) > 0 {
+			gauge("jqos_slo_state", "SLO state: 0 met, 1 at-risk, 2 violated.")
+			for _, e := range s.SLO.Flows {
+				fmt.Fprintf(bw, "jqos_slo_state{flow=\"%d\"} %d\n", e.Flow, e.State)
+			}
+			for _, e := range s.SLO.Classes {
+				fmt.Fprintf(bw, "jqos_slo_state{class=%q} %d\n", e.Class.String(), e.State)
+			}
+			for _, e := range s.SLO.Tenants {
+				fmt.Fprintf(bw, "jqos_slo_state{tenant=\"%d\"} %d\n", e.Tenant, e.State)
+			}
+			gauge("jqos_slo_burn_rate", "Error-budget burn rate per window (1.0 = exactly on objective).")
+			for _, e := range s.SLO.Flows {
+				fmt.Fprintf(bw, "jqos_slo_burn_rate{flow=\"%d\",window=\"fast\"} %v\n", e.Flow, e.BurnFast)
+				fmt.Fprintf(bw, "jqos_slo_burn_rate{flow=\"%d\",window=\"slow\"} %v\n", e.Flow, e.BurnSlow)
+			}
+			for _, e := range s.SLO.Classes {
+				fmt.Fprintf(bw, "jqos_slo_burn_rate{class=%q,window=\"fast\"} %v\n", e.Class.String(), e.BurnFast)
+				fmt.Fprintf(bw, "jqos_slo_burn_rate{class=%q,window=\"slow\"} %v\n", e.Class.String(), e.BurnSlow)
+			}
+			for _, e := range s.SLO.Tenants {
+				fmt.Fprintf(bw, "jqos_slo_burn_rate{tenant=\"%d\",window=\"fast\"} %v\n", e.Tenant, e.BurnFast)
+				fmt.Fprintf(bw, "jqos_slo_burn_rate{tenant=\"%d\",window=\"slow\"} %v\n", e.Tenant, e.BurnSlow)
+			}
+		}
+	}
+
+	// Hop-level latency attribution.
+	if a := &s.Attribution; a.Enabled || a.LateDeliveries > 0 {
+		counter("jqos_attribution_traced_total", "Cloud copies sampled for hop-level attribution.")
+		fmt.Fprintf(bw, "jqos_attribution_traced_total %d\n", a.Traced)
+		counter("jqos_attribution_finished_total", "Sampled traces closed by a delivery.")
+		fmt.Fprintf(bw, "jqos_attribution_finished_total %d\n", a.Finished)
+		counter("jqos_attribution_dropped_total", "Sampled traces abandoned by an ingress or egress drop.")
+		fmt.Fprintf(bw, "jqos_attribution_dropped_total %d\n", a.Dropped)
+		counter("jqos_attribution_late_deliveries_total", "Budget-violating deliveries offered to the reservoir.")
+		fmt.Fprintf(bw, "jqos_attribution_late_deliveries_total %d\n", a.LateDeliveries)
+		if len(a.Flows) > 0 {
+			counter("jqos_attribution_spend_ns_total", "Attributed latency per flow and budget component (ns).")
+			for _, fs := range a.Flows {
+				for c := 0; c < NumSpanComponents; c++ {
+					if fs.Profile.Ns[c] == 0 {
+						continue
+					}
+					fmt.Fprintf(bw, "jqos_attribution_spend_ns_total{flow=\"%d\",component=%q} %d\n",
+						fs.Flow, SpanComponent(c).String(), fs.Profile.Ns[c])
+				}
+			}
+		}
+		if len(a.Queues) > 0 {
+			counter("jqos_attribution_queue_wait_ns_total", "Attributed DRR queue wait per (link, class) (ns).")
+			for _, qs := range a.Queues {
+				fmt.Fprintf(bw, "jqos_attribution_queue_wait_ns_total{from=\"%d\",to=\"%d\",class=%q} %d\n",
+					qs.Key.From, qs.Key.To, qs.Key.Class.String(), qs.Spend.WaitNs)
+			}
+		}
+	}
+
 	// Trace occupancy.
 	counter("jqos_trace_events_total", "Control-loop trace events recorded, per kind.")
 	for k := 0; k < NumKinds; k++ {

@@ -35,6 +35,7 @@ type Server struct {
 //
 //	/metrics   Prometheus text format of the latest published snapshot
 //	/snapshot  the same snapshot as indented JSON
+//	/slo       the snapshot's SLO section (states, burn rates) as JSON
 //	/trace     the buffered control-loop trace as JSON
 //	           (?since=SEQ to tail, ?max=N to bound)
 //	/debug/pprof/...  the standard net/http/pprof handlers
@@ -68,6 +69,17 @@ func Serve(addr string, src Source) (*Server, error) {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(s)
+	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+		s := src.LatestSnapshot()
+		if s == nil {
+			http.Error(w, `{"error":"no snapshot published yet"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.SLO)
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		var since uint64

@@ -45,6 +45,15 @@ type Snapshot struct {
 	Counters   []CounterSnapshot   `json:"counters,omitempty"`
 	Gauges     []GaugeSnapshot     `json:"gauges,omitempty"`
 	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
+	// SLO is the continuous SLO engine's view: per-flow, per-class, and
+	// per-tenant burn rates and states. Enabled is false when no
+	// SLOConfig was set.
+	SLO SLOSnapshot `json:"slo"`
+	// Attribution is the hop-level latency attribution surface: budget
+	// spend profiles per flow and per (link, class) queue, plus the
+	// late-delivery reservoir. Enabled is false when no open flow
+	// samples traces.
+	Attribution AttributionSnapshot `json:"attribution"`
 	// Trace is the control-loop event ring's occupancy and per-kind
 	// lifetime counts.
 	Trace TraceStats `json:"trace"`
@@ -181,9 +190,14 @@ type FlowSnapshot struct {
 	LatencyMsP95  float64 `json:"latency_ms_p95"`
 }
 
-// OnTimeFraction returns OnTime/Delivered (1 when nothing delivered).
+// OnTimeFraction returns OnTime/Delivered. With nothing delivered it
+// returns 0 when packets were sent (a blackholed flow is NOT meeting
+// its budget) and 1 only when nothing was sent either (vacuous truth).
 func (f FlowSnapshot) OnTimeFraction() float64 {
 	if f.Delivered == 0 {
+		if f.Sent > 0 {
+			return 0
+		}
 		return 1
 	}
 	return float64(f.OnTime) / float64(f.Delivered)
@@ -238,9 +252,14 @@ type TenantSnapshot struct {
 	CostViolations   uint64  `json:"cost_violations"`
 }
 
-// OnTimeFraction returns OnTime/Delivered (1 when nothing delivered).
+// OnTimeFraction returns OnTime/Delivered. With nothing delivered it
+// returns 0 when member flows sent packets (a tenant whose traffic all
+// vanished is NOT meeting budgets) and 1 only when nothing was sent.
 func (t TenantSnapshot) OnTimeFraction() float64 {
 	if t.Delivered == 0 {
+		if t.Sent > 0 {
+			return 0
+		}
 		return 1
 	}
 	return float64(t.OnTime) / float64(t.Delivered)
@@ -336,12 +355,9 @@ func humanBytes(b float64) string {
 func (s *Snapshot) Summary() string {
 	var b strings.Builder
 	t := s.Totals
-	onTime := 100.0
-	if t.Delivered > 0 {
-		onTime = 100 * float64(t.OnTime) / float64(t.Delivered)
-	}
-	fmt.Fprintf(&b, "jqos @ %v: %d flows, %d sent / %d delivered (%.1f%% on time), cloud egress %s ($%.4f)\n",
-		s.At, t.Flows, t.Sent, t.Delivered, onTime, humanBytes(float64(t.EgressBytes)), t.CloudCostUSD)
+	fmt.Fprintf(&b, "jqos @ %v: %d flows, %d sent / %d delivered (%s), cloud egress %s ($%.4f)\n",
+		s.At, t.Flows, t.Sent, t.Delivered, onTimeText(t.Sent, t.Delivered, t.OnTime),
+		humanBytes(float64(t.EgressBytes)), t.CloudCostUSD)
 	for _, l := range s.Links {
 		fmt.Fprintf(&b, "  link %v↔%v: cap %s/s, util %.0f%%, %v→%v %s%s, %v→%v %s%s\n",
 			l.A, l.B, humanBytes(float64(l.Capacity)), 100*l.Utilization,
@@ -364,8 +380,9 @@ func (s *Snapshot) Summary() string {
 		if tn.Name != "" {
 			fmt.Fprintf(&b, " (%s)", tn.Name)
 		}
-		fmt.Fprintf(&b, ": %d flows, %d sent, %.1f%% on time, %s sent ($%.4f est)",
-			tn.Flows, tn.Sent, 100*tn.OnTimeFraction(), humanBytes(float64(tn.SentBytes)), tn.EstCostUSD)
+		fmt.Fprintf(&b, ": %d flows, %d sent, %s, %s sent ($%.4f est)",
+			tn.Flows, tn.Sent, onTimeText(tn.Sent, tn.Delivered, tn.OnTime),
+			humanBytes(float64(tn.SentBytes)), tn.EstCostUSD)
 		if tn.QuotaRate > 0 {
 			fmt.Fprintf(&b, ", quota %s/s", humanBytes(float64(tn.QuotaRate)))
 			if tn.QuotaDropped > 0 {
@@ -387,7 +404,7 @@ func (s *Snapshot) Summary() string {
 		b.WriteByte('\n')
 	}
 	for _, f := range s.Flows {
-		fmt.Fprintf(&b, "  flow %d (%s): %d sent, %.1f%% on time, p95 %.1f ms", f.ID, f.ServiceName, f.Sent, 100*f.OnTimeFraction(), f.LatencyMsP95)
+		fmt.Fprintf(&b, "  flow %d (%s): %d sent, %s, p95 %.1f ms", f.ID, f.ServiceName, f.Sent, onTimeText(f.Sent, f.Delivered, f.OnTime), f.LatencyMsP95)
 		if f.AdmissionDropped > 0 || f.AdmissionShaped > 0 {
 			fmt.Fprintf(&b, ", adm-drop %d / shaped %d", f.AdmissionDropped, f.AdmissionShaped)
 		}
@@ -410,6 +427,44 @@ func (s *Snapshot) Summary() string {
 		fmt.Fprintf(&b, "  feedback: %d transitions → %d batches, %d flow signals, %d cuts / %d recoveries, %d preemptive moves\n",
 			fb.Transitions, fb.Batches, fb.FlowSignals, fb.RateCuts, fb.RateRecoveries, fb.PreemptiveMoves)
 	}
+	if s.SLO.Enabled {
+		fmt.Fprintf(&b, "  slo: objective %.1f%% (fast %v / slow %v), %d degrades / %d recovers\n",
+			100*s.SLO.Objective, s.SLO.FastWin, s.SLO.SlowWin, s.SLO.Degrades, s.SLO.Recovers)
+		for _, e := range s.SLO.Flows {
+			fmt.Fprintf(&b, "    flow %d: %s, burn fast %.2f slow %.2f (%d/%d miss fast, %d/%d slow)\n",
+				e.Flow, e.StateName, e.BurnFast, e.BurnSlow,
+				e.FastMiss, e.FastOK+e.FastMiss, e.SlowMiss, e.SlowOK+e.SlowMiss)
+		}
+		for _, e := range s.SLO.Classes {
+			fmt.Fprintf(&b, "    class %v: %s, burn fast %.2f slow %.2f\n", e.Class, e.StateName, e.BurnFast, e.BurnSlow)
+		}
+		for _, e := range s.SLO.Tenants {
+			fmt.Fprintf(&b, "    tenant %d: %s, burn fast %.2f slow %.2f\n", e.Tenant, e.StateName, e.BurnFast, e.BurnSlow)
+		}
+	}
+	if a := &s.Attribution; a.Enabled || a.LateDeliveries > 0 {
+		fmt.Fprintf(&b, "  attribution: %d traced / %d finished / %d dropped / %d evicted, %d pending, %d late\n",
+			a.Traced, a.Finished, a.Dropped, a.Evicted, a.Pending, a.LateDeliveries)
+		for _, fsp := range a.Flows {
+			p := fsp.Profile
+			fmt.Fprintf(&b, "    flow %d spend (%d samples, %d late):", fsp.Flow, p.Samples, p.Late)
+			for c := 0; c < NumSpanComponents; c++ {
+				if p.Ns[c] == 0 {
+					continue
+				}
+				fmt.Fprintf(&b, " %v %.0f%%", SpanComponent(c), 100*p.Share(SpanComponent(c)))
+			}
+			b.WriteByte('\n')
+		}
+		for _, qs := range a.Queues {
+			mean := time.Duration(0)
+			if qs.Spend.Samples > 0 {
+				mean = time.Duration(qs.Spend.WaitNs / int64(qs.Spend.Samples))
+			}
+			fmt.Fprintf(&b, "    queue %v→%v %v: %d waits, mean %v, %d late\n",
+				qs.Key.From, qs.Key.To, qs.Key.Class, qs.Spend.Samples, mean.Round(time.Microsecond), qs.Spend.Late)
+		}
+	}
 	if s.Trace.Recorded > 0 {
 		fmt.Fprintf(&b, "  trace: %d events (%d buffered of %d cap)", s.Trace.Recorded, s.Trace.Buffered, s.Trace.Capacity)
 		for k := 0; k < NumKinds; k++ {
@@ -420,6 +475,19 @@ func (s *Snapshot) Summary() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// onTimeText renders a delivery set's on-time share, distinguishing "no
+// deliveries" (sent but nothing surfaced — NOT a healthy 100%) from a
+// true on-time fraction.
+func onTimeText(sent, delivered, onTime uint64) string {
+	if delivered == 0 {
+		if sent > 0 {
+			return "no deliveries"
+		}
+		return "idle"
+	}
+	return fmt.Sprintf("%.1f%% on time", 100*float64(onTime)/float64(delivered))
 }
 
 // classBreakdown renders nonzero per-class byte totals as a bracketed

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
@@ -214,6 +215,33 @@ func testSnapshot() *Snapshot {
 	s.Queues[0].PerClass[3] = ClassQueueSnapshot{EnqueuedPackets: 5, DequeuedPackets: 4, DroppedPackets: 1}
 	s.Trace.Recorded = 4
 	s.Trace.ByKind[KindReroute] = 4
+
+	// Continuous SLO engine and hop-level attribution surfaces.
+	s.SLO = SLOSnapshot{
+		Enabled: true, Objective: 0.95,
+		FastWin: time.Second, SlowWin: 5 * time.Second,
+		Degrades: 2, Recovers: 1,
+		Flows:   []SLOEntry{{Flow: 1, Class: 3, State: SLOAtRisk, StateName: "at-risk", BurnFast: 2.5, BurnSlow: 1.0}},
+		Classes: []SLOEntry{{Class: 3, State: SLOMet, StateName: "met"}},
+		Tenants: []SLOEntry{{Tenant: 4, Class: 3, State: SLOViolated, StateName: "violated", BurnFast: 6, BurnSlow: 5}},
+	}
+	var prof SpendProfile
+	lateRec := HopRecord{
+		Flow: 1, Seq: 9, SentAt: time.Second, DeliveredAt: 2 * time.Second,
+		Total: time.Second, Budget: 100 * time.Millisecond, Via: 3, Sampled: true,
+	}
+	lateRec.Comp[SpanQueue] = 900 * time.Millisecond
+	lateRec.Comp[SpanPropagation] = 100 * time.Millisecond
+	prof.observe(&lateRec)
+	s.Attribution = AttributionSnapshot{
+		Enabled: true, Traced: 3, Finished: 1, Dropped: 1, Pending: 1, LateDeliveries: 1,
+		Flows: []FlowSpendSnapshot{{Flow: 1, Profile: prof}},
+		Queues: []QueueSpendSnapshot{{
+			Key:   QueueKey{From: 1, To: 2, Class: 3},
+			Spend: QueueSpend{Samples: 1, Late: 1, WaitNs: int64(900 * time.Millisecond), LateWaitNs: int64(900 * time.Millisecond)},
+		}},
+		Reservoir: []HopRecord{lateRec},
+	}
 	return s
 }
 
@@ -238,6 +266,15 @@ func TestWriteMetricsParses(t *testing.T) {
 		"app_ticks_total 7\n",
 		`app_lat_ms_bucket{le="+Inf"} 2`,
 		"app_lat_ms_count 2\n",
+		"jqos_slo_objective 0.95\n",
+		"jqos_slo_degrades_total 2\n",
+		`jqos_slo_state{flow="1"} 1`,
+		`jqos_slo_state{tenant="4"} 2`,
+		`jqos_slo_burn_rate{flow="1",window="fast"} 2.5`,
+		"jqos_attribution_traced_total 3\n",
+		"jqos_attribution_late_deliveries_total 1\n",
+		`jqos_attribution_spend_ns_total{flow="1",component="queue"} 900000000`,
+		`jqos_attribution_queue_wait_ns_total{from="1",to="2",class="forwarding"} 900000000`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("missing %q in:\n%s", want, out)
@@ -290,7 +327,7 @@ func TestSnapshotJSONRoundTrip(t *testing.T) {
 
 func TestSummaryMentionsEverySurface(t *testing.T) {
 	sum := testSnapshot().Summary()
-	for _, want := range []string{"1 flows", "link", "queue", "flow 1", "routing:", "trace:"} {
+	for _, want := range []string{"1 flows", "link", "queue", "flow 1", "routing:", "trace:", "slo:", "attribution:"} {
 		if !strings.Contains(sum, want) {
 			t.Fatalf("summary missing %q:\n%s", want, sum)
 		}
@@ -354,19 +391,95 @@ func TestServeEndpoints(t *testing.T) {
 		t.Fatalf("/trace?since=1&max=1 = %+v", events)
 	}
 
-	// No snapshot published yet: /metrics degrades, /snapshot 503s.
+	// The SLO section has its own endpoint.
+	var slo SLOSnapshot
+	if err := json.Unmarshal(get("/slo"), &slo); err != nil {
+		t.Fatalf("/slo: %v", err)
+	}
+	if !slo.Enabled || slo.Degrades != 2 || len(slo.Flows) != 1 {
+		t.Fatalf("/slo = %+v", slo)
+	}
+
+	// No snapshot published yet: /metrics degrades, /snapshot and /slo 503.
 	empty := &fakeSource{ring: NewRing(1)}
 	srv2, err := Serve("127.0.0.1:0", empty)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv2.Close()
-	resp, err := http.Get(srv2.URL() + "/snapshot")
+	for _, path := range []string{"/snapshot", "/slo"} {
+		resp, err := http.Get(srv2.URL() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s without publish = %s, want 503", path, resp.Status)
+		}
+	}
+}
+
+// TestServeTracePagination drives /trace?since&max through its edges:
+// a cursor at the head, a cursor that aged out of the ring, max=0 (all),
+// and a max larger than what is buffered.
+func TestServeTracePagination(t *testing.T) {
+	ring := NewRing(4)
+	var head uint64
+	for i := 0; i < 7; i++ { // seqs 1..7; ring keeps 4..7
+		head = ring.Record(Event{Kind: KindReroute, V1: int64(i)})
+	}
+	src := &fakeSource{snap: testSnapshot(), ring: ring}
+	srv, err := Serve("127.0.0.1:0", src)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("/snapshot without publish = %s, want 503", resp.Status)
+	defer srv.Close()
+
+	fetch := func(query string) []Event {
+		t.Helper()
+		resp, err := http.Get(srv.URL() + "/trace" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /trace%s: %s", query, resp.Status)
+		}
+		var events []Event
+		if err := json.NewDecoder(resp.Body).Decode(&events); err != nil {
+			t.Fatalf("/trace%s: %v", query, err)
+		}
+		return events
+	}
+
+	// Cursor at the newest event: empty JSON array, not null.
+	if ev := fetch(fmt.Sprintf("?since=%d", head)); len(ev) != 0 {
+		t.Fatalf("since=head returned %d events", len(ev))
+	}
+	// Cursor beyond the head behaves the same.
+	if ev := fetch(fmt.Sprintf("?since=%d", head+100)); len(ev) != 0 {
+		t.Fatalf("since>head returned %d events", len(ev))
+	}
+	// A cursor that aged out of the ring resumes from the oldest
+	// buffered event (overwritten events are gone, not an error).
+	ev := fetch("?since=1")
+	if len(ev) != 4 || ev[0].Seq != 4 || ev[3].Seq != 7 {
+		t.Fatalf("since=1 after overwrite = %+v", ev)
+	}
+	// max=0 means everything buffered; so does an oversized max.
+	if ev := fetch("?max=0"); len(ev) != 4 {
+		t.Fatalf("max=0 returned %d events", len(ev))
+	}
+	if ev := fetch("?max=100"); len(ev) != 4 {
+		t.Fatalf("max=100 returned %d events", len(ev))
+	}
+	// max bounds a tail read; the page picks up where the cursor left off.
+	page := fetch("?since=4&max=2")
+	if len(page) != 2 || page[0].Seq != 5 || page[1].Seq != 6 {
+		t.Fatalf("since=4&max=2 = %+v", page)
+	}
+	next := fetch(fmt.Sprintf("?since=%d&max=2", page[1].Seq))
+	if len(next) != 1 || next[0].Seq != 7 {
+		t.Fatalf("second page = %+v", next)
 	}
 }

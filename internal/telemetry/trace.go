@@ -66,9 +66,20 @@ const (
 	// Flow the downgraded member, Class that member's OLD service, V1 the
 	// aggregate price in micro-dollars per GB, V2 the ceiling likewise.
 	KindTenantCostViolation
+	// KindSLODegrade: the continuous SLO engine stepped a tracker's state
+	// DOWN (Met→AtRisk, Met→Violated, or AtRisk→Violated). Flow/Tenant/
+	// Class identify the tracker (exactly one is meaningful; class
+	// trackers set Class with Flow and Tenant zero — data flows are never
+	// flow 0). Reason is the NEW SLOState, V1 the fast-window burn rate
+	// in parts-per-million, V2 the slow-window burn rate likewise.
+	KindSLODegrade
+	// KindSLORecover: the SLO engine stepped a tracker's state UP after
+	// its ClearHold hysteresis. Same payload as KindSLODegrade; Reason is
+	// the NEW (improved) SLOState.
+	KindSLORecover
 
 	// NumKinds sizes per-kind count arrays.
-	NumKinds = int(KindTenantCostViolation) + 1
+	NumKinds = int(KindSLORecover) + 1
 )
 
 // String implements fmt.Stringer.
@@ -100,6 +111,10 @@ func (k Kind) String() string {
 		return "tenant-pacer-recover"
 	case KindTenantCostViolation:
 		return "tenant-cost-violation"
+	case KindSLODegrade:
+		return "slo-degrade"
+	case KindSLORecover:
+		return "slo-recover"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -155,6 +170,8 @@ func (e Event) Describe() string {
 		return fmt.Sprintf("%-12v %v tenant-pacer-recover rate %dB/s of %dB/s", at, e.Tenant, e.V1, e.V2)
 	case KindTenantCostViolation:
 		return fmt.Sprintf("%-12v %v tenant-cost-violation flow %d class %v $%.4f/GB over $%.4f/GB", at, e.Tenant, e.Flow, e.Class, float64(e.V1)/1e6, float64(e.V2)/1e6)
+	case KindSLODegrade, KindSLORecover:
+		return fmt.Sprintf("%-12v %s %v→%v burn fast %.2f slow %.2f", at, sloSubject(e), e.Kind, SLOState(e.Reason), float64(e.V1)/1e6, float64(e.V2)/1e6)
 	default:
 		return fmt.Sprintf("%-12v flow %d %v", at, e.Flow, e.Kind)
 	}

@@ -126,6 +126,14 @@ const (
 	// packet of the flow with sequence greater than Seq — the mobility
 	// rendezvous pull (Figure 3e).
 	FlagDrain
+	// FlagTraced marks a cloud copy selected for hop-level latency
+	// attribution: every choke point it traverses (admission, pacer,
+	// egress queue, wire, relay) records a span keyed by (Flow, Seq)
+	// into the telemetry plane's span collector. The bit rides the wire
+	// so transit DCs know to record spans without any per-flow lookup;
+	// untraced packets pay only this flag test. Set deterministically by
+	// the sender from FlowSpec.TraceSampling (every Nth sequence).
+	FlagTraced
 )
 
 // Routing-epoch tag: data packets carry the 2-bit table version they
@@ -349,4 +357,23 @@ func PeekFlow(msg []byte) (core.FlowID, MsgType, bool) {
 		return 0, 0, false
 	}
 	return core.FlowID(binary.BigEndian.Uint64(msg[8:])), MsgType(msg[3]), true
+}
+
+// PeekTrace reads a marshaled data message's packet identity when (and
+// only when) the message carries FlagTraced — the hop-attribution tag.
+// Every wire-departure and wire-arrival point tests its packets with
+// this on the hot path; for the untraced majority the cost is the bounds
+// check plus one flag load, with no header decode. ok is false for
+// short, non-J-QoS, non-data, or untraced messages.
+func PeekTrace(msg []byte) (core.PacketID, bool) {
+	if len(msg) < HeaderLen ||
+		binary.BigEndian.Uint16(msg[0:]) != Magic || msg[2] != Version ||
+		MsgType(msg[3]) != TypeData ||
+		binary.BigEndian.Uint16(msg[4:])&FlagTraced == 0 {
+		return core.PacketID{}, false
+	}
+	return core.PacketID{
+		Flow: core.FlowID(binary.BigEndian.Uint64(msg[8:])),
+		Seq:  core.Seq(binary.BigEndian.Uint64(msg[16:])),
+	}, true
 }

@@ -196,16 +196,54 @@
 // admission and egress drops, cost and budget violations — recorded at
 // the same choke points that invoke FlowObserver (whose interface is
 // unchanged), stamped with SIMULATED time so two same-seed runs produce
-// byte-identical traces. telemetry.Serve exposes the latest published
-// snapshot as Prometheus text (/metrics), JSON (/snapshot), and the
-// trace (/trace) alongside net/http/pprof; cmd/jqos-stat pretty-prints
-// either from a live endpoint or a saved snapshot file:
+// byte-identical traces.
+//
+// Aggregates tell you THAT a budget was blown; hop-level attribution
+// tells you WHERE. Setting FlowSpec.TraceSampling to a fraction in
+// (0, 1] stamps that share of the flow's cloud copies with a trace tag
+// in the wire header (internal/wire FlagTraced), and every choke point
+// a tagged packet crosses records a span: admission-bucket and pacer
+// wait at the ingress, per-(link, class) DRR queue wait at each
+// scheduler, per-hop propagation, loss-recovery delay, and a relay
+// remainder absorbing whatever the probes did not measure — components
+// that sum EXACTLY to the packet's end-to-end latency. Finished traces
+// fold into Snapshot.Attribution: a budget spend profile per flow
+// (total and late-only nanoseconds per component, a latency histogram,
+// and per-component shares answering "where did the budget go?"), a
+// queue-wait aggregate per (link, class) that pins a saturated queue
+// from the flow's side, and an always-on reservoir of the most recent
+// late deliveries with their full component breakdowns. Sampling costs
+// nothing when off (the send path stays allocation-free) and one
+// bounded table when on; see BenchmarkHopRecord.
+//
+// On top of the same delivery stream sits a continuous SLO engine
+// (Config.Telemetry.SLO). Each budgeted flow — and each class and
+// tenant rollup — gets a multi-window burn-rate tracker in the style
+// of SRE alerting: the miss fraction over a fast and a slow window,
+// divided by the objective's error allowance, yields a burn rate;
+// fast-window burn past AtRiskBurn marks the tracker AtRisk, and both
+// windows past ViolatedBurn mark it Violated. Recovery is
+// hysteresis-guarded (ClearHold) so a flapping flow cannot oscillate,
+// and a blackholed flow — sending but delivering nothing — is caught
+// by synthetic misses rather than waiting on deliveries that never
+// arrive. State transitions emit KindSLODegrade/KindSLORecover trace
+// events and count into Snapshot.SLO alongside per-tracker states,
+// burn rates, and windowed hit/miss totals; internal/chaos asserts
+// the engine DURING fault injection (no false Violated on unaffected
+// flows while links degrade elsewhere).
+//
+// telemetry.Serve exposes the latest published snapshot as Prometheus
+// text (/metrics, including jqos_slo_* and jqos_attribution_*
+// families), JSON (/snapshot), the SLO view alone (/slo), and the
+// trace (/trace, paginated by ?since and ?max) alongside
+// net/http/pprof; cmd/jqos-stat pretty-prints either from a live
+// endpoint or a saved snapshot file:
 //
 //	snap := dep.Snapshot() // publish once (or set Telemetry.PublishInterval)
 //	fmt.Println(snap.Summary())
 //	srv, _ := telemetry.Serve("127.0.0.1:0", dep)
 //	defer srv.Close()
-//	// curl $URL/metrics, /snapshot, /trace; jqos-stat -addr $ADDR
+//	// curl $URL/metrics, /snapshot, /slo, /trace; jqos-stat -addr $ADDR
 //
 // # Chaos testing
 //

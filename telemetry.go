@@ -8,7 +8,14 @@ import (
 	"jqos/internal/load"
 	"jqos/internal/telemetry"
 	"jqos/internal/tenant"
+	"jqos/internal/wire"
 )
+
+// SLOConfig configures the continuous SLO engine (re-exported from
+// internal/telemetry; see TelemetryConfig.SLO): the on-time objective,
+// the fast/slow burn-rate windows, the AtRisk/Violated burn thresholds,
+// and the recovery hysteresis hold.
+type SLOConfig = telemetry.SLOConfig
 
 // TelemetryConfig tunes the deployment's observability plane (see the
 // package docs' Observability section).
@@ -25,6 +32,12 @@ type TelemetryConfig struct {
 	// which is what tests and experiments use; a live telemetry.Serve
 	// endpoint wants the periodic feed.
 	PublishInterval time.Duration
+	// SLO configures the continuous SLO engine: rolling multi-window
+	// on-time-fraction tracking per budgeted flow, per service class,
+	// and per tenant, with Met/AtRisk/Violated states, hysteresis, and
+	// trace events on every transition. Zero Objective disables it; the
+	// evaluation ticker parks with traffic like the publisher.
+	SLO telemetry.SLOConfig
 }
 
 // Delivery-latency histogram bounds (ms), latency/budget ratio bounds,
@@ -63,6 +76,43 @@ type telemetryPlane struct {
 	idle         int
 	lastActivity uint64
 	roundFn      func()
+
+	// Hop-level latency attribution (spans.go in internal/telemetry).
+	// The collector is sim-goroutine-only; tracedFlows counts open flows
+	// with TraceSampling set so snapshots can report Enabled.
+	spans       *telemetry.SpanCollector
+	tracedFlows int
+
+	// Continuous SLO engine. slo carries defaults when Enabled; trackers
+	// are created lazily on the first delivery (flow/class/tenant) and
+	// evaluated by a parked ticker plus every snapshot build. The
+	// degrade/recover counters increment exactly when the matching trace
+	// event is recorded, so chaos accounting can reconcile them against
+	// the ring's per-kind counts.
+	slo         telemetry.SLOConfig
+	sloFlows    map[core.FlowID]*sloFlowWatch
+	sloClasses  [telemetry.NumClasses]*telemetry.SLOTracker
+	sloTenants  map[core.TenantID]*telemetry.SLOTracker
+	sloDegrades uint64
+	sloRecovers uint64
+
+	sloInterval time.Duration
+	sloStarted  bool
+	sloParked   bool
+	sloIdle     int
+	sloLastAct  uint64
+	sloRoundFn  func()
+}
+
+// sloFlowWatch pairs a flow's SLO tracker with the blackhole-detection
+// cursor: when Sent advances but Delivered does not for longer than
+// max(2×budget, FastWindow), the stalled packets count as synthetic
+// misses — a partitioned flow must burn, not freeze at its last state.
+type sloFlowWatch struct {
+	tr             *telemetry.SLOTracker
+	lastSent       uint64
+	lastDelivered  uint64
+	lastDeliveryAt time.Duration
 }
 
 func newTelemetryPlane(d *Deployment, cfg TelemetryConfig) *telemetryPlane {
@@ -84,6 +134,17 @@ func newTelemetryPlane(d *Deployment, cfg TelemetryConfig) *telemetryPlane {
 	p.queueDepth = p.reg.Histogram("jqos_egress_queue_depth_bytes", "bytes", queueDepthBounds...)
 	p.snapshots = p.reg.Counter("jqos_snapshots_built_total")
 	p.roundFn = p.round
+	p.spans = telemetry.NewSpanCollector()
+	if cfg.SLO.Enabled() {
+		p.slo = cfg.SLO.WithDefaults()
+		p.sloFlows = make(map[core.FlowID]*sloFlowWatch)
+		p.sloTenants = make(map[core.TenantID]*telemetry.SLOTracker)
+		p.sloInterval = p.slo.FastWindow / 4
+		if p.sloInterval < time.Millisecond {
+			p.sloInterval = time.Millisecond
+		}
+		p.sloRoundFn = p.sloRound
+	}
 	return p
 }
 
@@ -124,6 +185,7 @@ func (p *telemetryPlane) noteQueueDepth(depth int64) {
 // send via noteActivity, so the publisher runs exactly while traffic
 // flows. No-op without a PublishInterval.
 func (p *telemetryPlane) wake() {
+	p.sloWake()
 	if p.interval <= 0 {
 		return
 	}
@@ -137,6 +199,351 @@ func (p *telemetryPlane) wake() {
 		p.parked = false
 		p.d.sim.After(p.interval, p.roundFn)
 	}
+}
+
+// sloWake (re)starts the parked SLO evaluation ticker — same parking
+// discipline as the publisher, at FastWindow/4 so a burn crossing is
+// seen well inside one fast window.
+func (p *telemetryPlane) sloWake() {
+	if !p.slo.Enabled() {
+		return
+	}
+	p.sloIdle = 0
+	if !p.sloStarted {
+		p.sloStarted = true
+		p.d.sim.After(p.sloInterval, p.sloRoundFn)
+		return
+	}
+	if p.sloParked {
+		p.sloParked = false
+		p.d.sim.After(p.sloInterval, p.sloRoundFn)
+	}
+}
+
+// sloRound runs one SLO sweep and reschedules — or parks after two idle
+// rounds. The sweep still runs on idle rounds: state can change (clear
+// holds expiring, blackhole synthesis) with no new deliveries.
+func (p *telemetryPlane) sloRound() {
+	if act := p.d.activity; act == p.sloLastAct {
+		p.sloIdle++
+	} else {
+		p.sloLastAct = act
+		p.sloIdle = 0
+	}
+	p.sloSweep(time.Duration(p.d.sim.Now()))
+	if p.sloIdle >= 2 && !p.sloElevated() {
+		p.sloParked = true
+		return
+	}
+	p.d.sim.After(p.sloInterval, p.sloRoundFn)
+}
+
+// sloElevated reports whether any tracker still sits above Met. The
+// ticker must keep sweeping through idle stretches while one does:
+// recovery takes two evaluations (one to start the clear hold, one to
+// step down after it expires), and parking in between would latch a
+// degraded state until the next explicit snapshot. Bounded: with no new
+// observations the windows drain, every tracker steps down, and the
+// ticker parks.
+func (p *telemetryPlane) sloElevated() bool {
+	for _, w := range p.sloFlows {
+		if w.tr.State() != telemetry.SLOMet {
+			return true
+		}
+	}
+	for _, tr := range p.sloClasses {
+		if tr != nil && tr.State() != telemetry.SLOMet {
+			return true
+		}
+	}
+	for _, tr := range p.sloTenants {
+		if tr.State() != telemetry.SLOMet {
+			return true
+		}
+	}
+	return false
+}
+
+// observeDelivery closes the packet's hop trace (when its cloud copy was
+// sampled), feeds the always-on late-delivery reservoir on a budget
+// violation, and records the on-time observation into the flow's,
+// class's, and tenant's SLO trackers. Called from recordDelivery — the
+// first surfaced copy of each packet. Allocation-free when the flow is
+// unsampled (integer Pending guard; the reservoir stores by value) and
+// after the SLO trackers exist.
+func (p *telemetryPlane) observeDelivery(f *Flow, del core.Delivery, lat core.Time) {
+	at := time.Duration(del.At)
+	budget := f.spec.Budget
+	var rec telemetry.HopRecord
+	sampled := false
+	if p.spans.Pending() > 0 {
+		rec, sampled = p.spans.Finish(del.Packet.ID, at,
+			time.Duration(del.RecoveryDelay), budget, del.Via)
+	}
+	if budget > 0 && time.Duration(lat) > budget {
+		if !sampled {
+			// Unsampled late delivery: a skeleton record (no component
+			// breakdown) still lands in the reservoir, so every budget
+			// violation is inspectable even at low sampling rates.
+			rec = telemetry.HopRecord{
+				Flow: f.id, Seq: del.Packet.ID.Seq,
+				SentAt: time.Duration(del.Packet.Sent), DeliveredAt: at,
+				Total: time.Duration(lat), Budget: budget, Via: del.Via,
+			}
+		}
+		p.spans.NoteLate(rec)
+	}
+	if !p.slo.Enabled() || budget <= 0 {
+		return
+	}
+	onTime := time.Duration(lat) <= budget
+	w := p.sloWatch(f)
+	w.tr.Observe(at, onTime)
+	w.lastSent = f.metrics.Sent
+	w.lastDelivered = f.metrics.Delivered
+	w.lastDeliveryAt = at
+	p.sloClassTracker(f.service).Observe(at, onTime)
+	if f.tenant != nil {
+		p.sloTenantTracker(f.tenant.ID()).Observe(at, onTime)
+	}
+}
+
+// sloWatch returns (creating on first use) the flow's SLO watch.
+func (p *telemetryPlane) sloWatch(f *Flow) *sloFlowWatch {
+	w := p.sloFlows[f.id]
+	if w == nil {
+		w = &sloFlowWatch{
+			tr:             telemetry.NewSLOTracker(p.slo),
+			lastSent:       f.metrics.Sent,
+			lastDelivered:  f.metrics.Delivered,
+			lastDeliveryAt: time.Duration(p.d.sim.Now()),
+		}
+		p.sloFlows[f.id] = w
+	}
+	return w
+}
+
+// sloClassTracker returns (creating on first use) the per-service-class
+// tracker; classes aggregate every budgeted flow currently on them.
+func (p *telemetryPlane) sloClassTracker(svc core.Service) *telemetry.SLOTracker {
+	if p.sloClasses[svc] == nil {
+		p.sloClasses[svc] = telemetry.NewSLOTracker(p.slo)
+	}
+	return p.sloClasses[svc]
+}
+
+// sloTenantTracker returns (creating on first use) a tenant's tracker.
+func (p *telemetryPlane) sloTenantTracker(id core.TenantID) *telemetry.SLOTracker {
+	tr := p.sloTenants[id]
+	if tr == nil {
+		tr = telemetry.NewSLOTracker(p.slo)
+		p.sloTenants[id] = tr
+	}
+	return tr
+}
+
+// sloSweep synthesizes blackhole misses and evaluates every tracker,
+// recording a trace event per state transition. Iteration order is
+// deterministic (ascending flow ID, class index, registration-ordered
+// tenants) — tracker maps are never ranged — so same-seed runs emit
+// byte-identical traces. Simulator goroutine only.
+func (p *telemetryPlane) sloSweep(now time.Duration) {
+	if !p.slo.Enabled() {
+		return
+	}
+	d := p.d
+	for id := core.FlowID(1); id < d.nextFlow; id++ {
+		f, ok := d.flows[id]
+		if !ok || f.spec.Budget <= 0 {
+			continue
+		}
+		w := p.sloWatch(f)
+		m := f.metrics
+		if m.Delivered != w.lastDelivered {
+			// Deliveries advanced since the cursor (observeDelivery keeps
+			// it current; this re-syncs after tracker re-creation).
+			w.lastSent = m.Sent
+			w.lastDelivered = m.Delivered
+			w.lastDeliveryAt = now
+		} else if m.Sent > w.lastSent {
+			// Sends advance, deliveries don't: a blackholed flow never
+			// reports misses through recordDelivery, so after a grace of
+			// max(2×budget, FastWindow) the stalled packets count as
+			// synthetic misses and the burn rate rises as it should.
+			grace := 2 * f.spec.Budget
+			if p.slo.FastWindow > grace {
+				grace = p.slo.FastWindow
+			}
+			if now-w.lastDeliveryAt > grace {
+				w.tr.ObserveMisses(now, int(m.Sent-w.lastSent))
+				w.lastSent = m.Sent
+			}
+		}
+		p.sloEval(w.tr, now, telemetry.Event{Flow: id})
+	}
+	for c := 0; c < telemetry.NumClasses; c++ {
+		if tr := p.sloClasses[c]; tr != nil {
+			p.sloEval(tr, now, telemetry.Event{Class: core.Service(c)})
+		}
+	}
+	if len(p.sloTenants) > 0 {
+		d.tenants.Each(func(t *tenant.Tenant) {
+			if tr := p.sloTenants[t.ID()]; tr != nil {
+				p.sloEval(tr, now, telemetry.Event{Tenant: t.ID()})
+			}
+		})
+	}
+}
+
+// sloEval evaluates one tracker and records the transition, if any. The
+// degrade/recover counters move in lockstep with the recorded events —
+// the invariant chaos accounting checks.
+func (p *telemetryPlane) sloEval(tr *telemetry.SLOTracker, now time.Duration, subj telemetry.Event) {
+	trn, ok := tr.Eval(now)
+	if !ok {
+		return
+	}
+	subj.Reason = uint8(trn.To)
+	subj.V1 = int64(trn.BurnFast * 1e6)
+	subj.V2 = int64(trn.BurnSlow * 1e6)
+	if trn.To > trn.From {
+		subj.Kind = telemetry.KindSLODegrade
+		p.sloDegrades++
+	} else {
+		subj.Kind = telemetry.KindSLORecover
+		p.sloRecovers++
+	}
+	p.d.trace(subj)
+}
+
+// spanBegin opens a hop trace for a sampled cloud copy.
+func (p *telemetryPlane) spanBegin(id core.PacketID, at core.Time) {
+	p.spans.Begin(id, time.Duration(at))
+}
+
+// spanWait charges an ingress-side wait (admission shaping or pacer
+// backpressure) to a pending trace.
+func (p *telemetryPlane) spanWait(id core.PacketID, comp telemetry.SpanComponent, d core.Time) {
+	p.spans.NoteWait(id, comp, time.Duration(d))
+}
+
+// spanDrop abandons a pending trace whose packet died before the wire.
+func (p *telemetryPlane) spanDrop(id core.PacketID) { p.spans.Drop(id) }
+
+// spanTxID marks a wire departure for a known-traced packet (ingress
+// host, where the sender knows it just sampled).
+func (p *telemetryPlane) spanTxID(id core.PacketID, at core.Time) {
+	p.spans.NoteTx(id, time.Duration(at))
+}
+
+// spanTx marks a wire departure, identifying the packet from its encoded
+// header; the integer Pending guard keeps the untraced fast path to one
+// comparison before the header peek.
+func (p *telemetryPlane) spanTx(msg []byte, at core.Time) {
+	if p.spans.Pending() == 0 {
+		return
+	}
+	if id, ok := wire.PeekTrace(msg); ok {
+		p.spans.NoteTx(id, time.Duration(at))
+	}
+}
+
+// spanRx marks a DC arrival for a traced packet (header already
+// decoded by the caller).
+func (p *telemetryPlane) spanRx(id core.PacketID, at core.Time) {
+	if p.spans.Pending() == 0 {
+		return
+	}
+	p.spans.NoteRx(id, time.Duration(at))
+}
+
+// spanQueue charges one DRR queue wait at (from, to, class).
+func (p *telemetryPlane) spanQueue(msg []byte, from, to core.NodeID, class core.Service, wait core.Time) {
+	if p.spans.Pending() == 0 {
+		return
+	}
+	if id, ok := wire.PeekTrace(msg); ok {
+		p.spans.NoteQueue(id, from, to, class, time.Duration(wait))
+	}
+}
+
+// spanDropMsg abandons a pending trace identified from its encoded
+// message (egress tail drop).
+func (p *telemetryPlane) spanDropMsg(msg []byte) {
+	if p.spans.Pending() == 0 {
+		return
+	}
+	if id, ok := wire.PeekTrace(msg); ok {
+		p.spans.Drop(id)
+	}
+}
+
+// forgetFlow releases a closing flow's observability state: its spend
+// profile (the (link, class) queue aggregates outlive flows) and its
+// SLO watch. Class and tenant trackers persist — they aggregate across
+// flow churn by design.
+func (p *telemetryPlane) forgetFlow(f *Flow) {
+	if f.traceEvery > 0 {
+		p.tracedFlows--
+	}
+	p.spans.ForgetFlow(f.id)
+	if p.sloFlows != nil {
+		delete(p.sloFlows, f.id)
+	}
+}
+
+// sloSnapshot assembles the SLO section of a snapshot, deterministically
+// ordered like the sweep.
+func (p *telemetryPlane) sloSnapshot(now time.Duration) telemetry.SLOSnapshot {
+	s := telemetry.SLOSnapshot{
+		Enabled:  p.slo.Enabled(),
+		Degrades: p.sloDegrades,
+		Recovers: p.sloRecovers,
+	}
+	if !s.Enabled {
+		return s
+	}
+	s.Objective = p.slo.Objective
+	s.FastWin = p.slo.FastWindow
+	s.SlowWin = p.slo.SlowWindow
+	d := p.d
+	for id := core.FlowID(1); id < d.nextFlow; id++ {
+		w, ok := p.sloFlows[id]
+		if !ok {
+			continue
+		}
+		e := sloEntry(w.tr, now)
+		e.Flow = id
+		s.Flows = append(s.Flows, e)
+	}
+	for c := 0; c < telemetry.NumClasses; c++ {
+		tr := p.sloClasses[c]
+		if tr == nil {
+			continue
+		}
+		e := sloEntry(tr, now)
+		e.Class = core.Service(c)
+		s.Classes = append(s.Classes, e)
+	}
+	if len(p.sloTenants) > 0 {
+		d.tenants.Each(func(t *tenant.Tenant) {
+			tr := p.sloTenants[t.ID()]
+			if tr == nil {
+				return
+			}
+			e := sloEntry(tr, now)
+			e.Tenant = t.ID()
+			s.Tenants = append(s.Tenants, e)
+		})
+	}
+	return s
+}
+
+func sloEntry(tr *telemetry.SLOTracker, now time.Duration) telemetry.SLOEntry {
+	e := telemetry.SLOEntry{State: tr.State(), StateName: tr.State().String()}
+	e.BurnFast, e.BurnSlow = tr.Burns(now)
+	e.FastOK, e.FastMiss, e.SlowOK, e.SlowMiss = tr.Windows(now)
+	return e
 }
 
 // round publishes one snapshot and reschedules — or parks after two idle
@@ -335,6 +742,15 @@ func (p *telemetryPlane) build() *telemetry.Snapshot {
 
 	s.Totals.EgressBytes = d.TotalEgressBytes()
 	s.Totals.CloudCostUSD = d.CloudCost()
+
+	// SLO and attribution assemble BEFORE the trace stats: the sweep may
+	// record transition events, and chaos accounting reconciles the
+	// Degrades/Recovers counters against the ring's per-kind counts
+	// within this one snapshot.
+	p.sloSweep(time.Duration(now))
+	s.SLO = p.sloSnapshot(time.Duration(now))
+	s.Attribution = p.spans.Snapshot()
+	s.Attribution.Enabled = p.tracedFlows > 0
 
 	p.snapshots.Inc()
 	s.Counters, s.Gauges, s.Histograms = p.reg.Collect()
